@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fig 13 — Protected memory access for sNPU.
+ *
+ *  (a) Normalized end-to-end performance of the six DNNs under the
+ *      TrustZone-NPU IOMMU with 4/8/16/32 IOTLB entries versus the
+ *      NPU Guarder, normalized to the unprotected Normal NPU.
+ *  (b) Translation/checking requests: the Guarder checks once per
+ *      DMA request, the IOMMU once per 64-byte packet, so the
+ *      Guarder needs only a few percent of the lookups.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/systems.hh"
+
+using namespace snpu;
+using namespace snpu::bench;
+
+int
+main()
+{
+    banner("Figure 13(a)",
+           "Normalized performance under different access controls");
+
+    // Isolate the access-control variable: the scratchpad-isolation
+    // strawmen get their own experiments (Figs 14, 15), so all
+    // systems here run a single task with the full scratchpad.
+    SystemOverrides base;
+    base.model_scale = 2;
+    base.apply_isolation = true;
+    base.spad_isolation = IsolationMode::none;
+
+    const std::uint32_t tlb_sizes[] = {4, 8, 16, 32};
+
+    Table perf({"workload", "IOTLB-4", "IOTLB-8", "IOTLB-16",
+                "IOTLB-32", "NPU Guarder"});
+    Table checks({"workload", "IOMMU lookups", "Guarder checks",
+                  "ratio"});
+
+    for (ModelId id : allModels()) {
+        RunResult normal =
+            measureModel(SystemKind::normal_npu, id, base);
+        if (!normal.ok) {
+            std::printf("ERROR baseline %s: %s\n", modelName(id),
+                        normal.error.c_str());
+            return 1;
+        }
+
+        std::vector<std::string> row{modelName(id)};
+        std::uint64_t iommu32_checks = 0;
+        for (std::uint32_t entries : tlb_sizes) {
+            SystemOverrides o = base;
+            o.iotlb_entries = entries;
+            RunResult res =
+                measureModel(SystemKind::trustzone_npu, id, o);
+            if (!res.ok) {
+                std::printf("ERROR iommu %s: %s\n", modelName(id),
+                            res.error.c_str());
+                return 1;
+            }
+            row.push_back(num(static_cast<double>(normal.cycles) /
+                              static_cast<double>(res.cycles)));
+            if (entries == 32)
+                iommu32_checks = res.check_requests;
+        }
+
+        RunResult guarder = measureModel(SystemKind::snpu, id, base);
+        if (!guarder.ok) {
+            std::printf("ERROR guarder %s: %s\n", modelName(id),
+                        guarder.error.c_str());
+            return 1;
+        }
+        row.push_back(num(static_cast<double>(normal.cycles) /
+                          static_cast<double>(guarder.cycles)));
+        perf.row(row);
+
+        checks.row({modelName(id), big(iommu32_checks),
+                    big(guarder.check_requests),
+                    num(100.0 *
+                            static_cast<double>(
+                                guarder.check_requests) /
+                            static_cast<double>(iommu32_checks),
+                        1) +
+                        "%"});
+    }
+    perf.print();
+    std::printf("(paper: IOTLB-4 loses up to ~20%%, IOTLB-32 still "
+                "~10%% on real workloads; the Guarder loses "
+                "nothing)\n\n");
+
+    banner("Figure 13(b)",
+           "Translation/checking request counts (energy proxy)");
+    checks.print();
+    std::printf("(paper: tile-based registers need roughly 5%% of "
+                "the IOMMU's translation requests)\n");
+    return 0;
+}

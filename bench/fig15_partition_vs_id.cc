@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Fig 15 — Multi-task performance under static scratchpad partition
+ * versus ID-based dynamic isolation.
+ *
+ * Three workload pairs run concurrently (one secure, one normal),
+ * sharing DRAM bandwidth and the scratchpad capacity. Static
+ * partition gives the secure task 3/4, 1/2, or 1/4 of the rows; the
+ * ID-based mechanism lets the driver pick any split, and we report
+ * its "total-best" strategy (the split minimizing the completion of
+ * both workloads). Each bar is normalized to the workload's solo
+ * execution (full scratchpad, full bandwidth).
+ *
+ * Concurrency model: each task runs on its own tile; contention for
+ * the shared DRAM channel is modeled by halving the per-task
+ * bandwidth (two equal streaming consumers on one channel).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/systems.hh"
+
+using namespace snpu;
+using namespace snpu::bench;
+
+namespace
+{
+
+struct PairResult
+{
+    double secure_norm;
+    double normal_norm;
+};
+
+Tick
+runWithRows(ModelId id, std::uint32_t rows, double gbps,
+            std::uint32_t scale)
+{
+    SystemOverrides o;
+    o.model_scale = scale;
+    o.dram_gbps = gbps;
+    auto soc = buildSoc(SystemKind::normal_npu, o);
+    TaskRunner runner(*soc);
+    NpuTask task = NpuTask::fromModel(id);
+    task.model = task.model.scaled(scale);
+    RunOptions opts;
+    opts.spad_rows_override = rows;
+    RunResult res = runner.run(task, opts);
+    if (!res.ok) {
+        std::fprintf(stderr, "run failed: %s\n", res.error.c_str());
+        std::exit(1);
+    }
+    return res.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 15", "Static partition vs ID-based dynamic "
+                        "scratchpad isolation (pairs share DRAM)");
+
+    const std::uint32_t scale = 2;
+    const std::uint32_t total_rows = 16384;
+    const std::pair<ModelId, ModelId> groups[] = {
+        {ModelId::googlenet, ModelId::yololite},
+        {ModelId::alexnet, ModelId::mobilenet},
+        {ModelId::resnet, ModelId::bert},
+    };
+
+    Table table({"pair (secure+normal)", "split", "secure norm.",
+                 "normal norm."});
+
+    for (const auto &[sec_id, norm_id] : groups) {
+        // Solo baselines: full scratchpad, full 16 GB/s.
+        const Tick solo_sec =
+            runWithRows(sec_id, total_rows, 16.0, scale);
+        const Tick solo_norm =
+            runWithRows(norm_id, total_rows, 16.0, scale);
+
+        const std::string pair_name =
+            std::string(modelName(sec_id)) + " + " +
+            modelName(norm_id);
+
+        // Static partitions: secure gets 3/4, 1/2, 1/4.
+        for (double frac : {0.75, 0.5, 0.25}) {
+            const auto sec_rows =
+                static_cast<std::uint32_t>(frac * total_rows);
+            const Tick sec =
+                runWithRows(sec_id, sec_rows, 8.0, scale);
+            const Tick norm_cycles = runWithRows(
+                norm_id, total_rows - sec_rows, 8.0, scale);
+            table.row({pair_name,
+                       "static " + num(frac, 2),
+                       num(static_cast<double>(sec) / solo_sec),
+                       num(static_cast<double>(norm_cycles) /
+                           solo_norm)});
+        }
+
+        // ID-based dynamic: sweep splits, pick the total-best (the
+        // split minimizing the later completion of the two).
+        double best_metric = 1e30;
+        double best_sec = 0;
+        double best_norm = 0;
+        std::uint32_t best_rows = 0;
+        for (int i = 1; i <= 7; ++i) {
+            const std::uint32_t sec_rows = total_rows * i / 8;
+            const Tick sec =
+                runWithRows(sec_id, sec_rows, 8.0, scale);
+            const Tick norm_cycles = runWithRows(
+                norm_id, total_rows - sec_rows, 8.0, scale);
+            const double metric = std::max(
+                static_cast<double>(sec) / solo_sec,
+                static_cast<double>(norm_cycles) / solo_norm);
+            if (metric < best_metric) {
+                best_metric = metric;
+                best_sec = static_cast<double>(sec) / solo_sec;
+                best_norm =
+                    static_cast<double>(norm_cycles) / solo_norm;
+                best_rows = sec_rows;
+            }
+        }
+        table.row({pair_name,
+                   "id-based best (" +
+                       num(100.0 * best_rows / total_rows, 0) +
+                       "% sec)",
+                   num(best_sec), num(best_norm)});
+    }
+
+    table.print();
+    std::printf("(paper: no single static split works for every "
+                "pair; the ID-based dynamic split matches or beats "
+                "the best static choice, and the scratchpad-"
+                "sensitive nets — alexnet, bert — swing hardest)\n");
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator's hot paths:
+ * how fast the model itself runs (host-side), useful when scaling
+ * experiments up. These are not paper figures; they bound the cost
+ * of the reproduction harness.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "guarder/guarder.hh"
+#include "iommu/iommu.hh"
+#include "mem/mem_system.hh"
+#include "noc/mesh.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "spad/scratchpad.hh"
+#include "tee/sha256.hh"
+
+namespace
+{
+
+using namespace snpu;
+
+void
+BM_ScratchpadAccess(benchmark::State &state)
+{
+    stats::Group stats("g");
+    SpadParams p;
+    p.rows = 16384;
+    Scratchpad spad(stats, p);
+    std::uint8_t row[16] = {};
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            spad.write(World::normal,
+                       static_cast<std::uint32_t>(i++ % 16384), row));
+    }
+}
+BENCHMARK(BM_ScratchpadAccess);
+
+void
+BM_GuarderTranslate(benchmark::State &state)
+{
+    stats::Group stats("g");
+    NpuGuarder guard(stats);
+    guard.setTranslationRegister(0, 0x1000, 0x9000, 1 << 20, true);
+    guard.setCheckingRegister(0, AddrRange{0x9000, 1 << 20},
+                              GuardPerm::rw(), World::normal, true);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(guard.translate(
+            0, 0x1000 + (i++ % 1024) * 64, 64, MemOp::read,
+            World::normal));
+    }
+}
+BENCHMARK(BM_GuarderTranslate);
+
+void
+BM_IommuTranslateHit(benchmark::State &state)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    PageTable table(mem, AddrRange{mem.map().dram().base, 8u << 20});
+    table.mapRange(0x100000, mem.map().dram().base + (64u << 20),
+                   16 * page_bytes, true, false);
+    Iommu iommu(stats, table);
+    iommu.translate(0, 0x100000, 64, MemOp::read, World::normal);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(iommu.translate(
+            0, 0x100000 + (i++ % 64) * 64, 64, MemOp::read,
+            World::normal));
+    }
+}
+BENCHMARK(BM_IommuTranslateHit);
+
+void
+BM_MeshTraverse(benchmark::State &state)
+{
+    stats::Group stats("g");
+    Mesh mesh(stats);
+    Tick t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t = mesh.traverse(t, 0, 9, 32));
+    }
+}
+BENCHMARK(BM_MeshTraverse);
+
+void
+BM_MemSystemAccess(benchmark::State &state)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    const Addr base = mem.map().dram().base;
+    Tick t = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        MemRequest req{base + (i++ % 4096) * 64, 64, MemOp::read,
+                       World::normal};
+        MemResult res = mem.access(t, req);
+        benchmark::DoNotOptimize(res);
+        t = res.done;
+    }
+}
+BENCHMARK(BM_MemSystemAccess);
+
+void
+BM_Sha256PerKiB(benchmark::State &state)
+{
+    std::vector<std::uint8_t> data(1024);
+    Rng rng(1);
+    for (auto &b : data)
+        b = static_cast<std::uint8_t>(rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(Sha256::hash(data));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256PerKiB);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Table I — Isolation mechanisms for the scratchpad, with the
+ * qualitative sharing columns backed by measured numbers from the
+ * time-shared scheduler: a periodic high-priority (secure) inference
+ * preempts a long background task on one core. Utilization is the
+ * systolic array's busy fraction; performance is the background
+ * task's completion versus sNPU; SLA is the worst latency of the
+ * periodic task versus its arrival.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "core/scheduler.hh"
+#include "core/systems.hh"
+
+using namespace snpu;
+using namespace snpu::bench;
+
+namespace
+{
+
+SchedScenario
+scenario()
+{
+    SchedScenario s;
+    s.background = NpuTask::fromModel(ModelId::bert, World::normal, 0);
+    s.background.model = s.background.model.scaled(8);
+    s.periodic =
+        NpuTask::fromModel(ModelId::yololite, World::secure, 10);
+    s.periodic.model = s.periodic.model.scaled(8);
+    s.period = 800000;
+    s.instances = 8;
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table I", "Isolation mechanisms for the scratchpad "
+                      "(periodic secure task + background task)");
+
+    struct Row
+    {
+        SchedPolicy policy;
+        const char *name;
+        const char *temporal;
+        const char *spatial;
+    };
+    const Row rows[] = {
+        {SchedPolicy::partition, "Partition", "Yes", "Yes"},
+        {SchedPolicy::flush_coarse, "Flush (coarse-grained)", "Yes",
+         "No"},
+        {SchedPolicy::flush_fine, "Flush (fine-grained)", "Yes",
+         "No"},
+        {SchedPolicy::id_based, "sNPU (ID-based)", "Yes", "Yes"},
+    };
+
+    Tick ref_completion = 0;
+    Tick ref_latency = 0;
+    {
+        auto soc = buildSoc(SystemKind::snpu);
+        TimeSharedScheduler sched(*soc, SchedPolicy::id_based);
+        SchedResult res = sched.run(scenario());
+        if (!res.ok) {
+            std::printf("ERROR: %s\n", res.error.c_str());
+            return 1;
+        }
+        ref_completion = res.background_completion;
+        ref_latency = res.worst_latency;
+    }
+
+    Table table({"mechanism", "temporal", "spatial", "utilization",
+                 "perf (vs sNPU)", "SLA (worst latency vs sNPU)"});
+    for (const Row &row : rows) {
+        auto soc = buildSoc(SystemKind::snpu);
+        TimeSharedScheduler sched(*soc, row.policy, 8);
+        SchedResult res = sched.run(scenario());
+        if (!res.ok) {
+            std::printf("ERROR %s: %s\n", row.name,
+                        res.error.c_str());
+            return 1;
+        }
+        table.row({row.name, row.temporal, row.spatial,
+                   num(res.utilization * 100.0, 1) + "%",
+                   num(static_cast<double>(ref_completion) /
+                       static_cast<double>(
+                           res.background_completion)),
+                   num(static_cast<double>(res.worst_latency) /
+                       static_cast<double>(ref_latency))});
+    }
+    table.print();
+    std::printf("(paper Table I: partition = low utilization/perf, "
+                "good SLA; coarse flush = good perf, poor SLA; fine "
+                "flush = low perf, good SLA; sNPU = high "
+                "utilization, good perf, good SLA)\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * §VI-F — TCB size analysis: lines of code of the trusted NPU
+ * Monitor components in this repository versus the untrusted NPU
+ * software stack the design keeps out of the TCB (reference figures
+ * from the paper).
+ */
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hh"
+#include "core/tcb_inventory.hh"
+
+using namespace snpu;
+using namespace snpu::bench;
+
+int
+main()
+{
+    banner("TCB size (§VI-F)",
+           "Trusted computing base of the NPU software stack");
+
+    // Locate the source tree whether we run from the repo root or
+    // from inside build/.
+    std::string root = "src";
+    for (const char *candidate :
+         {"src", "../src", "../../src", "../../../src"}) {
+        if (std::filesystem::exists(std::string(candidate) +
+                                    "/tee/monitor")) {
+            root = candidate;
+            break;
+        }
+    }
+
+    const auto inventory = tcbInventory(root);
+    Table table({"component", "LoC", "trusted", "source"});
+    for (const auto &c : inventory) {
+        table.row({c.name, big(c.loc), c.trusted ? "yes" : "no",
+                   c.measured ? "measured (this repo)"
+                              : "paper reference"});
+    }
+    table.print();
+
+    std::printf("total trusted LoC (measured): %s\n",
+                big(trustedLoc(inventory)).c_str());
+    std::printf("(paper: the NPU Monitor is 12,854 LoC — 10,781 of "
+                "it crypto — against 300k+ LoC frameworks and a "
+                "631k LoC driver left untrusted)\n");
+    return 0;
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * snpu_run — command-line driver for arbitrary configurations.
+ *
+ * Usage:
+ *   snpu_run [key=value ...]
+ *
+ * Keys (defaults in parentheses):
+ *   model=googlenet|alexnet|yololite|mobilenet|resnet|bert (resnet)
+ *   system=normal|trustzone|snpu            (snpu)
+ *   world=normal|secure                     (normal)
+ *   iotlb=<entries>                         (32, trustzone only)
+ *   walk_cache=0|1                          (0)
+ *   dma_channels=<n>                        (16)
+ *   flush=none|tile|layer|layer5            (none)
+ *   isolation=none|partition|id             (system default)
+ *   partition_frac=<0..1>                   (0.5)
+ *   encryption=0|1                          (0)
+ *   scale=<divisor for M dims>              (1)
+ *   cores=<n>  pipeline across n tiles      (1)
+ *   noc=software|unauthorized|peephole      (peephole)
+ *   stats=0|1  dump the full stat group     (0)
+ *
+ * Examples:
+ *   snpu_run model=bert system=trustzone iotlb=4
+ *   snpu_run model=resnet cores=4 noc=software
+ *   snpu_run model=alexnet isolation=partition partition_frac=0.25
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/scheduler.hh"
+#include "core/systems.hh"
+#include "core/task_runner.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+#include <memory>
+
+using namespace snpu;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            cfg.parseArg(argv[i]);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\nsee the header comment for "
+                                 "usage\n",
+                         e.what());
+            return 2;
+        }
+    }
+
+    // System selection.
+    const std::string system_name = cfg.getString("system", "snpu");
+    SystemKind kind;
+    if (system_name == "normal")
+        kind = SystemKind::normal_npu;
+    else if (system_name == "trustzone")
+        kind = SystemKind::trustzone_npu;
+    else if (system_name == "snpu")
+        kind = SystemKind::snpu;
+    else {
+        std::fprintf(stderr, "unknown system '%s'\n",
+                     system_name.c_str());
+        return 2;
+    }
+
+    SocParams params = makeSystem(kind);
+    params.iotlb_entries = static_cast<std::uint32_t>(
+        cfg.getInt("iotlb", params.iotlb_entries));
+    params.iommu_walk_cache = cfg.getBool("walk_cache", false);
+    params.dma_channels = static_cast<std::uint32_t>(
+        cfg.getInt("dma_channels", params.dma_channels));
+    params.memory_encryption = cfg.getBool("encryption", false);
+    const std::string isolation = cfg.getString("isolation", "");
+    if (isolation == "none")
+        params.spad_isolation = IsolationMode::none;
+    else if (isolation == "partition")
+        params.spad_isolation = IsolationMode::partition;
+    else if (isolation == "id")
+        params.spad_isolation = IsolationMode::id_based;
+    else if (!isolation.empty()) {
+        std::fprintf(stderr, "unknown isolation '%s'\n",
+                     isolation.c_str());
+        return 2;
+    }
+    params.partition_secure_frac =
+        cfg.getDouble("partition_frac", params.partition_secure_frac);
+
+    FlushGranularity flush = FlushGranularity::none;
+    const std::string flush_name = cfg.getString("flush", "none");
+    if (flush_name == "tile")
+        flush = FlushGranularity::tile;
+    else if (flush_name == "layer")
+        flush = FlushGranularity::layer;
+    else if (flush_name == "layer5")
+        flush = FlushGranularity::layer5;
+    else if (flush_name != "none") {
+        std::fprintf(stderr, "unknown flush '%s'\n",
+                     flush_name.c_str());
+        return 2;
+    }
+
+    NocMode noc = NocMode::peephole;
+    const std::string noc_name = cfg.getString("noc", "peephole");
+    if (noc_name == "software")
+        noc = NocMode::software;
+    else if (noc_name == "unauthorized")
+        noc = NocMode::unauthorized;
+    else if (noc_name != "peephole") {
+        std::fprintf(stderr, "unknown noc '%s'\n", noc_name.c_str());
+        return 2;
+    }
+
+    // Task selection.
+    NpuTask task = NpuTask::fromModel(
+        modelByName(cfg.getString("model", "resnet")),
+        cfg.getString("world", "normal") == "secure" ? World::secure
+                                                     : World::normal);
+    const auto scale =
+        static_cast<std::uint32_t>(cfg.getInt("scale", 1));
+    if (scale > 1)
+        task.model = task.model.scaled(scale);
+
+    Soc soc(params);
+    TaskRunner runner(soc);
+
+    // Optional execution trace.
+    std::unique_ptr<FileTraceSink> trace_sink;
+    const std::string trace_file = cfg.getString("trace_file", "");
+    if (!trace_file.empty()) {
+        std::uint32_t mask = 0;
+        std::string cats = cfg.getString("trace", "instr,sec");
+        cats += ',';
+        std::string token;
+        for (char ch : cats) {
+            if (ch != ',') {
+                token.push_back(ch);
+                continue;
+            }
+            if (token == "instr")
+                mask |= traceMask(TraceCategory::instr);
+            else if (token == "dma")
+                mask |= traceMask(TraceCategory::dma);
+            else if (token == "sec")
+                mask |= traceMask(TraceCategory::security);
+            else if (token == "noc")
+                mask |= traceMask(TraceCategory::noc);
+            else if (!token.empty()) {
+                std::fprintf(stderr, "unknown trace category '%s'\n",
+                             token.c_str());
+                return 2;
+            }
+            token.clear();
+        }
+        trace_sink =
+            std::make_unique<FileTraceSink>(trace_file, mask);
+        for (std::uint32_t i = 0; i < soc.npu().tiles(); ++i)
+            soc.npu().core(i).attachTrace(trace_sink.get());
+    }
+
+    std::printf("%s\n", soc.params().describe().c_str());
+    std::printf("model=%s world=%s macs=%llu weights=%llu B\n",
+                task.name.c_str(), worldName(task.world),
+                static_cast<unsigned long long>(task.model.macs()),
+                static_cast<unsigned long long>(
+                    task.model.weightBytes()));
+
+    const auto cores =
+        static_cast<std::uint32_t>(cfg.getInt("cores", 1));
+    if (cores > 1) {
+        std::vector<std::uint32_t> ids;
+        for (std::uint32_t i = 0; i < cores; ++i)
+            ids.push_back(i);
+        PipelineResult res = runner.runPipeline(
+            task, ids, noc,
+            static_cast<std::uint32_t>(task.model.layers.size()));
+        if (!res.ok) {
+            std::fprintf(stderr, "pipeline failed: %s\n",
+                         res.error.c_str());
+            return 1;
+        }
+        std::printf("pipeline(%u cores, %s): %llu cycles, %llu NoC "
+                    "bytes, %llu transfers\n",
+                    cores, nocModeName(noc),
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<unsigned long long>(res.noc_bytes),
+                    static_cast<unsigned long long>(res.transfers));
+    } else {
+        RunOptions opts;
+        opts.flush = flush;
+        RunResult res = runner.run(task, opts);
+        if (!res.ok) {
+            std::fprintf(stderr, "run failed: %s\n",
+                         res.error.c_str());
+            return 1;
+        }
+        std::printf("cycles=%llu (%.3f ms at 1 GHz)  "
+                    "utilization=%.1f%%  dma=%llu B  checks=%llu  "
+                    "flush=%llu cyc\n",
+                    static_cast<unsigned long long>(res.cycles),
+                    static_cast<double>(res.cycles) / 1e6,
+                    res.utilization(256) * 100.0,
+                    static_cast<unsigned long long>(res.dma_bytes),
+                    static_cast<unsigned long long>(
+                        res.check_requests),
+                    static_cast<unsigned long long>(
+                        res.flush_cycles));
+    }
+
+    if (cfg.getBool("stats", false))
+        soc.stats().dump(std::cout);
+    if (trace_sink) {
+        std::printf("trace: %llu records -> %s\n",
+                    static_cast<unsigned long long>(
+                        trace_sink->lines()),
+                    trace_file.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Attack library: executable versions of the paper's three attack
+ * surfaces, run against a live Soc. Each attack reports whether the
+ * system blocked it and what (if anything) leaked, so the same code
+ * demonstrates the vulnerability on the unprotected baseline and its
+ * mitigation on sNPU. The functional data path (real bytes in the
+ * scratchpad and memory) makes leaks observable, not hypothetical.
+ */
+
+#ifndef SNPU_CORE_ATTACKS_HH
+#define SNPU_CORE_ATTACKS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/soc.hh"
+
+namespace snpu
+{
+
+/** Outcome of one attack attempt. */
+struct AttackResult
+{
+    std::string name;
+    /** True when the system prevented the attack. */
+    bool blocked = false;
+    /** Bytes the attacker actually recovered (empty when blocked). */
+    std::vector<std::uint8_t> leaked;
+    std::string detail;
+};
+
+/**
+ * LeftoverLocals (§IV-B): a secure task leaves secret data in
+ * scratchpad rows; a normal-world task then reads those rows without
+ * writing first. Blocked by ID-based isolation, succeeds when the
+ * scratchpad has no protection.
+ */
+AttackResult leftoverLocalsAttack(Soc &soc,
+                                  const std::vector<std::uint8_t>
+                                      &secret);
+
+/**
+ * NoC hijack (Fig 7): a compromised scheduler places a normal-world
+ * task on the core a secure producer sends intermediate results to.
+ * The peephole rejects the cross-world packet; an unauthorized NoC
+ * delivers the secret to the attacker.
+ */
+AttackResult nocHijackAttack(Soc &soc,
+                             const std::vector<std::uint8_t> &secret);
+
+/**
+ * DMA out-of-bounds (threat 1): an NPU task issues a DMA read of
+ * CPU-side secure memory it was never granted. The Guarder (or the
+ * world partition) must deny it.
+ */
+AttackResult dmaOutOfBoundsAttack(Soc &soc,
+                                  const std::vector<std::uint8_t>
+                                      &secret);
+
+/**
+ * Privilege escalation via NPU instructions (threat 3): untrusted
+ * code embeds a sec_set_id(secure) instruction. The privileged-bit
+ * check must reject it.
+ */
+AttackResult secInstructionAttack(Soc &soc);
+
+/**
+ * Malicious driver topology (route integrity): the driver offers a
+ * 1x4 strip for a task that requested a 2x2 sub-mesh. The secure
+ * loader must refuse the launch.
+ */
+AttackResult topologyAttack(Soc &soc);
+
+/**
+ * Tampered task code: the driver flips one instruction after the
+ * user computed the expected measurement. The code verifier must
+ * refuse the launch.
+ */
+AttackResult tamperedCodeAttack(Soc &soc);
+
+/** Run every attack and return the results. */
+std::vector<AttackResult> runAllAttacks(Soc &soc);
+
+} // namespace snpu
+
+#endif // SNPU_CORE_ATTACKS_HH

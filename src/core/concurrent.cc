@@ -1,0 +1,150 @@
+#include "core/concurrent.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+#include "workload/compiler.hh"
+
+namespace snpu
+{
+
+namespace
+{
+
+struct Tenant
+{
+    std::uint32_t core = 0;
+    std::vector<NpuProgram> segments;
+    std::size_t next = 0;
+    Tick cursor = 0;
+    ExecState state;
+    Addr va_base = 0;
+    Addr va_bytes = 0;
+    World world = World::normal;
+
+    bool done() const { return next >= segments.size(); }
+};
+
+Tenant
+prepare(Soc &soc, const NpuTask &task, std::uint32_t core,
+        std::uint32_t rows, Addr &alloc_cursor)
+{
+    Tenant tenant;
+    tenant.core = core;
+    tenant.world = task.world;
+
+    CompilerParams cp;
+    cp.dim = soc.params().systolic_dim;
+    cp.spad_rows = rows;
+    cp.acc_rows = soc.npu().core(core).coreParams().acc_rows;
+    TilingCompiler compiler(cp);
+
+    tenant.va_base = alloc_cursor;
+    for (const LayerSpec &layer : task.model.layers) {
+        ModelSpec single;
+        single.name = layer.name;
+        single.layers = {layer};
+        Addr footprint = 0;
+        NpuProgram program =
+            compiler.compileModel(single, alloc_cursor, &footprint);
+        alloc_cursor += (footprint + 0xfffff) & ~Addr(0xfffff);
+
+        // Split at tile boundaries so the interleave skew between
+        // the tenants stays small relative to memory queue depths.
+        std::size_t begin = 0;
+        for (std::size_t end : program.tile_ends) {
+            NpuProgram chunk;
+            chunk.code.assign(
+                program.code.begin() +
+                    static_cast<std::ptrdiff_t>(begin),
+                program.code.begin() +
+                    static_cast<std::ptrdiff_t>(end + 1));
+            chunk.spad_rows_used = program.spad_rows_used;
+            tenant.segments.push_back(std::move(chunk));
+            begin = end + 1;
+        }
+        if (begin < program.code.size()) {
+            NpuProgram tail;
+            tail.code.assign(program.code.begin() +
+                                 static_cast<std::ptrdiff_t>(begin),
+                             program.code.end());
+            tail.spad_rows_used = program.spad_rows_used;
+            tenant.segments.push_back(std::move(tail));
+        }
+    }
+    tenant.va_bytes = alloc_cursor - tenant.va_base;
+
+    if (soc.hasGuarder()) {
+        NpuGuarder &guard = soc.guarder(core);
+        guard.clearAll(true);
+        guard.setCheckingRegister(
+            0, AddrRange{tenant.va_base, tenant.va_bytes + (1u << 20)},
+            GuardPerm::rw(), task.world, true);
+        guard.setTranslationRegister(0, tenant.va_base, tenant.va_base,
+                                     tenant.va_bytes + (1u << 20),
+                                     true);
+    } else if (soc.hasIommu()) {
+        soc.pageTable().mapRange(
+            tenant.va_base, tenant.va_base,
+            (tenant.va_bytes + (1u << 20) + page_bytes - 1) &
+                ~Addr(page_bytes - 1),
+            true, task.world == World::secure);
+        soc.iommu(core).flushTlb();
+    }
+    soc.npu().setCoreWorld(core, task.world, true);
+    return tenant;
+}
+
+} // namespace
+
+ConcurrentResult
+runConcurrentPair(Soc &soc, const NpuTask &task_a, std::uint32_t rows_a,
+                  const NpuTask &task_b, std::uint32_t rows_b)
+{
+    ConcurrentResult result;
+
+    const AddrRange &normal_arena =
+        soc.mem().map().npuArena(World::normal);
+    const AddrRange &secure_arena =
+        soc.mem().map().npuArena(World::secure);
+    Addr normal_cursor = normal_arena.base + (32u << 20);
+    Addr secure_cursor = secure_arena.base + (secure_arena.size / 2);
+
+    auto cursor_for = [&](World w) -> Addr & {
+        return w == World::secure ? secure_cursor : normal_cursor;
+    };
+
+    Tenant a = prepare(soc, task_a, 0, rows_a, cursor_for(task_a.world));
+    Tenant b = prepare(soc, task_b, 1, rows_b, cursor_for(task_b.world));
+
+    // Earliest-cursor-first interleave: the tenant furthest behind
+    // in simulated time runs its next segment, so memory-system
+    // queue state advances roughly in time order.
+    while (!a.done() || !b.done()) {
+        Tenant *turn;
+        if (a.done()) {
+            turn = &b;
+        } else if (b.done()) {
+            turn = &a;
+        } else {
+            turn = a.cursor <= b.cursor ? &a : &b;
+        }
+        ExecResult exec = soc.npu().core(turn->core).run(
+            turn->cursor, turn->segments[turn->next], ExecOptions{},
+            &turn->state);
+        if (!exec.ok) {
+            result.error = exec.error;
+            return result;
+        }
+        turn->cursor = exec.end;
+        ++turn->next;
+    }
+
+    result.ok = true;
+    result.completion_a = a.cursor;
+    result.completion_b = b.cursor;
+    result.makespan = std::max(a.cursor, b.cursor);
+    return result;
+}
+
+} // namespace snpu

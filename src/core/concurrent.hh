@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Concurrent multi-tenant runner: two tasks on two tiles of the SAME
+ * SoC, their layer segments interleaved in simulated-time order so
+ * DRAM channel and L2 bank contention emerge from the shared memory
+ * model instead of being approximated (the Fig 15 harness halves the
+ * per-task bandwidth; this runner validates that approximation).
+ *
+ * Interleaving at segment granularity is approximate — within one
+ * segment a core sees the memory queues as its rival left them — but
+ * segments are short relative to queue drain times, and the
+ * earliest-cursor-first order keeps the skew bounded by one segment.
+ */
+
+#ifndef SNPU_CORE_CONCURRENT_HH
+#define SNPU_CORE_CONCURRENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "core/soc.hh"
+#include "core/task.hh"
+
+namespace snpu
+{
+
+/** Outcome of a concurrent two-task run. */
+struct ConcurrentResult
+{
+    bool ok = false;
+    std::string error;
+    Tick completion_a = 0;
+    Tick completion_b = 0;
+    Tick makespan = 0;
+};
+
+/**
+ * Run @p task_a on core 0 and @p task_b on core 1 concurrently.
+ * Each task is compiled against @p rows_a / @p rows_b scratchpad
+ * rows (the Fig 15 capacity split).
+ */
+ConcurrentResult runConcurrentPair(Soc &soc, const NpuTask &task_a,
+                                   std::uint32_t rows_a,
+                                   const NpuTask &task_b,
+                                   std::uint32_t rows_b);
+
+} // namespace snpu
+
+#endif // SNPU_CORE_CONCURRENT_HH

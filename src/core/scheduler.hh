@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Multi-task NPU scheduler used for the Table I comparison. A long
+ * low-priority task shares one NPU core with a periodic
+ * high-priority task (camera-frame style inference). Scheduling
+ * happens at op-kernel (layer-segment) boundaries; what changes
+ * across isolation mechanisms is the context-switch cost and the
+ * capacity each task sees:
+ *
+ *  - flush (fine):   switch to the high-priority task as soon as it
+ *                    arrives (at the next segment boundary), paying
+ *                    a scratchpad context save per switch;
+ *  - flush (coarse): amortize flushes by switching only every N
+ *                    segments — cheap, but the high-priority task
+ *                    waits (SLA misses);
+ *  - partition:      no switch cost, but each task compiles against
+ *                    its static fraction of the scratchpad;
+ *  - id_based:       sNPU — no switch cost, full scratchpad.
+ */
+
+#ifndef SNPU_CORE_SCHEDULER_HH
+#define SNPU_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/soc.hh"
+#include "core/task.hh"
+#include "spad/flush_engine.hh"
+
+namespace snpu
+{
+
+/** Isolation policy applied at scheduling time. */
+enum class SchedPolicy : std::uint8_t
+{
+    flush_fine,      //!< flush + switch at every segment boundary
+    flush_coarse,    //!< switch (and flush) only every N segments
+    partition,       //!< static scratchpad split, no flushes
+    id_based,        //!< sNPU: no flushes, full capacity
+};
+
+const char *schedPolicyName(SchedPolicy policy);
+
+/** Workload scenario for the Table I measurement. */
+struct SchedScenario
+{
+    /** The background (low-priority) task. */
+    NpuTask background;
+    /** The periodic (high-priority) task. */
+    NpuTask periodic;
+    /** Arrival period of the periodic task, in cycles. */
+    Tick period = 200000;
+    /** Number of periodic arrivals. */
+    std::uint32_t instances = 8;
+};
+
+/** Whole-schedule outcome. */
+struct SchedResult
+{
+    bool ok = false;
+    std::string error;
+    /** Completion of everything. */
+    Tick makespan = 0;
+    /** MAC utilization: systolic busy cycles over the makespan. */
+    double utilization = 0.0;
+    /** Cycles spent on context save/restore. */
+    Tick flush_overhead = 0;
+    /** Completion time of the background task. */
+    Tick background_completion = 0;
+    /** Worst periodic-instance latency (completion - arrival). */
+    Tick worst_latency = 0;
+    /** Mean periodic-instance latency. */
+    double mean_latency = 0.0;
+};
+
+/**
+ * The time-shared scheduler. Runs the scenario to completion on one
+ * core under the given policy.
+ */
+class TimeSharedScheduler
+{
+  public:
+    TimeSharedScheduler(Soc &soc, SchedPolicy policy,
+                        std::uint32_t coarse_interval = 5);
+
+    SchedResult run(const SchedScenario &scenario,
+                    std::uint32_t core = 0);
+
+  private:
+    Soc &soc;
+    SchedPolicy policy;
+    std::uint32_t coarse_interval;
+};
+
+} // namespace snpu
+
+#endif // SNPU_CORE_SCHEDULER_HH

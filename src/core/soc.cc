@@ -1,0 +1,151 @@
+#include "core/soc.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+Soc::Soc(SocParams params)
+    : cfg(params), stat_group("soc")
+{
+    // Memory system with Table II timing.
+    MemSystemParams mem_params;
+    mem_params.dram.bytes_per_cycle = cfg.dramBytesPerCycle();
+    mem_params.l2.size_bytes =
+        static_cast<std::uint64_t>(cfg.l2_mib) << 20;
+    mem_params.l2.banks = cfg.l2_banks;
+    mem_params.crypto.enabled = cfg.memory_encryption;
+    mem_system = std::make_unique<MemSystem>(stat_group, AddressMap{},
+                                             mem_params);
+
+    // Page tables live in a dedicated arena at the bottom of the
+    // normal NPU region (the driver's job on real systems).
+    const AddrRange &normal_arena =
+        mem_system->map().npuArena(World::normal);
+    if (cfg.access_control == AccessControlKind::iommu) {
+        page_table = std::make_unique<PageTable>(
+            *mem_system, AddrRange{normal_arena.base, 16u << 20});
+    }
+
+    // One access controller per tile.
+    controls.reserve(cfg.tiles);
+    for (std::uint32_t i = 0; i < cfg.tiles; ++i) {
+        switch (cfg.access_control) {
+          case AccessControlKind::pass_through:
+            controls.push_back(std::make_unique<PassThroughControl>());
+            break;
+          case AccessControlKind::iommu: {
+            IommuParams ip;
+            ip.iotlb_entries = cfg.iotlb_entries;
+            ip.walk_cache = cfg.iommu_walk_cache;
+            auto iommu = std::make_unique<Iommu>(stat_group,
+                                                 *page_table, ip);
+            iommus.push_back(iommu.get());
+            controls.push_back(std::move(iommu));
+            break;
+          }
+          case AccessControlKind::guarder: {
+            auto guarder = std::make_unique<NpuGuarder>(stat_group);
+            guarders.push_back(guarder.get());
+            controls.push_back(std::move(guarder));
+            break;
+          }
+        }
+    }
+
+    // The NPU device.
+    NpuDeviceParams dp;
+    dp.tiles = cfg.tiles;
+    dp.mesh.cols = 5;
+    dp.mesh.rows = (cfg.tiles + 4) / 5;
+    if (dp.mesh.cols * dp.mesh.rows != cfg.tiles) {
+        dp.mesh.cols = cfg.tiles;
+        dp.mesh.rows = 1;
+    }
+    dp.core.systolic.dim = cfg.systolic_dim;
+    dp.core.spad_rows = cfg.spadRows();
+    dp.core.isolation = cfg.spad_isolation;
+    dp.core.timing_only = cfg.timing_only;
+    dp.core.dma.channels = cfg.dma_channels;
+    dp.noc_mode = cfg.noc_mode;
+
+    std::vector<AccessControl *> raw_controls;
+    for (auto &ctrl : controls)
+        raw_controls.push_back(ctrl.get());
+    device = std::make_unique<NpuDevice>(stat_group, *mem_system,
+                                         raw_controls, dp);
+
+    // Apply partition boundaries when configured. The accumulator
+    // is split at the same fraction: a statically partitioned NPU
+    // partitions every on-chip SRAM.
+    if (cfg.spad_isolation == IsolationMode::partition) {
+        const auto boundary = static_cast<std::uint32_t>(
+            cfg.partition_secure_frac * cfg.spadRows());
+        for (std::uint32_t i = 0; i < cfg.tiles; ++i) {
+            NpuCore &core = device->core(i);
+            core.scratchpad().setMode(IsolationMode::partition,
+                                      boundary);
+            const auto acc_boundary = static_cast<std::uint32_t>(
+                cfg.partition_secure_frac *
+                core.coreParams().acc_rows);
+            core.accumulator().setMode(IsolationMode::partition,
+                                       acc_boundary);
+        }
+    }
+
+    // The Monitor only exists on the sNPU system.
+    if (cfg.system == SystemKind::snpu) {
+        if (guarders.empty())
+            fatal("sNPU system requires guarder access control");
+        AesKey sealed_key{};
+        for (std::size_t i = 0; i < sealed_key.size(); ++i)
+            sealed_key[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+        npu_monitor = std::make_unique<NpuMonitor>(
+            stat_group, *mem_system, *device, guarders, sealed_key);
+    }
+}
+
+PageTable &
+Soc::pageTable()
+{
+    if (!page_table)
+        panic("this system has no page table");
+    return *page_table;
+}
+
+Iommu &
+Soc::iommu(std::uint32_t core)
+{
+    if (core >= iommus.size())
+        panic("no IOMMU for core ", core);
+    return *iommus[core];
+}
+
+NpuGuarder &
+Soc::guarder(std::uint32_t core)
+{
+    if (core >= guarders.size())
+        panic("no guarder for core ", core);
+    return *guarders[core];
+}
+
+NpuMonitor &
+Soc::monitor()
+{
+    if (!npu_monitor)
+        panic("this system has no NPU monitor");
+    return *npu_monitor;
+}
+
+bool
+Soc::driverSetCoreWorld(std::uint32_t core, World w,
+                        const SecureContext &ctx)
+{
+    if (cfg.system == SystemKind::normal_npu) {
+        // No enforcement: the unprotected NPU trusts the driver.
+        return device->setCoreWorld(core, w, true);
+    }
+    return device->setCoreWorld(core, w, ctx.canConfigureSecure());
+}
+
+} // namespace snpu

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The assembled SoC: memory system, per-tile access controllers,
+ * NPU device, and (for sNPU) the NPU Monitor. This is the top-level
+ * object examples and benches construct; everything below it is
+ * reachable through accessors for tests.
+ */
+
+#ifndef SNPU_CORE_SOC_HH
+#define SNPU_CORE_SOC_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/soc_config.hh"
+#include "dma/access_control.hh"
+#include "guarder/guarder.hh"
+#include "iommu/iommu.hh"
+#include "iommu/page_table.hh"
+#include "mem/mem_system.hh"
+#include "npu/npu_device.hh"
+#include "sim/stats.hh"
+#include "tee/monitor/npu_monitor.hh"
+
+namespace snpu
+{
+
+/** The system-on-chip. */
+class Soc
+{
+  public:
+    explicit Soc(SocParams params = makeSystem(SystemKind::snpu));
+
+    const SocParams &params() const { return cfg; }
+    stats::Group &stats() { return stat_group; }
+
+    MemSystem &mem() { return *mem_system; }
+    NpuDevice &npu() { return *device; }
+
+    /** Page table shared by the IOMMU tiles (TrustZone system). */
+    PageTable &pageTable();
+    /** IOMMU of tile @p core (TrustZone system only). */
+    Iommu &iommu(std::uint32_t core);
+    /** Guarder of tile @p core (sNPU system only). */
+    NpuGuarder &guarder(std::uint32_t core);
+    /** The NPU Monitor (sNPU system only). */
+    NpuMonitor &monitor();
+
+    bool hasMonitor() const { return npu_monitor != nullptr; }
+    bool hasIommu() const { return !iommus.empty(); }
+    bool hasGuarder() const { return !guarders.empty(); }
+
+    /**
+     * Driver-visible world control. On the Normal NPU there is no
+     * enforcement: the (untrusted) driver can flip core worlds at
+     * will — this models the missing check the attacks exploit. On
+     * TrustZone/sNPU systems the request needs secure privilege.
+     */
+    bool driverSetCoreWorld(std::uint32_t core, World w,
+                            const SecureContext &ctx);
+
+  private:
+    SocParams cfg;
+    stats::Group stat_group;
+    std::unique_ptr<MemSystem> mem_system;
+    std::unique_ptr<PageTable> page_table;
+    std::vector<std::unique_ptr<AccessControl>> controls;
+    std::vector<Iommu *> iommus;       // aliases into controls
+    std::vector<NpuGuarder *> guarders; // aliases into controls
+    std::unique_ptr<NpuDevice> device;
+    std::unique_ptr<NpuMonitor> npu_monitor;
+};
+
+} // namespace snpu
+
+#endif // SNPU_CORE_SOC_HH

@@ -1,0 +1,71 @@
+#include "core/soc_config.hh"
+
+#include <sstream>
+
+namespace snpu
+{
+
+const char *
+systemKindName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::normal_npu:
+        return "normal-npu";
+      case SystemKind::trustzone_npu:
+        return "trustzone-npu";
+      case SystemKind::snpu:
+        return "snpu";
+    }
+    return "?";
+}
+
+SocParams
+makeSystem(SystemKind kind)
+{
+    SocParams params;
+    params.system = kind;
+    switch (kind) {
+      case SystemKind::normal_npu:
+        params.access_control = AccessControlKind::pass_through;
+        params.spad_isolation = IsolationMode::none;
+        params.noc_mode = NocMode::unauthorized;
+        break;
+      case SystemKind::trustzone_npu:
+        params.access_control = AccessControlKind::iommu;
+        params.iotlb_entries = 32;
+        // The industry design temporally shares via flushing or
+        // statically partitions; experiments pick one explicitly.
+        params.spad_isolation = IsolationMode::partition;
+        params.noc_mode = NocMode::software;
+        break;
+      case SystemKind::snpu:
+        params.access_control = AccessControlKind::guarder;
+        params.spad_isolation = IsolationMode::id_based;
+        params.noc_mode = NocMode::peephole;
+        break;
+    }
+    return params;
+}
+
+std::string
+SocParams::describe() const
+{
+    std::ostringstream os;
+    os << systemKindName(system) << ": tiles=" << tiles
+       << " dim=" << systolic_dim << " spad=" << spad_kib_per_tile
+       << "KiB l2=" << l2_mib << "MiB dram=" << dram_gbps << "GB/s";
+    switch (access_control) {
+      case AccessControlKind::pass_through:
+        os << " ac=none";
+        break;
+      case AccessControlKind::iommu:
+        os << " ac=iommu(" << iotlb_entries << ")";
+        break;
+      case AccessControlKind::guarder:
+        os << " ac=guarder";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace snpu

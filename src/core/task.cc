@@ -1,0 +1,7 @@
+#include "core/task.hh"
+
+// NpuTask is header-only; this unit anchors the module in the build.
+
+namespace snpu
+{
+} // namespace snpu

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * An ML task as the driver/scheduler sees it: a model, a security
+ * world, and the compiled program once lowered for a particular
+ * scratchpad budget.
+ */
+
+#ifndef SNPU_CORE_TASK_HH
+#define SNPU_CORE_TASK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "npu/isa.hh"
+#include "sim/types.hh"
+#include "workload/layer.hh"
+#include "workload/model_zoo.hh"
+
+namespace snpu
+{
+
+/** One inference task. */
+struct NpuTask
+{
+    std::string name;
+    ModelSpec model;
+    World world = World::normal;
+    /** Relative priority for the scheduler (higher runs first). */
+    int priority = 0;
+
+    static NpuTask
+    fromModel(ModelId id, World world = World::normal, int priority = 0)
+    {
+        NpuTask task;
+        task.name = modelName(id);
+        task.model = makeModel(id);
+        task.world = world;
+        task.priority = priority;
+        return task;
+    }
+};
+
+} // namespace snpu
+
+#endif // SNPU_CORE_TASK_HH

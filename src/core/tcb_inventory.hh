@@ -1,0 +1,44 @@
+/**
+ * @file
+ * TCB size analysis (§VI-F): counts the lines of code of the trusted
+ * components in this repository (the NPU Monitor modules and the
+ * crypto it depends on) and contrasts them with the untrusted NPU
+ * software stack the monitor design keeps out of the TCB.
+ */
+
+#ifndef SNPU_CORE_TCB_INVENTORY_HH
+#define SNPU_CORE_TCB_INVENTORY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snpu
+{
+
+/** One inventory line. */
+struct TcbComponent
+{
+    std::string name;
+    std::uint64_t loc = 0;
+    bool trusted = false;
+    /** True when counted from files on disk, false when it is a
+     *  published reference figure for an external stack. */
+    bool measured = false;
+};
+
+/**
+ * Count non-empty lines of the repository's trusted sources rooted
+ * at @p src_root (e.g. "src"), and append the paper's reference
+ * figures for the untrusted stack (TensorFlow, ONNX Runtime, the
+ * NVDLA driver). When @p src_root does not exist the measured rows
+ * are omitted.
+ */
+std::vector<TcbComponent> tcbInventory(const std::string &src_root);
+
+/** Sum of trusted, measured LoC in @p inventory. */
+std::uint64_t trustedLoc(const std::vector<TcbComponent> &inventory);
+
+} // namespace snpu
+
+#endif // SNPU_CORE_TCB_INVENTORY_HH

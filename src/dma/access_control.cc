@@ -1,0 +1,8 @@
+#include "dma/access_control.hh"
+
+// AccessControl is an interface; PassThroughControl is fully inline.
+// This translation unit anchors the vtable.
+
+namespace snpu
+{
+} // namespace snpu

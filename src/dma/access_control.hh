@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The access-control seam on the NPU's DMA path. Exactly one
+ * implementation is attached to each DMA engine:
+ *
+ *  - PassThroughControl : no protection (the "Normal NPU" baseline),
+ *  - Iommu              : per-packet IOTLB + page walker (the
+ *                         "TrustZone NPU" baseline),
+ *  - NpuGuarder         : per-request tile translation/checking
+ *                         registers (the sNPU design).
+ */
+
+#ifndef SNPU_DMA_ACCESS_CONTROL_HH
+#define SNPU_DMA_ACCESS_CONTROL_HH
+
+#include <cstdint>
+
+#include "mem/mem_types.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Granularity at which an access controller performs checks. */
+enum class CheckGranularity : std::uint8_t
+{
+    /** Once per DMA request (NPU Guarder). */
+    request,
+    /** Once per 64-byte memory packet (IOMMU). */
+    packet,
+};
+
+/** Result of a translation / permission check. */
+struct Translation
+{
+    /** False when the access is denied. */
+    bool ok = false;
+    /** Translated physical address (valid when ok). */
+    Addr paddr = 0;
+    /** Tick at which the translation result is available. */
+    Tick ready = 0;
+};
+
+/** A virtually-addressed DMA transfer as issued by the NPU. */
+struct DmaRequest
+{
+    Addr vaddr = 0;
+    std::uint32_t bytes = 0;
+    MemOp op = MemOp::read;
+    /** ID state of the issuing NPU core. */
+    World world = World::normal;
+};
+
+/**
+ * Abstract translation + permission check on the DMA path.
+ *
+ * translate() is invoked once per request when granularity() is
+ * CheckGranularity::request, or once per packet otherwise; the engine
+ * passes packet-sized sub-requests in the latter case.
+ */
+class AccessControl
+{
+  public:
+    virtual ~AccessControl() = default;
+
+    virtual CheckGranularity granularity() const = 0;
+
+    /** Translate and check [vaddr, vaddr+bytes) at time @p when. */
+    virtual Translation translate(Tick when, Addr vaddr,
+                                  std::uint32_t bytes, MemOp op,
+                                  World world) = 0;
+
+    /** Total translation/check operations performed (Fig 13b). */
+    virtual std::uint64_t checkCount() const = 0;
+
+    /** Accesses denied by this controller. */
+    virtual std::uint64_t denyCount() const = 0;
+};
+
+/**
+ * Identity translation with no checks: the unprotected baseline.
+ * Still counts lookups so the three systems report comparable stats.
+ */
+class PassThroughControl : public AccessControl
+{
+  public:
+    CheckGranularity granularity() const override
+    {
+        return CheckGranularity::request;
+    }
+
+    Translation
+    translate(Tick when, Addr vaddr, std::uint32_t, MemOp,
+              World) override
+    {
+        ++checks;
+        return Translation{true, vaddr, when};
+    }
+
+    std::uint64_t checkCount() const override { return checks; }
+    std::uint64_t denyCount() const override { return 0; }
+
+  private:
+    std::uint64_t checks = 0;
+};
+
+} // namespace snpu
+
+#endif // SNPU_DMA_ACCESS_CONTROL_HH

@@ -1,0 +1,246 @@
+#include "dma/dma_engine.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+DmaEngine::DmaEngine(stats::Group &stats, MemSystem &mem,
+                     AccessControl &ctrl, DmaParams params)
+    : mem(mem), control(&ctrl), params(params),
+      requests(stats, "dma_requests", "DMA requests issued"),
+      packets_issued(stats, "dma_packets", "memory packets issued"),
+      bytes_moved(stats, "dma_bytes", "bytes transferred by DMA"),
+      denied_requests(stats, "dma_denied",
+                      "DMA requests denied by access control"),
+      stall_cycles(stats, "dma_stall",
+                   "per-request translation stall cycles")
+{
+    if (params.packet_bytes == 0)
+        fatal("DMA packet size must be positive");
+}
+
+DmaResult
+DmaEngine::transfer(Tick when, const DmaRequest &req,
+                    std::vector<std::uint8_t> *buffer)
+{
+    ++requests;
+    if (req.bytes == 0)
+        return DmaResult{when, true, 0};
+
+    if (buffer && req.op == MemOp::read)
+        buffer->assign(req.bytes, 0);
+    if (buffer && req.op == MemOp::write && buffer->size() < req.bytes)
+        panic("DMA write buffer smaller than request");
+
+    const bool per_request =
+        control->granularity() == CheckGranularity::request;
+
+    // Request-level translation happens once, up front.
+    Translation req_xl{true, req.vaddr, when};
+    if (per_request) {
+        req_xl = control->translate(when, req.vaddr, req.bytes, req.op,
+                                    req.world);
+        if (!req_xl.ok) {
+            ++denied_requests;
+            return DmaResult{when, false, 0};
+        }
+    }
+
+    DmaResult result;
+    Tick issue = per_request ? req_xl.ready : when;
+    Tick total_stall = 0;
+    std::uint32_t offset = 0;
+
+    while (offset < req.bytes) {
+        std::uint32_t chunk =
+            std::min(params.packet_bytes, req.bytes - offset);
+        if (!per_request) {
+            // Per-packet translation: a packet must not straddle a
+            // page, so clamp it at the page boundary (hardware DMA
+            // engines split bursts the same way).
+            const Addr va = req.vaddr + offset;
+            const Addr to_page_end =
+                page_bytes - (va & (page_bytes - 1));
+            chunk = static_cast<std::uint32_t>(
+                std::min<Addr>(chunk, to_page_end));
+        }
+        Addr packet_pa;
+
+        if (per_request) {
+            packet_pa = req_xl.paddr + offset;
+        } else {
+            // Packet-level translation (IOMMU): the packet cannot be
+            // issued before its translation is available.
+            Translation xl = control->translate(
+                issue, req.vaddr + offset, chunk, req.op, req.world);
+            if (!xl.ok) {
+                ++denied_requests;
+                result.ok = false;
+                result.done = issue;
+                return result;
+            }
+            total_stall += xl.ready - issue;
+            issue = xl.ready;
+            packet_pa = xl.paddr;
+        }
+
+        MemRequest mreq{packet_pa, chunk, req.op, req.world};
+        MemResult mres = params.through_l2 ? mem.access(issue, mreq)
+                                           : mem.accessUncached(issue, mreq);
+        if (!mres.ok) {
+            ++denied_requests;
+            result.ok = false;
+            result.done = issue;
+            return result;
+        }
+
+        // Functional data movement.
+        if (buffer) {
+            if (req.op == MemOp::read)
+                mem.data().read(packet_pa, buffer->data() + offset, chunk);
+            else
+                mem.data().write(packet_pa, buffer->data() + offset, chunk);
+        }
+
+        ++packets_issued;
+        ++result.packets;
+        bytes_moved += chunk;
+        result.done = std::max(result.done, mres.done);
+        issue += params.issue_interval;
+        offset += chunk;
+    }
+
+    stall_cycles.sample(static_cast<double>(total_stall));
+    result.done = std::max(result.done, issue);
+    return result;
+}
+
+DmaResult
+DmaEngine::transferBatch(
+    Tick when, const std::vector<DmaRequest> &reqs,
+    const std::vector<std::vector<std::uint8_t> *> &buffers)
+{
+    if (reqs.size() != buffers.size())
+        panic("transferBatch: request/buffer count mismatch");
+
+    DmaResult result;
+    result.done = when;
+
+    // Per-stream state.
+    struct Stream
+    {
+        const DmaRequest *req;
+        std::vector<std::uint8_t> *buffer;
+        Translation req_xl;          // request-level translation
+        std::uint32_t offset = 0;
+    };
+    std::vector<Stream> streams;
+    streams.reserve(reqs.size());
+
+    const bool per_request =
+        control->granularity() == CheckGranularity::request;
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const DmaRequest &req = reqs[i];
+        ++requests;
+        if (req.bytes == 0)
+            continue;
+        if (buffers[i] && req.op == MemOp::read)
+            buffers[i]->assign(req.bytes, 0);
+        if (buffers[i] && req.op == MemOp::write &&
+            buffers[i]->size() < req.bytes) {
+            panic("DMA write buffer smaller than request");
+        }
+        Stream s;
+        s.req = &req;
+        s.buffer = buffers[i];
+        s.req_xl = Translation{true, req.vaddr, when};
+        if (per_request) {
+            s.req_xl = control->translate(when, req.vaddr, req.bytes,
+                                          req.op, req.world);
+            if (!s.req_xl.ok) {
+                ++denied_requests;
+                result.ok = false;
+                return result;
+            }
+        }
+        streams.push_back(s);
+    }
+
+    // Round-robin packet issue across the streams. Translation
+    // requests enter the controller one per cycle (t_req); packets
+    // issue to memory when their translation is available and the
+    // issue pipeline has a slot.
+    Tick t_req = when;
+    Tick issue = when;
+    std::size_t live = streams.size();
+    std::size_t rr = 0;
+    while (live > 0) {
+        Stream &s = streams[rr % streams.size()];
+        ++rr;
+        if (!s.req || s.offset >= s.req->bytes)
+            continue;
+
+        std::uint32_t chunk =
+            std::min(params.packet_bytes, s.req->bytes - s.offset);
+        Addr packet_pa;
+        if (per_request) {
+            packet_pa = s.req_xl.paddr + s.offset;
+            if (s.offset == 0)
+                issue = std::max(issue, s.req_xl.ready);
+        } else {
+            const Addr va = s.req->vaddr + s.offset;
+            const Addr to_page_end =
+                page_bytes - (va & (page_bytes - 1));
+            chunk = static_cast<std::uint32_t>(
+                std::min<Addr>(chunk, to_page_end));
+            Translation xl = control->translate(
+                t_req, va, chunk, s.req->op, s.req->world);
+            t_req += 1;
+            if (!xl.ok) {
+                ++denied_requests;
+                result.ok = false;
+                result.done = t_req;
+                return result;
+            }
+            issue = std::max(issue, xl.ready);
+            packet_pa = xl.paddr;
+        }
+
+        MemRequest mreq{packet_pa, chunk, s.req->op, s.req->world};
+        MemResult mres = params.through_l2
+                             ? mem.access(issue, mreq)
+                             : mem.accessUncached(issue, mreq);
+        if (!mres.ok) {
+            ++denied_requests;
+            result.ok = false;
+            result.done = issue;
+            return result;
+        }
+        if (s.buffer) {
+            if (s.req->op == MemOp::read) {
+                mem.data().read(packet_pa,
+                                s.buffer->data() + s.offset, chunk);
+            } else {
+                mem.data().write(packet_pa,
+                                 s.buffer->data() + s.offset, chunk);
+            }
+        }
+        ++packets_issued;
+        ++result.packets;
+        bytes_moved += chunk;
+        result.done = std::max(result.done, mres.done);
+        issue += params.issue_interval;
+        s.offset += chunk;
+        if (s.offset >= s.req->bytes)
+            --live;
+    }
+
+    result.done = std::max(result.done, issue);
+    return result;
+}
+
+} // namespace snpu

@@ -1,0 +1,133 @@
+#include "guarder/guarder.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+NpuGuarder::NpuGuarder(stats::Group &stats, GuarderParams params)
+    : params(params),
+      checking(params.checking_registers),
+      translation(params.translation_registers),
+      checks(stats, "guarder_checks",
+             "translation+check operations (one per DMA request)"),
+      denials(stats, "guarder_denials", "DMA requests denied"),
+      config_violations(stats, "guarder_config_violations",
+                        "register writes rejected (non-secure caller)")
+{
+    if (params.checking_registers == 0 ||
+        params.translation_registers == 0) {
+        fatal("guarder needs at least one register of each kind");
+    }
+}
+
+const TranslationRegister *
+NpuGuarder::findTranslation(Addr vaddr, std::uint32_t bytes) const
+{
+    for (const auto &tr : translation) {
+        if (!tr.valid)
+            continue;
+        if (vaddr >= tr.va_base && vaddr - tr.va_base + bytes <= tr.size)
+            return &tr;
+    }
+    return nullptr;
+}
+
+const CheckingRegister *
+NpuGuarder::findWindow(Addr paddr, std::uint32_t bytes, MemOp op,
+                       World world) const
+{
+    for (const auto &cr : checking) {
+        if (!cr.valid || !cr.range.contains(paddr, bytes))
+            continue;
+        if (op == MemOp::read && !cr.perm.read)
+            continue;
+        if (op == MemOp::write && !cr.perm.write)
+            continue;
+        // A secure window is usable only by the secure context.
+        if (cr.world == World::secure && world != World::secure)
+            continue;
+        return &cr;
+    }
+    return nullptr;
+}
+
+Translation
+NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
+                      MemOp op, World world)
+{
+    ++checks;
+    const Tick ready = when + params.check_latency;
+
+    const TranslationRegister *tr = findTranslation(vaddr, bytes);
+    if (!tr) {
+        ++denials;
+        return Translation{false, 0, ready};
+    }
+    const Addr paddr = tr->pa_base + (vaddr - tr->va_base);
+
+    if (!findWindow(paddr, bytes, op, world)) {
+        ++denials;
+        return Translation{false, 0, ready};
+    }
+    return Translation{true, paddr, ready};
+}
+
+bool
+NpuGuarder::setCheckingRegister(std::uint32_t slot, AddrRange range,
+                                GuardPerm perm, World world,
+                                bool from_secure)
+{
+    if (!from_secure) {
+        ++config_violations;
+        return false;
+    }
+    if (slot >= checking.size())
+        return false;
+    checking[slot] = CheckingRegister{true, range, perm, world};
+    return true;
+}
+
+bool
+NpuGuarder::setTranslationRegister(std::uint32_t slot, Addr va_base,
+                                   Addr pa_base, Addr size,
+                                   bool from_secure)
+{
+    if (!from_secure) {
+        ++config_violations;
+        return false;
+    }
+    if (slot >= translation.size() || size == 0)
+        return false;
+    translation[slot] = TranslationRegister{true, va_base, pa_base, size};
+    return true;
+}
+
+bool
+NpuGuarder::clearTranslationRegister(std::uint32_t slot, bool from_secure)
+{
+    if (!from_secure) {
+        ++config_violations;
+        return false;
+    }
+    if (slot >= translation.size())
+        return false;
+    translation[slot].valid = false;
+    return true;
+}
+
+bool
+NpuGuarder::clearAll(bool from_secure)
+{
+    if (!from_secure) {
+        ++config_violations;
+        return false;
+    }
+    for (auto &cr : checking)
+        cr.valid = false;
+    for (auto &tr : translation)
+        tr.valid = false;
+    return true;
+}
+
+} // namespace snpu

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * NPU Guarder (§IV-A): the sNPU access controller. It replaces the
+ * IOMMU on the NPU's DMA path with two small register files inside
+ * the NPU core, positioned before the DMA engine:
+ *
+ *  - checking registers: coarse-grained {range, permissions, world}
+ *    entries describing which physical regions this NPU context may
+ *    touch (the secure memory area is pre-allocated, so these are
+ *    rarely reprogrammed);
+ *  - translation registers: fine-grained, tile-level VA→PA *range*
+ *    mappings updated by the driver/monitor before a calculation.
+ *
+ * A DMA request is translated and checked exactly once (request
+ * level), so checking cost does not scale with the packet count —
+ * this is the paper's energy and performance argument (Fig 13).
+ *
+ * Security rule: the register files are programmable only through
+ * the secure-configuration interface (a dedicated instruction that
+ * traps unless the issuing context is secure). Untrusted software
+ * programs them *via* the NPU Monitor, which validates the windows.
+ */
+
+#ifndef SNPU_GUARDER_GUARDER_HH
+#define SNPU_GUARDER_GUARDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dma/access_control.hh"
+#include "mem/address_map.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+
+/** Permissions carried by a checking register. */
+struct GuardPerm
+{
+    bool read = false;
+    bool write = false;
+
+    static GuardPerm ro() { return {true, false}; }
+    static GuardPerm rw() { return {true, true}; }
+};
+
+/** One checking register: a physical window plus its authority. */
+struct CheckingRegister
+{
+    bool valid = false;
+    AddrRange range;
+    GuardPerm perm;
+    /** Minimum world required to use this window. */
+    World world = World::normal;
+};
+
+/** One translation register: a tile-level VA→PA range mapping. */
+struct TranslationRegister
+{
+    bool valid = false;
+    Addr va_base = 0;
+    Addr pa_base = 0;
+    Addr size = 0;
+};
+
+/** Guarder geometry. */
+struct GuarderParams
+{
+    std::uint32_t checking_registers = 8;
+    std::uint32_t translation_registers = 16;
+    /** Register-file compare latency (parallel comparators). */
+    Tick check_latency = 0;
+};
+
+/**
+ * The NPU Guarder. Implements AccessControl at request granularity.
+ */
+class NpuGuarder : public AccessControl
+{
+  public:
+    NpuGuarder(stats::Group &stats, GuarderParams params = {});
+
+    CheckGranularity granularity() const override
+    {
+        return CheckGranularity::request;
+    }
+
+    Translation translate(Tick when, Addr vaddr, std::uint32_t bytes,
+                          MemOp op, World world) override;
+
+    std::uint64_t checkCount() const override
+    {
+        return static_cast<std::uint64_t>(checks.value());
+    }
+    std::uint64_t denyCount() const override
+    {
+        return static_cast<std::uint64_t>(denials.value());
+    }
+
+    /**
+     * Program a checking register. Only the secure configuration
+     * path may call this; @p from_secure models that restriction.
+     * @return false when rejected (insecure caller or bad slot).
+     */
+    bool setCheckingRegister(std::uint32_t slot, AddrRange range,
+                             GuardPerm perm, World world,
+                             bool from_secure);
+
+    /** Program a translation register (same restriction). */
+    bool setTranslationRegister(std::uint32_t slot, Addr va_base,
+                                Addr pa_base, Addr size,
+                                bool from_secure);
+
+    /** Clear one translation register. */
+    bool clearTranslationRegister(std::uint32_t slot, bool from_secure);
+
+    /** Clear everything (context teardown). */
+    bool clearAll(bool from_secure);
+
+    std::uint32_t checkingCapacity() const
+    {
+        return static_cast<std::uint32_t>(checking.size());
+    }
+    std::uint32_t translationCapacity() const
+    {
+        return static_cast<std::uint32_t>(translation.size());
+    }
+
+    /** Rejected programming attempts from the non-secure side. */
+    std::uint64_t configViolations() const
+    {
+        return static_cast<std::uint64_t>(config_violations.value());
+    }
+
+  private:
+    const TranslationRegister *findTranslation(Addr vaddr,
+                                               std::uint32_t bytes) const;
+    const CheckingRegister *findWindow(Addr paddr, std::uint32_t bytes,
+                                       MemOp op, World world) const;
+
+    GuarderParams params;
+    std::vector<CheckingRegister> checking;
+    std::vector<TranslationRegister> translation;
+
+    stats::Scalar checks;
+    stats::Scalar denials;
+    stats::Scalar config_violations;
+};
+
+} // namespace snpu
+
+#endif // SNPU_GUARDER_GUARDER_HH

@@ -1,0 +1,84 @@
+#include "iommu/iommu.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+Iommu::Iommu(stats::Group &stats, PageTable &table, IommuParams params)
+    : table(table), params(params), iotlb(params.iotlb_entries),
+      lookups(stats, "iommu_lookups", "IOTLB lookups (one per packet)"),
+      walk_count(stats, "iommu_walks", "page-table walks"),
+      denials(stats, "iommu_denials", "accesses denied (perm or S/NS)"),
+      walk_latency(stats, "iommu_walk_latency", "cycles per page walk")
+{
+}
+
+Translation
+Iommu::translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
+                 World world)
+{
+    ++lookups;
+    const Addr vpn = vaddr / page_bytes;
+    const Addr offset = vaddr % page_bytes;
+
+    if (offset + bytes > page_bytes) {
+        // The DMA engine splits requests into 64-byte packets that
+        // never straddle a page in our layouts; treat it as a bug.
+        panic("IOMMU packet crosses a page boundary");
+    }
+
+    bool writable;
+    bool secure;
+    Addr ppn;
+    Tick ready;
+
+    if (const IotlbEntry *e = iotlb.lookup(vpn)) {
+        writable = e->writable;
+        secure = e->secure;
+        ppn = e->ppn;
+        ready = when + params.hit_latency;
+    } else {
+        Pte pte;
+        ++walk_count;
+        // The walker is pipelined but can only accept a new walk
+        // every walker_occupancy cycles; a stream of misses is
+        // throughput-limited here (the IOTLB "ping-pong" cost).
+        const Tick walk_start = std::max(when, walker_free);
+        walker_free = walk_start + params.walker_occupancy;
+        const Tick walk_done =
+            params.walk_cache
+                ? table.walkCached(walk_start, vpn * page_bytes, pte)
+                : table.walk(walk_start, vpn * page_bytes, pte);
+        walk_latency.sample(static_cast<double>(walk_done - when));
+        if (!pte.valid) {
+            ++denials;
+            return Translation{false, 0, walk_done};
+        }
+        writable = pte.writable;
+        secure = pte.secure;
+        ppn = pte.paddr / page_bytes;
+        iotlb.insert(vpn, ppn, writable, secure);
+        ready = walk_done + params.fill_latency;
+    }
+
+    // Permission and TrustZone S/NS checks.
+    if (op == MemOp::write && !writable) {
+        ++denials;
+        return Translation{false, 0, ready};
+    }
+    if (secure && world != World::secure) {
+        ++denials;
+        return Translation{false, 0, ready};
+    }
+
+    return Translation{true, ppn * page_bytes + offset, ready};
+}
+
+void
+Iommu::flushTlb()
+{
+    iotlb.flushAll();
+}
+
+} // namespace snpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The IOMMU baseline: the access controller used by the "TrustZone
+ * NPU" comparative system. Every 64-byte memory packet looks up the
+ * IOTLB; a miss triggers a 3-level page walk through the timed memory
+ * system. The TrustZone extension is the S bit carried in the PTE:
+ * a normal-world request that resolves to a secure page is denied.
+ */
+
+#ifndef SNPU_IOMMU_IOMMU_HH
+#define SNPU_IOMMU_IOMMU_HH
+
+#include <cstdint>
+
+#include "dma/access_control.hh"
+#include "iommu/iotlb.hh"
+#include "iommu/page_table.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+
+/** IOMMU timing parameters. */
+struct IommuParams
+{
+    std::uint32_t iotlb_entries = 32;
+    /** IOTLB lookup latency on a hit (pipelined CAM). */
+    Tick hit_latency = 1;
+    /** Extra fill latency after a completed walk. */
+    Tick fill_latency = 2;
+    /**
+     * Walker issue occupancy: a new walk can start at most every
+     * this many cycles (the walker pipelines, but its L2 port
+     * bounds throughput). This is what throttles a thrashing IOTLB.
+     */
+    Tick walker_occupancy = 6;
+    /**
+     * Model a warm page-walk cache: non-leaf levels hit inside the
+     * walker and only the leaf entry is a timed memory read.
+     */
+    bool walk_cache = false;
+};
+
+/** Per-packet IOMMU with a TrustZone S/NS extension. */
+class Iommu : public AccessControl
+{
+  public:
+    Iommu(stats::Group &stats, PageTable &table, IommuParams params = {});
+
+    CheckGranularity granularity() const override
+    {
+        return CheckGranularity::packet;
+    }
+
+    Translation translate(Tick when, Addr vaddr, std::uint32_t bytes,
+                          MemOp op, World world) override;
+
+    std::uint64_t checkCount() const override
+    {
+        return static_cast<std::uint64_t>(lookups.value());
+    }
+    std::uint64_t denyCount() const override
+    {
+        return static_cast<std::uint64_t>(denials.value());
+    }
+
+    /** Invalidate the IOTLB (world switch / driver remap). */
+    void flushTlb();
+
+    Iotlb &tlb() { return iotlb; }
+    std::uint64_t walks() const
+    {
+        return static_cast<std::uint64_t>(walk_count.value());
+    }
+
+  private:
+    PageTable &table;
+    IommuParams params;
+    Iotlb iotlb;
+    /** Next tick the (pipelined) walker can accept a new walk. */
+    Tick walker_free = 0;
+
+    stats::Scalar lookups;
+    stats::Scalar walk_count;
+    stats::Scalar denials;
+    stats::Average walk_latency;
+};
+
+} // namespace snpu
+
+#endif // SNPU_IOMMU_IOMMU_HH

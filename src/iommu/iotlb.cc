@@ -1,0 +1,71 @@
+#include "iommu/iotlb.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+Iotlb::Iotlb(std::uint32_t count)
+{
+    if (count == 0)
+        fatal("IOTLB needs at least one entry");
+    entries.resize(count);
+}
+
+const IotlbEntry *
+Iotlb::lookup(Addr vpn)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            e.lru = ++clock;
+            ++hit_count;
+            return &e;
+        }
+    }
+    ++miss_count;
+    return nullptr;
+}
+
+void
+Iotlb::insert(Addr vpn, Addr ppn, bool writable, bool secure)
+{
+    IotlbEntry *victim = &entries[0];
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn) {
+            victim = &e;
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lru < victim->lru)
+            victim = &e;
+    }
+    if (victim->valid && victim->vpn != vpn)
+        ++evict_count;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->ppn = ppn;
+    victim->writable = writable;
+    victim->secure = secure;
+    victim->lru = ++clock;
+}
+
+void
+Iotlb::flushAll()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+void
+Iotlb::flushPage(Addr vpn)
+{
+    for (auto &e : entries) {
+        if (e.valid && e.vpn == vpn)
+            e.valid = false;
+    }
+}
+
+} // namespace snpu

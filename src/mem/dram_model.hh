@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bandwidth-conserving DRAM timing model.
+ *
+ * The controller serves requests in arrival order: each access pays a
+ * fixed access latency plus a transfer time of bytes / bytes_per_cycle,
+ * and the channel cannot start a new transfer before the previous one
+ * finished. With the Table II configuration (16 GB/s at 1 GHz) the
+ * channel moves 16 bytes per cycle.
+ */
+
+#ifndef SNPU_MEM_DRAM_MODEL_HH
+#define SNPU_MEM_DRAM_MODEL_HH
+
+#include <cstdint>
+
+#include "mem/mem_types.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** DRAM timing parameters. */
+struct DramParams
+{
+    /** Sustained channel bandwidth in bytes per cycle. */
+    double bytes_per_cycle = 16.0;
+    /** Fixed access latency (row activation + CAS + on-chip wires). */
+    Tick access_latency = 100;
+};
+
+/**
+ * Timing-only DRAM channel. Functional data lives in PhysMem; this
+ * class answers "when does this access complete?".
+ */
+class DramModel
+{
+  public:
+    DramModel(stats::Group &stats, DramParams params = {});
+
+    /**
+     * Serve an access that arrives at @p when.
+     * @return the tick at which the last byte transfers.
+     */
+    Tick access(Tick when, std::uint32_t bytes, MemOp op);
+
+    /** First tick at which the channel is free again. */
+    Tick nextFree() const { return next_free; }
+
+    /** Forget all queueing state (between experiments). */
+    void reset() { next_free = 0; carry_bytes = 0.0; }
+
+    std::uint64_t totalBytes() const
+    {
+        return static_cast<std::uint64_t>(bytes_moved.value());
+    }
+
+  private:
+    DramParams params;
+    Tick next_free = 0;
+    /** Fractional-cycle accumulator so bandwidth is exact. */
+    double carry_bytes = 0.0;
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Scalar bytes_moved;
+    stats::Average queue_delay;
+};
+
+} // namespace snpu
+
+#endif // SNPU_MEM_DRAM_MODEL_HH

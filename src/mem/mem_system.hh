@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The combined memory system: world-partition enforcement in front of
+ * a shared L2 backed by the DRAM model, plus the functional byte
+ * store. This is the single memory entry point every agent (DMA
+ * engines, page walkers, flush engine, software NoC) goes through.
+ */
+
+#ifndef SNPU_MEM_MEM_SYSTEM_HH
+#define SNPU_MEM_MEM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "mem/address_map.hh"
+#include "mem/dram_model.hh"
+#include "mem/l2_cache.hh"
+#include "mem/mem_crypto.hh"
+#include "mem/mem_types.hh"
+#include "mem/phys_mem.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+
+/** Construction parameters for the whole memory system. */
+struct MemSystemParams
+{
+    DramParams dram;
+    L2Params l2;
+    /** Optional DRAM encryption (the TNPU-style complement, ablation). */
+    MemCryptoParams crypto;
+    /** When false, NPU traffic bypasses L2 (pure streaming). */
+    bool npu_through_l2 = true;
+};
+
+/**
+ * Shared SoC memory system. The memory protection engine sits here:
+ * an access whose issuing world may not touch the target region is
+ * rejected before any timing or data side effect occurs.
+ */
+class MemSystem
+{
+  public:
+    MemSystem(stats::Group &stats, AddressMap map = {},
+              MemSystemParams params = {});
+
+    /** Timed access; also counts partition violations. */
+    MemResult access(Tick when, const MemRequest &req);
+
+    /**
+     * Timed access that bypasses the L2 (streaming DMA path). Still
+     * enforces the partition.
+     */
+    MemResult accessUncached(Tick when, const MemRequest &req);
+
+    /** Functional data path (no timing, no checks). */
+    PhysMem &data() { return mem; }
+    const PhysMem &data() const { return mem; }
+
+    const AddressMap &map() const { return _map; }
+    DramModel &dram() { return _dram; }
+    L2Cache &l2() { return _l2; }
+    MemCryptoEngine &cryptoEngine() { return _crypto; }
+
+    std::uint64_t partitionViolations() const
+    {
+        return static_cast<std::uint64_t>(violations.value());
+    }
+
+  private:
+    bool check(const MemRequest &req);
+    MemResult accessUncachedInternal(Tick when, const MemRequest &req);
+
+    AddressMap _map;
+    MemSystemParams params;
+    PhysMem mem;
+    DramModel _dram;
+    MemCryptoEngine _crypto;
+    L2Cache _l2;
+
+    stats::Scalar accesses;
+    stats::Scalar violations;
+};
+
+} // namespace snpu
+
+#endif // SNPU_MEM_MEM_SYSTEM_HH

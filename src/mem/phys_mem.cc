@@ -1,0 +1,93 @@
+#include "mem/phys_mem.hh"
+
+#include <cstring>
+
+namespace snpu
+{
+
+PhysMem::Page &
+PhysMem::pageFor(Addr addr)
+{
+    auto key = addr / page_size;
+    auto it = pages.find(key);
+    if (it == pages.end())
+        it = pages.emplace(key, Page{}).first;
+    return it->second;
+}
+
+const PhysMem::Page *
+PhysMem::pageIfPresent(Addr addr) const
+{
+    auto it = pages.find(addr / page_size);
+    return it == pages.end() ? nullptr : &it->second;
+}
+
+void
+PhysMem::write(Addr addr, const void *src, std::size_t n)
+{
+    const auto *p = static_cast<const std::uint8_t *>(src);
+    while (n > 0) {
+        auto off = addr % page_size;
+        auto chunk = std::min(n, page_size - off);
+        std::memcpy(pageFor(addr).data() + off, p, chunk);
+        addr += chunk;
+        p += chunk;
+        n -= chunk;
+    }
+}
+
+void
+PhysMem::read(Addr addr, void *dst, std::size_t n) const
+{
+    auto *p = static_cast<std::uint8_t *>(dst);
+    while (n > 0) {
+        auto off = addr % page_size;
+        auto chunk = std::min(n, page_size - off);
+        if (const Page *page = pageIfPresent(addr)) {
+            std::memcpy(p, page->data() + off, chunk);
+        } else {
+            std::memset(p, 0, chunk);
+        }
+        addr += chunk;
+        p += chunk;
+        n -= chunk;
+    }
+}
+
+std::uint8_t
+PhysMem::read8(Addr addr) const
+{
+    std::uint8_t v = 0;
+    read(addr, &v, 1);
+    return v;
+}
+
+std::uint32_t
+PhysMem::read32(Addr addr) const
+{
+    std::uint32_t v = 0;
+    read(addr, &v, 4);
+    return v;
+}
+
+std::uint64_t
+PhysMem::read64(Addr addr) const
+{
+    std::uint64_t v = 0;
+    read(addr, &v, 8);
+    return v;
+}
+
+void
+PhysMem::fill(Addr addr, std::size_t n, std::uint8_t value)
+{
+    while (n > 0) {
+        auto off = addr % page_size;
+        auto chunk = std::min(n, page_size - off);
+        std::memset(pageFor(addr).data() + off, value, chunk);
+        addr += chunk;
+        n -= chunk;
+    }
+}
+
+} // namespace snpu

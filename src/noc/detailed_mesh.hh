@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Detailed mesh: a cycle-stepped network of Router instances wired
+ * with single-flit links. This is the validation reference for the
+ * fast analytical model in Mesh — experiments use Mesh for speed;
+ * tests compare the two on identical traffic (the standard
+ * detailed-vs-fast split in architecture simulators).
+ */
+
+#ifndef SNPU_NOC_DETAILED_MESH_HH
+#define SNPU_NOC_DETAILED_MESH_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hh"
+#include "noc/router.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** One injected packet's delivery record. */
+struct Delivery
+{
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    /** Cycle the tail flit left the destination's local port. */
+    Tick tail_arrival = 0;
+    std::uint32_t flits = 0;
+};
+
+/**
+ * Cycle-stepped mesh of detailed routers. Packets are injected into
+ * the source router's local port; the harness steps all routers and
+ * moves latched flits across links each cycle.
+ */
+class DetailedMesh
+{
+  public:
+    DetailedMesh(std::uint32_t cols, std::uint32_t rows,
+                 std::size_t queue_depth = 4);
+
+    std::uint32_t nodes() const { return cols * rows; }
+
+    /** Queue a packet of @p flits flits for injection at @p cycle. */
+    void inject(Tick cycle, std::uint32_t src, std::uint32_t dst,
+                std::uint32_t flits);
+
+    /**
+     * Run until every injected packet has been delivered (or
+     * @p max_cycles passes, which fails the run).
+     * @return delivery records in completion order.
+     */
+    std::vector<Delivery> run(Tick max_cycles = 1'000'000);
+
+  private:
+    struct PendingInjection
+    {
+        Tick cycle;
+        std::uint32_t src;
+        std::uint32_t dst;
+        std::uint32_t flits;
+    };
+
+    Router &routerAt(std::uint32_t node) { return *routers[node]; }
+    /** Neighbour of @p node through @p port; nodes() when off-mesh. */
+    std::uint32_t neighbour(std::uint32_t node, RouterPort port) const;
+    static RouterPort opposite(RouterPort port);
+
+    std::uint32_t cols;
+    std::uint32_t rows;
+    std::vector<std::unique_ptr<Router>> routers;
+    std::vector<PendingInjection> pending;
+    /** Per-source queue of flits awaiting local-port injection. */
+    std::vector<std::deque<Flit>> inject_queues;
+    /** In-flight flit counts per packet key (src<<16|dst). */
+    std::vector<Delivery> delivered;
+};
+
+} // namespace snpu
+
+#endif // SNPU_NOC_DETAILED_MESH_HH

@@ -1,0 +1,13 @@
+#include "noc/flit.hh"
+
+namespace snpu
+{
+
+std::uint32_t
+packetFlits(std::uint32_t bytes)
+{
+    // head + ceil(bytes / flit_bytes) body flits + tail
+    return 2 + (bytes + flit_bytes - 1) / flit_bytes;
+}
+
+} // namespace snpu

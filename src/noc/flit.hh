@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Flit-level packet format for the NPU's on-chip network. A packet
+ * is a head flit (route + peephole identity), body flits carrying
+ * 16-byte payload beats, and a tail flit that releases the channel.
+ */
+
+#ifndef SNPU_NOC_FLIT_HH
+#define SNPU_NOC_FLIT_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Payload bytes carried per body flit (link width). */
+constexpr std::uint32_t flit_bytes = 16;
+
+/** Flit kinds in a wormhole packet. */
+enum class FlitType : std::uint8_t
+{
+    head,
+    body,
+    tail,
+};
+
+/**
+ * One flit. Only the head flit carries routing and identity; we keep
+ * the fields on every flit for simplicity of the model.
+ */
+struct Flit
+{
+    FlitType type = FlitType::head;
+    std::uint32_t src_core = 0;
+    std::uint32_t dst_core = 0;
+    /** Peephole identity: the sender's ID state (secure bit). */
+    World identity = World::normal;
+    /** Payload beat index within the packet (body flits). */
+    std::uint32_t seq = 0;
+};
+
+/** Number of flits in a packet moving @p bytes of payload. */
+std::uint32_t packetFlits(std::uint32_t bytes);
+
+} // namespace snpu
+
+#endif // SNPU_NOC_FLIT_HH

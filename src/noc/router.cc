@@ -1,0 +1,118 @@
+#include "noc/router.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+Router::Router(std::uint32_t x, std::uint32_t y, std::uint32_t cols,
+               std::uint32_t rows, std::size_t queue_depth)
+    : _x(x), _y(y), cols(cols), rows(rows), queue_depth(queue_depth),
+      inputs(router_ports), outputs(router_ports),
+      rr(router_ports, 0), owner(router_ports)
+{
+    if (x >= cols || y >= rows)
+        fatal("router coordinate outside mesh");
+    if (queue_depth == 0)
+        fatal("router queues need at least one slot");
+}
+
+bool
+Router::canAccept(RouterPort port) const
+{
+    return inputs[static_cast<std::size_t>(port)].size() < queue_depth;
+}
+
+bool
+Router::accept(RouterPort port, const Flit &flit)
+{
+    auto &queue = inputs[static_cast<std::size_t>(port)];
+    if (queue.size() >= queue_depth)
+        return false;
+    queue.push_back(flit);
+    return true;
+}
+
+RouterPort
+Router::route(std::uint32_t dst_node) const
+{
+    const std::uint32_t dx = dst_node % cols;
+    const std::uint32_t dy = dst_node / cols;
+    if (dy >= rows)
+        panic("route: destination outside mesh");
+    // Dimension-ordered: X first, then Y.
+    if (dx > _x)
+        return RouterPort::east;
+    if (dx < _x)
+        return RouterPort::west;
+    if (dy > _y)
+        return RouterPort::south;
+    if (dy < _y)
+        return RouterPort::north;
+    return RouterPort::local;
+}
+
+void
+Router::step()
+{
+    // For each output port, pick one input whose head-of-queue flit
+    // wants this output. Wormhole: once a head flit claims an output,
+    // only its input may use it until the tail passes.
+    for (std::size_t out = 0; out < router_ports; ++out) {
+        if (outputs[out].has_value())
+            continue; // latch still full: back-pressure
+
+        if (owner[out].has_value()) {
+            // Channel held: only the owning input may proceed.
+            const std::size_t in = *owner[out];
+            auto &queue = inputs[in];
+            if (queue.empty())
+                continue;
+            const Flit flit = queue.front();
+            if (static_cast<std::size_t>(
+                    route(flit.dst_core)) != out) {
+                continue; // interleaved foreign flit cannot pass
+            }
+            queue.pop_front();
+            outputs[out] = flit;
+            if (flit.type == FlitType::tail)
+                owner[out].reset();
+            continue;
+        }
+
+        // Free channel: round-robin over inputs looking for a head.
+        for (std::size_t k = 0; k < router_ports; ++k) {
+            const std::size_t in = (rr[out] + k) % router_ports;
+            auto &queue = inputs[in];
+            if (queue.empty())
+                continue;
+            const Flit flit = queue.front();
+            if (flit.type != FlitType::head)
+                continue; // stray body flit without a channel
+            if (static_cast<std::size_t>(route(flit.dst_core)) != out)
+                continue;
+            queue.pop_front();
+            outputs[out] = flit;
+            owner[out] = in;
+            rr[out] = (in + 1) % router_ports;
+            break;
+        }
+    }
+}
+
+std::optional<Flit>
+Router::collect(RouterPort port)
+{
+    auto &latch = outputs[static_cast<std::size_t>(port)];
+    std::optional<Flit> flit = latch;
+    latch.reset();
+    return flit;
+}
+
+std::size_t
+Router::queued(RouterPort port) const
+{
+    return inputs[static_cast<std::size_t>(port)].size();
+}
+
+} // namespace snpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Detailed single-router microarchitecture model: five ports
+ * (N/E/S/W/local), input-queued, XY output selection, round-robin
+ * arbitration, one flit per output per cycle.
+ *
+ * The fast path used by experiments is the analytical link-occupancy
+ * model in Mesh; this detailed model exists to validate the fast
+ * model's arbitration assumptions in unit tests (the usual
+ * detailed-vs-fast split in architecture simulators).
+ */
+
+#ifndef SNPU_NOC_ROUTER_HH
+#define SNPU_NOC_ROUTER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "noc/flit.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Router ports in fixed order. */
+enum class RouterPort : std::uint8_t
+{
+    north = 0,
+    east = 1,
+    south = 2,
+    west = 3,
+    local = 4,
+};
+
+constexpr std::size_t router_ports = 5;
+
+/**
+ * One mesh router at coordinate (x, y) in a cols x rows mesh. The
+ * caller clocks it: push flits into input queues, call step() once
+ * per cycle, and collect flits from output latches.
+ */
+class Router
+{
+  public:
+    Router(std::uint32_t x, std::uint32_t y, std::uint32_t cols,
+           std::uint32_t rows, std::size_t queue_depth = 4);
+
+    /** True when the input queue at @p port can accept a flit. */
+    bool canAccept(RouterPort port) const;
+
+    /** Enqueue an arriving flit. @return false when the queue is full. */
+    bool accept(RouterPort port, const Flit &flit);
+
+    /**
+     * Advance one cycle: arbitrate and move at most one flit to each
+     * output latch. Previously latched flits must have been collected.
+     */
+    void step();
+
+    /** Collect (and clear) the flit latched at output @p port. */
+    std::optional<Flit> collect(RouterPort port);
+
+    /** Output port the XY algorithm picks for @p dst at this router. */
+    RouterPort route(std::uint32_t dst_node) const;
+
+    std::uint32_t x() const { return _x; }
+    std::uint32_t y() const { return _y; }
+    std::size_t queued(RouterPort port) const;
+
+  private:
+    std::uint32_t _x;
+    std::uint32_t _y;
+    std::uint32_t cols;
+    std::uint32_t rows;
+    std::size_t queue_depth;
+
+    std::vector<std::deque<Flit>> inputs;          // per port
+    std::vector<std::optional<Flit>> outputs;      // per port
+    /** Round-robin pointer per output port. */
+    std::vector<std::size_t> rr;
+    /**
+     * Wormhole state: input port currently holding each output
+     * (set by a head flit, released by the tail).
+     */
+    std::vector<std::optional<std::size_t>> owner;
+};
+
+} // namespace snpu
+
+#endif // SNPU_NOC_ROUTER_HH

@@ -1,0 +1,152 @@
+#include "noc/router_controller.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+const char *
+nocModeName(NocMode mode)
+{
+    switch (mode) {
+      case NocMode::unauthorized:
+        return "unauthorized";
+      case NocMode::peephole:
+        return "peephole";
+      case NocMode::software:
+        return "software";
+    }
+    return "?";
+}
+
+NocFabric::NocFabric(stats::Group &stats, Mesh &mesh, NocMode mode)
+    : mesh(mesh), _mode(mode),
+      spads(mesh.nodes(), nullptr),
+      channels(mesh.nodes()),
+      states(mesh.nodes(), RouterState::idle),
+      transfers(stats, "noc_transfers", "core-to-core transfers"),
+      rejects(stats, "noc_auth_rejects",
+              "packets rejected by the peephole"),
+      handshakes(stats, "noc_auth_handshakes",
+                 "peephole authentication round trips"),
+      bytes_moved(stats, "noc_bytes", "payload bytes moved over the NoC")
+{
+}
+
+void
+NocFabric::attachScratchpad(std::uint32_t core, Scratchpad *spad)
+{
+    if (core >= spads.size())
+        panic("attachScratchpad: core out of range");
+    spads[core] = spad;
+}
+
+RouterState
+NocFabric::state(std::uint32_t core) const
+{
+    if (core >= states.size())
+        panic("state: core out of range");
+    return states[core];
+}
+
+NocResult
+NocFabric::transfer(Tick when, std::uint32_t src_core,
+                    std::uint32_t dst_core, std::uint32_t src_row,
+                    std::uint32_t dst_row, std::uint32_t nrows)
+{
+    if (_mode == NocMode::software)
+        panic("software NoC transfers go through SoftwareNoc");
+    if (src_core >= spads.size() || dst_core >= spads.size())
+        panic("transfer: core out of range");
+
+    Scratchpad *src = spads[src_core];
+    Scratchpad *dst = spads[dst_core];
+    if (!src || !dst)
+        panic("transfer: scratchpad not attached");
+
+    ++transfers;
+    NocResult result;
+
+    const World identity = mesh.nodeWorld(src_core);
+    Tick t = when;
+    Channel &chan = channels[dst_core];
+
+    if (_mode == NocMode::peephole) {
+        const bool lock_valid =
+            chan.locked && chan.owner == src_core &&
+            chan.identity == identity;
+        if (!lock_valid) {
+            if (chan.locked) {
+                // Channel held by another source: wait for release is
+                // modeled as an immediate reject — the router refuses
+                // foreign injections into a locked channel.
+                ++rejects;
+                result.ok = false;
+                result.auth_failed = true;
+                result.done = t;
+                return result;
+            }
+            // Authentication round trip: control flit to the target's
+            // receive engine, identity check there, ack back.
+            states[src_core] = RouterState::peephole;
+            ++handshakes;
+            Tick req_arrive = mesh.control(t, src_core, dst_core);
+            if (mesh.nodeWorld(dst_core) != identity) {
+                ++rejects;
+                states[src_core] = RouterState::idle;
+                result.ok = false;
+                result.auth_failed = true;
+                result.done = req_arrive;
+                return result;
+            }
+            t = mesh.control(req_arrive, dst_core, src_core);
+            chan.locked = true;
+            chan.owner = src_core;
+            chan.identity = identity;
+        }
+    }
+
+    // Stream the data packet.
+    states[src_core] = RouterState::streaming;
+    const std::uint32_t row_bytes = src->rowBytes();
+    const std::uint32_t bytes = nrows * row_bytes;
+    const std::uint32_t flits = packetFlits(bytes);
+    result.flits = flits;
+    result.done = mesh.traverse(t, src_core, dst_core, flits);
+
+    // Functional payload movement, re-checked against the scratchpad
+    // rules at both endpoints (hardware reads at the source, writes
+    // at the destination, each under its own core's identity).
+    std::vector<std::uint8_t> row(row_bytes);
+    for (std::uint32_t i = 0; i < nrows; ++i) {
+        SpadStatus rs = src->read(identity, src_row + i, row.data());
+        if (rs != SpadStatus::ok) {
+            result.ok = false;
+            break;
+        }
+        SpadStatus ws = dst->write(mesh.nodeWorld(dst_core), dst_row + i,
+                                   row.data());
+        if (ws != SpadStatus::ok) {
+            result.ok = false;
+            break;
+        }
+    }
+    if (result.ok)
+        bytes_moved += bytes;
+
+    states[src_core] = RouterState::idle;
+    return result;
+}
+
+void
+NocFabric::unlockAll()
+{
+    for (auto &chan : channels)
+        chan.locked = false;
+    std::fill(states.begin(), states.end(), RouterState::idle);
+}
+
+} // namespace snpu

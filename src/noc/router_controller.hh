@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Per-core router controller implementing the sNPU peephole protocol
+ * (§IV-B, Fig 12). The send engine generates an identity (the source
+ * core's ID state) in the head flit; the receive engine authenticates
+ * the request against the destination core's ID state before
+ * accepting body flits. After a successful authentication the route
+ * map locks the channel to that source until the tail flit, so
+ * authentication costs a round-trip only on the first packet of a
+ * stream and nothing afterwards.
+ */
+
+#ifndef SNPU_NOC_ROUTER_CONTROLLER_HH
+#define SNPU_NOC_ROUTER_CONTROLLER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/flit.hh"
+#include "noc/mesh.hh"
+#include "sim/stats.hh"
+#include "spad/scratchpad.hh"
+
+namespace snpu
+{
+
+/** NoC protection mode compared in Fig 16 / Fig 17. */
+enum class NocMode : std::uint8_t
+{
+    /** Direct NoC without authentication (insecure baseline). */
+    unauthorized,
+    /** Direct NoC with peephole authentication (sNPU). */
+    peephole,
+    /** No direct NoC: transfers bounce through shared memory. */
+    software,
+};
+
+const char *nocModeName(NocMode mode);
+
+/** Router controller FSM states (Fig 12). */
+enum class RouterState : std::uint8_t
+{
+    idle,
+    peephole,   //!< authentication in flight
+    streaming,  //!< data flits moving on a locked channel
+};
+
+/** Outcome of a core-to-core transfer. */
+struct NocResult
+{
+    Tick done = 0;
+    bool ok = true;
+    /** True when the peephole rejected the request. */
+    bool auth_failed = false;
+    std::uint32_t flits = 0;
+};
+
+/**
+ * The NoC transfer fabric: one send/receive engine pair per core.
+ * Scratchpads are registered per core so accepted packets deposit
+ * real bytes at the destination.
+ */
+class NocFabric
+{
+  public:
+    NocFabric(stats::Group &stats, Mesh &mesh, NocMode mode);
+
+    /** Register core @p id's local scratchpad. */
+    void attachScratchpad(std::uint32_t core, Scratchpad *spad);
+
+    void setMode(NocMode mode) { _mode = mode; }
+    NocMode mode() const { return _mode; }
+
+    /**
+     * Transfer @p nrows scratchpad rows from @p src_core's scratchpad
+     * (starting at @p src_row) into @p dst_core's (at @p dst_row).
+     *
+     * Under peephole mode the head flit carries the source core's ID
+     * state; the receive engine rejects it when it does not match the
+     * destination core's ID state. Under unauthorized mode data always
+     * flows. Software mode is handled by SoftwareNoc, not here.
+     */
+    NocResult transfer(Tick when, std::uint32_t src_core,
+                       std::uint32_t dst_core, std::uint32_t src_row,
+                       std::uint32_t dst_row, std::uint32_t nrows);
+
+    /** Drop all channel locks (between independent tasks). */
+    void unlockAll();
+
+    RouterState state(std::uint32_t core) const;
+
+    std::uint64_t authRejects() const
+    {
+        return static_cast<std::uint64_t>(rejects.value());
+    }
+    std::uint64_t authHandshakes() const
+    {
+        return static_cast<std::uint64_t>(handshakes.value());
+    }
+
+  private:
+    struct Channel
+    {
+        bool locked = false;
+        std::uint32_t owner = 0;   //!< source core holding the lock
+        World identity = World::normal;
+    };
+
+    Mesh &mesh;
+    NocMode _mode;
+    std::vector<Scratchpad *> spads;
+    std::vector<Channel> channels;     //!< per destination core
+    std::vector<RouterState> states;
+
+    stats::Scalar transfers;
+    stats::Scalar rejects;
+    stats::Scalar handshakes;
+    stats::Scalar bytes_moved;
+};
+
+} // namespace snpu
+
+#endif // SNPU_NOC_ROUTER_CONTROLLER_HH

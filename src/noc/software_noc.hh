@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The "software NoC" strawman (§VI-D): inter-core transfers bounce
+ * through a dedicated shared-memory buffer — the source core DMA-
+ * stores its scratchpad rows to DRAM and the destination core DMA-
+ * loads them back. Access permission on the shared buffer is
+ * restricted (world partition), but the double memory round-trip is
+ * the bandwidth bottleneck Fig 16 and Fig 17 quantify.
+ */
+
+#ifndef SNPU_NOC_SOFTWARE_NOC_HH
+#define SNPU_NOC_SOFTWARE_NOC_HH
+
+#include <cstdint>
+
+#include "mem/mem_system.hh"
+#include "noc/router_controller.hh"
+#include "sim/stats.hh"
+#include "spad/scratchpad.hh"
+
+namespace snpu
+{
+
+/** Shared-memory core-to-core transport. */
+class SoftwareNoc
+{
+  public:
+    /**
+     * @param buffer  physical range of the dedicated shared buffer
+     */
+    SoftwareNoc(stats::Group &stats, MemSystem &mem, AddrRange buffer);
+
+    /**
+     * Move @p nrows rows from @p src's scratchpad to @p dst's via the
+     * shared buffer. @p world is the security context of the task
+     * (both transfers run under it; the buffer must be accessible).
+     */
+    NocResult transfer(Tick when, Scratchpad &src, Scratchpad &dst,
+                       std::uint32_t src_row, std::uint32_t dst_row,
+                       std::uint32_t nrows, World world);
+
+    std::uint64_t bytesMoved() const
+    {
+        return static_cast<std::uint64_t>(bytes_moved.value());
+    }
+
+  private:
+    MemSystem &mem;
+    AddrRange buffer;
+
+    stats::Scalar transfers;
+    stats::Scalar bytes_moved;
+    stats::Scalar denied;
+};
+
+} // namespace snpu
+
+#endif // SNPU_NOC_SOFTWARE_NOC_HH

@@ -1,0 +1,50 @@
+#include "npu/systolic_model.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+SystolicArray::SystolicArray(SystolicParams params)
+    : params(params),
+      weights(static_cast<std::size_t>(params.dim) * params.dim, 0)
+{
+    if (params.dim == 0)
+        fatal("systolic array dimension must be positive");
+}
+
+void
+SystolicArray::preload(const std::int8_t *w)
+{
+    if (w) {
+        std::memcpy(weights.data(), w, weights.size());
+    } else {
+        std::memset(weights.data(), 0, weights.size());
+    }
+}
+
+void
+SystolicArray::computeRow(const std::int8_t *a_row, std::uint32_t k,
+                          std::int32_t *acc, bool accumulate) const
+{
+    if (k > params.dim)
+        panic("computeRow: k exceeds array dimension");
+    if (!acc)
+        return;
+    for (std::uint32_t col = 0; col < params.dim; ++col) {
+        std::int32_t sum = accumulate ? acc[col] : 0;
+        if (a_row) {
+            for (std::uint32_t i = 0; i < k; ++i) {
+                sum += static_cast<std::int32_t>(a_row[i]) *
+                       static_cast<std::int32_t>(
+                           weights[static_cast<std::size_t>(i) *
+                                   params.dim + col]);
+            }
+        }
+        acc[col] = sum;
+    }
+}
+
+} // namespace snpu

@@ -1,0 +1,69 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    if (when < _now) {
+        panic("event scheduled in the past: when=", when, " now=", _now);
+    }
+    queue.push(Entry{when, priority, next_seq++, std::move(cb)});
+}
+
+void
+EventQueue::execute(Entry &e)
+{
+    _now = e.when;
+    ++_executed;
+    e.cb();
+}
+
+Tick
+EventQueue::run()
+{
+    while (!queue.empty()) {
+        Entry e = queue.top();
+        queue.pop();
+        execute(e);
+    }
+    return _now;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!queue.empty() && queue.top().when <= limit) {
+        Entry e = queue.top();
+        queue.pop();
+        execute(e);
+    }
+    if (!queue.empty() && _now < limit)
+        _now = limit;
+    return _now;
+}
+
+bool
+EventQueue::step()
+{
+    if (queue.empty())
+        return false;
+    Entry e = queue.top();
+    queue.pop();
+    execute(e);
+    return true;
+}
+
+void
+EventQueue::reset()
+{
+    while (!queue.empty())
+        queue.pop();
+}
+
+} // namespace snpu

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation kernel.
+ *
+ * Events are ordered by (tick, priority, insertion sequence), so two
+ * runs of the same configuration produce bit-identical schedules.
+ */
+
+#ifndef SNPU_SIM_EVENT_QUEUE_HH
+#define SNPU_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/**
+ * Relative ordering of events scheduled for the same tick. Lower
+ * values run first.
+ */
+enum EventPriority : int
+{
+    prio_first = 0,
+    prio_default = 50,
+    prio_stats = 90,
+    prio_last = 100,
+};
+
+/**
+ * A single-threaded event queue. All timing-mode subsystems schedule
+ * callbacks here; the queue drains them in deterministic order.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed since construction. */
+    std::uint64_t executed() const { return _executed; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return queue.size(); }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @pre when >= now()
+     */
+    void schedule(Tick when, Callback cb, int priority = prio_default);
+
+    /** Schedule @p cb to run @p delta ticks from now. */
+    void
+    scheduleIn(Tick delta, Callback cb, int priority = prio_default)
+    {
+        schedule(_now + delta, std::move(cb), priority);
+    }
+
+    /** Run until the queue drains. @return the final tick. */
+    Tick run();
+
+    /**
+     * Run events with tick <= @p limit. Afterwards now() == limit if
+     * the queue still holds later events, else the last event's tick.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Execute exactly one event if any is pending. @return true if so. */
+    bool step();
+
+    /** Drop all pending events (used between independent experiments). */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    void execute(Entry &e);
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    Tick _now = 0;
+    std::uint64_t next_seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+/**
+ * Base class for named simulated components. Purely for diagnostics:
+ * stable hierarchical names in logs and stat dumps.
+ */
+class SimObject
+{
+  public:
+    explicit SimObject(std::string name) : _name(std::move(name)) {}
+    virtual ~SimObject() = default;
+
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SIM_EVENT_QUEUE_HH

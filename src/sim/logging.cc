@@ -1,0 +1,43 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+const char *
+worldName(World w)
+{
+    return w == World::secure ? "secure" : "normal";
+}
+
+namespace logging
+{
+
+namespace
+{
+bool verbose_flag = false;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verbose_flag = verbose;
+}
+
+bool
+verbose()
+{
+    return verbose_flag;
+}
+
+void
+emit(const char *level, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", level, msg.c_str());
+}
+
+} // namespace logging
+} // namespace snpu

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. Every experiment
+ * seeds its own Rng; no global RNG exists, so subsystems cannot
+ * perturb each other's random streams.
+ */
+
+#ifndef SNPU_SIM_RANDOM_HH
+#define SNPU_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace snpu
+{
+
+/**
+ * xoshiro256** generator seeded via SplitMix64. Small, fast, and
+ * reproducible across platforms (unlike std::mt19937 distributions).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p of true. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s[4];
+};
+
+} // namespace snpu
+
+#endif // SNPU_SIM_RANDOM_HH

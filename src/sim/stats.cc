@@ -1,0 +1,157 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace snpu::stats
+{
+
+StatBase::StatBase(Group &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.add(this);
+}
+
+namespace
+{
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream os;
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+    } else {
+        os << std::setprecision(6) << v;
+    }
+    return os.str();
+}
+
+} // namespace
+
+std::string
+Scalar::render() const
+{
+    return formatNumber(_value);
+}
+
+void
+Average::sample(double v)
+{
+    if (_count == 0) {
+        _min = v;
+        _max = v;
+    } else {
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+    _sum += v;
+    ++_count;
+}
+
+std::string
+Average::render() const
+{
+    std::ostringstream os;
+    os << "mean=" << formatNumber(mean()) << " min=" << formatNumber(_min)
+       << " max=" << formatNumber(_max) << " n=" << _count;
+    return os.str();
+}
+
+void
+Average::reset()
+{
+    _count = 0;
+    _sum = 0;
+    _min = 0;
+    _max = 0;
+}
+
+Histogram::Histogram(Group &group, std::string name, std::string desc,
+                     double lo, double hi, std::size_t buckets)
+    : StatBase(group, std::move(name), std::move(desc)),
+      lo(lo), hi(hi), counts(buckets, 0)
+{
+    if (buckets == 0 || hi <= lo)
+        panic("histogram needs hi > lo and at least one bucket");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    if (v < lo) {
+        ++_underflow;
+    } else if (v >= hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>(
+            (v - lo) / (hi - lo) * counts.size());
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+    }
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    os << "n=" << _count << " mean=" << formatNumber(mean()) << " [";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << counts[i];
+    }
+    os << "] uf=" << _underflow << " of=" << _overflow;
+    return os.str();
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    _underflow = 0;
+    _overflow = 0;
+    _count = 0;
+    _sum = 0;
+}
+
+void
+Group::add(StatBase *stat)
+{
+    stats_.push_back(stat);
+}
+
+const StatBase *
+Group::find(const std::string &name) const
+{
+    for (const auto *s : stats_) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+void
+Group::dump(std::ostream &os) const
+{
+    for (const auto *s : stats_) {
+        os << _name << '.' << s->name() << " = " << s->render()
+           << "    # " << s->desc() << '\n';
+    }
+}
+
+void
+Group::resetAll()
+{
+    for (auto *s : stats_)
+        s->reset();
+}
+
+} // namespace snpu::stats

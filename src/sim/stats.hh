@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters, averages, and
+ * histograms that register with a per-experiment StatGroup and can be
+ * dumped as aligned text.
+ */
+
+#ifndef SNPU_SIM_STATS_HH
+#define SNPU_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace snpu::stats
+{
+
+class Group;
+
+/** Common interface for all statistics. */
+class StatBase
+{
+  public:
+    StatBase(Group &group, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+    /** Render the value portion of a dump line. */
+    virtual std::string render() const = 0;
+
+    /** Reset to the just-constructed state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string _name;
+    std::string _desc;
+};
+
+/** A monotonically growing (or explicitly set) scalar. */
+class Scalar : public StatBase
+{
+  public:
+    Scalar(Group &group, std::string name, std::string desc)
+        : StatBase(group, std::move(name), std::move(desc))
+    {}
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(double v) { _value += v; return *this; }
+    Scalar &operator=(double v) { _value = v; return *this; }
+
+    double value() const { return _value; }
+    std::string render() const override;
+    void reset() override { _value = 0; }
+
+  private:
+    double _value = 0;
+};
+
+/** Streaming mean/min/max over observed samples. */
+class Average : public StatBase
+{
+  public:
+    Average(Group &group, std::string name, std::string desc)
+        : StatBase(group, std::move(name), std::move(desc))
+    {}
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    double sum() const { return _sum; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _min = 0;
+    double _max = 0;
+};
+
+/** Fixed-width bucket histogram with underflow/overflow buckets. */
+class Histogram : public StatBase
+{
+  public:
+    Histogram(Group &group, std::string name, std::string desc,
+              double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+
+    std::uint64_t count() const { return _count; }
+    std::uint64_t bucket(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+    std::string render() const override;
+    void reset() override;
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0;
+};
+
+/**
+ * Owner of a set of statistics. Subsystems embed a Group (or accept
+ * one) and construct their stats against it; experiments dump or
+ * reset the whole group at once.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return _name; }
+
+    void add(StatBase *stat);
+
+    /** Look up a stat by name; nullptr when absent. */
+    const StatBase *find(const std::string &name) const;
+
+    /** Write "group.stat  value  # desc" lines. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    const std::vector<StatBase *> &all() const { return stats_; }
+
+  private:
+    std::string _name;
+    std::vector<StatBase *> stats_;
+};
+
+} // namespace snpu::stats
+
+#endif // SNPU_SIM_STATS_HH

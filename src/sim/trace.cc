@@ -1,0 +1,42 @@
+#include "sim/trace.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+const char *
+traceCategoryName(TraceCategory c)
+{
+    switch (c) {
+      case TraceCategory::instr:
+        return "instr";
+      case TraceCategory::dma:
+        return "dma";
+      case TraceCategory::security:
+        return "sec";
+      case TraceCategory::noc:
+        return "noc";
+      case TraceCategory::sched:
+        return "sched";
+    }
+    return "?";
+}
+
+FileTraceSink::FileTraceSink(const std::string &path, std::uint32_t mask)
+    : TraceSink(mask), out(path)
+{
+    if (!out)
+        fatal("cannot open trace file: ", path);
+}
+
+void
+FileTraceSink::record(Tick when, TraceCategory category,
+                      const std::string &who, const std::string &what)
+{
+    out << when << ' ' << traceCategoryName(category) << ' ' << who
+        << ": " << what << '\n';
+    ++line_count;
+}
+
+} // namespace snpu

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Execution tracing. A TraceSink receives timestamped, categorized
+ * one-line records from instrumented components (the NPU core's
+ * instruction stream, security events). Tracing is off unless a sink
+ * is attached, and costs one branch per event when off.
+ *
+ * Categories let a debugging session enable only what it needs —
+ * `snpu_run` exposes this as trace=instr,sec trace_file=run.trace.
+ */
+
+#ifndef SNPU_SIM_TRACE_HH
+#define SNPU_SIM_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Trace record categories (bitmask). */
+enum class TraceCategory : std::uint32_t
+{
+    instr = 1u << 0,   //!< NPU instruction retire
+    dma = 1u << 1,     //!< DMA request completion
+    security = 1u << 2, //!< denials, violations, privileged ops
+    noc = 1u << 3,     //!< NoC transfers
+    sched = 1u << 4,   //!< scheduler decisions
+};
+
+constexpr std::uint32_t
+traceMask(TraceCategory c)
+{
+    return static_cast<std::uint32_t>(c);
+}
+
+const char *traceCategoryName(TraceCategory c);
+
+/** Destination of trace records. */
+class TraceSink
+{
+  public:
+    explicit TraceSink(std::uint32_t mask = ~0u) : mask(mask) {}
+    virtual ~TraceSink() = default;
+
+    bool
+    wants(TraceCategory category) const
+    {
+        return (mask & traceMask(category)) != 0;
+    }
+
+    /** Record one event (already filtered by wants()). */
+    virtual void record(Tick when, TraceCategory category,
+                        const std::string &who,
+                        const std::string &what) = 0;
+
+  private:
+    std::uint32_t mask;
+};
+
+/** In-memory sink for tests and small captures. */
+class MemoryTraceSink : public TraceSink
+{
+  public:
+    struct Record
+    {
+        Tick when;
+        TraceCategory category;
+        std::string who;
+        std::string what;
+    };
+
+    explicit MemoryTraceSink(std::uint32_t mask = ~0u)
+        : TraceSink(mask)
+    {
+    }
+
+    void
+    record(Tick when, TraceCategory category, const std::string &who,
+           const std::string &what) override
+    {
+        records.push_back(Record{when, category, who, what});
+    }
+
+    std::vector<Record> records;
+};
+
+/** Line-oriented text file sink: "tick category who: what". */
+class FileTraceSink : public TraceSink
+{
+  public:
+    FileTraceSink(const std::string &path, std::uint32_t mask = ~0u);
+
+    void record(Tick when, TraceCategory category,
+                const std::string &who,
+                const std::string &what) override;
+
+    std::uint64_t lines() const { return line_count; }
+
+  private:
+    std::ofstream out;
+    std::uint64_t line_count = 0;
+};
+
+/**
+ * Emission helper held by instrumented components. Cheap when no
+ * sink is attached.
+ */
+class Tracer
+{
+  public:
+    void attach(TraceSink *new_sink) { sink = new_sink; }
+    void detach() { sink = nullptr; }
+    bool active() const { return sink != nullptr; }
+
+    template <typename... Args>
+    void
+    emit(Tick when, TraceCategory category, const std::string &who,
+         Args &&...args) const
+    {
+        if (!sink || !sink->wants(category))
+            return;
+        std::ostringstream os;
+        (os << ... << args);
+        sink->record(when, category, who, os.str());
+    }
+
+  private:
+    TraceSink *sink = nullptr;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SIM_TRACE_HH

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every subsystem.
+ */
+
+#ifndef SNPU_SIM_TYPES_HH
+#define SNPU_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace snpu
+{
+
+/** Simulation time. One tick equals one NPU clock cycle (1 GHz). */
+using Tick = std::uint64_t;
+
+/** Physical or virtual byte address in the simulated SoC. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick max_tick = ~Tick(0);
+
+/**
+ * Security world of a hardware agent or memory region. The SoC is
+ * partitioned TrustZone-style into exactly two hardware domains.
+ */
+enum class World : std::uint8_t
+{
+    normal = 0,
+    secure = 1,
+};
+
+/** Human-readable world name for logs and reports. */
+const char *worldName(World w);
+
+} // namespace snpu
+
+#endif // SNPU_SIM_TYPES_HH

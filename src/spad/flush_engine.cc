@@ -1,0 +1,100 @@
+#include "spad/flush_engine.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+const char *
+flushGranularityName(FlushGranularity g)
+{
+    switch (g) {
+      case FlushGranularity::none:
+        return "none";
+      case FlushGranularity::tile:
+        return "tile";
+      case FlushGranularity::layer:
+        return "layer";
+      case FlushGranularity::layer5:
+        return "layer5";
+    }
+    return "?";
+}
+
+FlushEngine::FlushEngine(stats::Group &stats, MemSystem &mem,
+                         Scratchpad &spad)
+    : mem(mem), spad(spad),
+      flush_count(stats, "flush_count", "scratchpad context saves"),
+      restore_count(stats, "restore_count", "scratchpad context restores"),
+      bytes_moved(stats, "flush_bytes", "bytes moved by flush traffic")
+{
+}
+
+Tick
+FlushEngine::stream(Tick when, std::uint32_t rows, Addr area, MemOp op,
+                    World world)
+{
+    const std::uint32_t row_bytes = spad.rowBytes();
+    Tick t = when;
+    Tick done = when;
+    for (std::uint32_t row = 0; row < rows; ++row) {
+        MemRequest req{area + static_cast<Addr>(row) * row_bytes,
+                       row_bytes, op, world};
+        MemResult res = mem.access(t, req);
+        if (!res.ok)
+            fatal("flush engine denied by the world partition");
+        done = std::max(done, res.done);
+        t += 1; // one row issued per cycle
+
+        // Functional movement of the context bytes.
+        if (op == MemOp::write) {
+            mem.data().write(req.paddr, spad.rawRow(row), row_bytes);
+        } else {
+            mem.data().read(req.paddr, spad.rawRow(row), row_bytes);
+        }
+        bytes_moved += row_bytes;
+    }
+    return std::max(done, t);
+}
+
+Tick
+FlushEngine::flush(Tick when, std::uint32_t live_rows, Addr save_area,
+                   World world)
+{
+    live_rows = std::min(live_rows, spad.rows());
+    ++flush_count;
+    Tick done = stream(when, live_rows, save_area, MemOp::write, world);
+    // Scrub the saved rows so nothing leaks to the next task.
+    for (std::uint32_t row = 0; row < live_rows; ++row) {
+        std::memset(spad.rawRow(row), 0, spad.rowBytes());
+        spad.rawSetId(row, World::normal);
+    }
+    return done;
+}
+
+Tick
+FlushEngine::restore(Tick when, std::uint32_t live_rows, Addr save_area,
+                     World world)
+{
+    live_rows = std::min(live_rows, spad.rows());
+    ++restore_count;
+    return stream(when, live_rows, save_area, MemOp::read, world);
+}
+
+void
+FlushEngine::restoreFunctional(std::uint32_t live_rows, Addr save_area)
+{
+    live_rows = std::min(live_rows, spad.rows());
+    ++restore_count;
+    const std::uint32_t row_bytes = spad.rowBytes();
+    for (std::uint32_t row = 0; row < live_rows; ++row) {
+        mem.data().read(save_area +
+                            static_cast<Addr>(row) * row_bytes,
+                        spad.rawRow(row), row_bytes);
+    }
+}
+
+} // namespace snpu

@@ -1,0 +1,140 @@
+#include "spad/multi_domain.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+MultiDomainScratchpad::MultiDomainScratchpad(stats::Group &stats,
+                                             MultiDomainParams p)
+    : params(p),
+      data(static_cast<std::size_t>(p.rows) * p.row_bytes, 0),
+      tags(p.rows, 0),
+      reads(stats, "mdspad_reads", "multi-domain scratchpad reads"),
+      writes(stats, "mdspad_writes", "multi-domain scratchpad writes"),
+      denied(stats, "mdspad_denied", "multi-domain accesses denied"),
+      retags(stats, "mdspad_retags", "wordline domain retags")
+{
+    if (params.rows == 0 || params.row_bytes == 0)
+        fatal("multi-domain scratchpad needs nonzero geometry");
+    if (params.domains < 2 ||
+        (params.domains & (params.domains - 1)) != 0) {
+        fatal("domain count must be a power of two >= 2");
+    }
+}
+
+std::uint32_t
+MultiDomainScratchpad::tagBits() const
+{
+    std::uint32_t bits = 0;
+    std::uint32_t d = params.domains;
+    while (d > 1) {
+        d >>= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+SpadStatus
+MultiDomainScratchpad::read(DomainId reader, std::uint32_t row,
+                            std::uint8_t *dst)
+{
+    if (row >= params.rows)
+        return SpadStatus::bad_index;
+    if (!validDomain(reader))
+        return SpadStatus::security_violation;
+    ++reads;
+
+    if (params.scope == SpadScope::local) {
+        // Exact tag match required.
+        if (tags[row] != reader) {
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+    } else {
+        // Shared: untagged lines are claimable; foreign tags deny.
+        if (tags[row] != 0 && tags[row] != reader) {
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+        if (reader != 0 && tags[row] == 0) {
+            tags[row] = reader;
+            ++retags;
+        }
+    }
+
+    if (dst) {
+        std::memcpy(dst,
+                    data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    params.row_bytes);
+    }
+    return SpadStatus::ok;
+}
+
+SpadStatus
+MultiDomainScratchpad::write(DomainId writer, std::uint32_t row,
+                             const std::uint8_t *src)
+{
+    if (row >= params.rows)
+        return SpadStatus::bad_index;
+    if (!validDomain(writer))
+        return SpadStatus::security_violation;
+    ++writes;
+
+    if (params.scope == SpadScope::local) {
+        if (tags[row] != writer) {
+            tags[row] = writer;
+            ++retags;
+        }
+    } else {
+        if (tags[row] != 0 && tags[row] != writer) {
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+        if (writer != 0 && tags[row] == 0) {
+            tags[row] = writer;
+            ++retags;
+        }
+    }
+
+    if (src) {
+        std::memcpy(data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    src, params.row_bytes);
+    }
+    return SpadStatus::ok;
+}
+
+bool
+MultiDomainScratchpad::resetDomain(DomainId domain, bool from_secure)
+{
+    if (!from_secure) {
+        ++denied;
+        return false;
+    }
+    if (!validDomain(domain) || domain == 0)
+        return false;
+    for (std::uint32_t row = 0; row < params.rows; ++row) {
+        if (tags[row] != domain)
+            continue;
+        tags[row] = 0;
+        ++retags;
+        std::memset(data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    0, params.row_bytes);
+    }
+    return true;
+}
+
+DomainId
+MultiDomainScratchpad::tag(std::uint32_t row) const
+{
+    if (row >= params.rows)
+        panic("tag: row out of range");
+    return tags[row];
+}
+
+} // namespace snpu

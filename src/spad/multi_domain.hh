@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Multiple secure domains (§VII "Multiple Secure Domains"): the
+ * paper's two-world ID bit generalized to N hardware domains by
+ * widening the per-wordline tag to log2(N) bits. Domain 0 is the
+ * normal world; domains 1..N-1 are mutually-isolated secure domains.
+ *
+ * Rules generalize the two-world Isolator:
+ *  - local (exclusive) scratchpad: reads require an exact tag match;
+ *    writes always succeed and retag the line (forced write);
+ *  - shared (global) scratchpad: a line tagged with domain d != 0 is
+ *    accessible only to d; any secure-domain access claims an
+ *    untagged (domain-0) line;
+ *  - a privileged reset returns lines of one domain to domain 0 and
+ *    scrubs them.
+ *
+ * The hardware cost of the wider tags is modeled in AreaModel
+ * (see bench/abl_multi_domain).
+ */
+
+#ifndef SNPU_SPAD_MULTI_DOMAIN_HH
+#define SNPU_SPAD_MULTI_DOMAIN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "spad/scratchpad.hh"
+
+namespace snpu
+{
+
+/** Hardware domain identifier. 0 = normal world. */
+using DomainId = std::uint8_t;
+
+/** Multi-domain scratchpad geometry. */
+struct MultiDomainParams
+{
+    std::uint32_t rows = 4096;
+    std::uint32_t row_bytes = 16;
+    SpadScope scope = SpadScope::local;
+    /** Number of hardware domains (>= 2, power of two). */
+    std::uint32_t domains = 4;
+};
+
+/** Scratchpad with per-wordline domain tags. */
+class MultiDomainScratchpad
+{
+  public:
+    MultiDomainScratchpad(stats::Group &stats,
+                          MultiDomainParams params = {});
+
+    SpadStatus read(DomainId reader, std::uint32_t row,
+                    std::uint8_t *dst);
+    SpadStatus write(DomainId writer, std::uint32_t row,
+                     const std::uint8_t *src);
+
+    /**
+     * Privileged reset: return every line of @p domain to domain 0,
+     * scrubbing contents. @p from_secure models the privileged
+     * instruction path.
+     */
+    bool resetDomain(DomainId domain, bool from_secure);
+
+    DomainId tag(std::uint32_t row) const;
+    std::uint32_t rows() const { return params.rows; }
+    std::uint32_t rowBytes() const { return params.row_bytes; }
+    std::uint32_t domains() const { return params.domains; }
+
+    /** Tag bits per wordline (the hardware cost driver). */
+    std::uint32_t tagBits() const;
+
+    std::uint64_t violations() const
+    {
+        return static_cast<std::uint64_t>(denied.value());
+    }
+
+  private:
+    bool validDomain(DomainId d) const { return d < params.domains; }
+
+    MultiDomainParams params;
+    std::vector<std::uint8_t> data;
+    std::vector<DomainId> tags;
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Scalar denied;
+    stats::Scalar retags;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SPAD_MULTI_DOMAIN_HH

@@ -1,0 +1,203 @@
+#include "spad/scratchpad.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+Scratchpad::Scratchpad(stats::Group &stats, SpadParams params)
+    : params(params),
+      data(static_cast<std::size_t>(params.rows) * params.row_bytes, 0),
+      id_state(params.rows, World::normal),
+      reads(stats, "spad_reads", "scratchpad row reads"),
+      writes(stats, "spad_writes", "scratchpad row writes"),
+      denied(stats, "spad_denied", "scratchpad accesses denied"),
+      id_flips(stats, "spad_id_flips", "wordline ID state transitions")
+{
+    if (params.rows == 0 || params.row_bytes == 0)
+        fatal("scratchpad needs nonzero geometry");
+    if (params.partition_boundary > params.rows)
+        fatal("partition boundary beyond scratchpad");
+}
+
+bool
+Scratchpad::partitionAllows(World w, std::uint32_t row) const
+{
+    // Secure world owns [0, boundary); normal world the rest.
+    if (w == World::secure)
+        return row < params.partition_boundary;
+    return row >= params.partition_boundary;
+}
+
+SpadStatus
+Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
+{
+    if (row >= params.rows)
+        return SpadStatus::bad_index;
+    ++reads;
+
+    switch (params.mode) {
+      case IsolationMode::none:
+        break;
+      case IsolationMode::partition:
+        if (!partitionAllows(reader, row)) {
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+        break;
+      case IsolationMode::id_based:
+        if (params.scope == SpadScope::local) {
+            // Local rule: read requires ID match.
+            if (id_state[row] != reader) {
+                ++denied;
+                return SpadStatus::security_violation;
+            }
+        } else {
+            // Global rule: non-secure may not touch secure lines;
+            // a secure read claims the line.
+            if (id_state[row] == World::secure &&
+                reader != World::secure) {
+                ++denied;
+                return SpadStatus::security_violation;
+            }
+            if (reader == World::secure &&
+                id_state[row] != World::secure) {
+                id_state[row] = World::secure;
+                ++id_flips;
+            }
+        }
+        break;
+    }
+
+    if (dst) {
+        std::memcpy(dst,
+                    data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    params.row_bytes);
+    }
+    return SpadStatus::ok;
+}
+
+SpadStatus
+Scratchpad::write(World writer, std::uint32_t row, const std::uint8_t *src)
+{
+    if (row >= params.rows)
+        return SpadStatus::bad_index;
+    ++writes;
+
+    switch (params.mode) {
+      case IsolationMode::none:
+        break;
+      case IsolationMode::partition:
+        if (!partitionAllows(writer, row)) {
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+        break;
+      case IsolationMode::id_based:
+        if (params.scope == SpadScope::local) {
+            // Local rule: forced write — always allowed, flips ID.
+            if (id_state[row] != writer) {
+                id_state[row] = writer;
+                ++id_flips;
+            }
+        } else {
+            if (id_state[row] == World::secure &&
+                writer != World::secure) {
+                ++denied;
+                return SpadStatus::security_violation;
+            }
+            if (writer == World::secure &&
+                id_state[row] != World::secure) {
+                id_state[row] = World::secure;
+                ++id_flips;
+            }
+        }
+        break;
+    }
+
+    if (src) {
+        std::memcpy(data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    src, params.row_bytes);
+    }
+    return SpadStatus::ok;
+}
+
+bool
+Scratchpad::secureReset(std::uint32_t first, std::uint32_t count,
+                        bool from_secure)
+{
+    if (!from_secure) {
+        ++denied;
+        return false;
+    }
+    if (first + count > params.rows || first + count < first)
+        return false;
+    for (std::uint32_t row = first; row < first + count; ++row) {
+        if (id_state[row] == World::secure) {
+            id_state[row] = World::normal;
+            ++id_flips;
+        }
+        // Resetting also scrubs the payload: the secret must not
+        // survive the ownership change.
+        std::memset(data.data() +
+                        static_cast<std::size_t>(row) * params.row_bytes,
+                    0, params.row_bytes);
+    }
+    return true;
+}
+
+void
+Scratchpad::setMode(IsolationMode mode, std::uint32_t partition_boundary)
+{
+    if (partition_boundary > params.rows)
+        fatal("partition boundary beyond scratchpad");
+    params.mode = mode;
+    params.partition_boundary = partition_boundary;
+}
+
+World
+Scratchpad::idState(std::uint32_t row) const
+{
+    if (row >= params.rows)
+        panic("idState: row out of range");
+    return id_state[row];
+}
+
+std::uint32_t
+Scratchpad::usableRows(World w) const
+{
+    if (params.mode != IsolationMode::partition)
+        return params.rows;
+    return w == World::secure ? params.partition_boundary
+                              : params.rows - params.partition_boundary;
+}
+
+std::uint8_t *
+Scratchpad::rawRow(std::uint32_t row)
+{
+    if (row >= params.rows)
+        panic("rawRow: row out of range");
+    return data.data() + static_cast<std::size_t>(row) * params.row_bytes;
+}
+
+const std::uint8_t *
+Scratchpad::rawRow(std::uint32_t row) const
+{
+    if (row >= params.rows)
+        panic("rawRow: row out of range");
+    return data.data() + static_cast<std::size_t>(row) * params.row_bytes;
+}
+
+void
+Scratchpad::rawSetId(std::uint32_t row, World w)
+{
+    if (row >= params.rows)
+        panic("rawSetId: row out of range");
+    id_state[row] = w;
+}
+
+} // namespace snpu

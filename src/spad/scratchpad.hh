@@ -1,0 +1,141 @@
+/**
+ * @file
+ * NPU scratchpad with the sNPU Isolator's ID-based wordline isolation
+ * (§IV-B). The scratchpad is index-addressed SRAM with no relation to
+ * system memory; every wordline carries a 1-bit security ID next to
+ * its (large) data payload.
+ *
+ * Access rules under IsolationMode::id_based:
+ *  - local (exclusive) scratchpad: reads require the reader's ID to
+ *    match the line's ID; writes are always allowed and overwrite the
+ *    line's ID with the writer's (forced write);
+ *  - global (shared) scratchpad: a non-secure agent may neither read
+ *    nor write a secure line; any secure access forcibly sets the
+ *    line's ID to secure. A dedicated secure instruction resets lines
+ *    from secure back to non-secure.
+ *
+ * Alternative modes model the paper's strawmen: a static partition
+ * (Fig 6a / Fig 15) and no protection at all (the LeftoverLocals
+ * victim, Fig 5).
+ */
+
+#ifndef SNPU_SPAD_SCRATCHPAD_HH
+#define SNPU_SPAD_SCRATCHPAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** How the scratchpad enforces isolation. */
+enum class IsolationMode : std::uint8_t
+{
+    /** No checks: the insecure baseline (LeftoverLocals applies). */
+    none,
+    /** Static split: secure world owns rows [0, boundary). */
+    partition,
+    /** sNPU: per-wordline ID bits with the rules above. */
+    id_based,
+};
+
+/** Local (per-core, exclusive) vs global (shared) scratchpad. */
+enum class SpadScope : std::uint8_t
+{
+    local,
+    global,
+};
+
+/** Outcome of one scratchpad access. */
+enum class SpadStatus : std::uint8_t
+{
+    ok,
+    /** Denied by the ID rule or partition boundary. */
+    security_violation,
+    /** Row index out of range. */
+    bad_index,
+};
+
+/** Scratchpad geometry. */
+struct SpadParams
+{
+    std::uint32_t rows = 4096;       // 4096 x 64 B = 256 KiB (Table II)
+    std::uint32_t row_bytes = 64;
+    SpadScope scope = SpadScope::local;
+    IsolationMode mode = IsolationMode::id_based;
+    /** First row owned by the normal world under partition mode. */
+    std::uint32_t partition_boundary = 0;
+};
+
+/**
+ * The scratchpad. Holds real bytes so that isolation failures are
+ * observable as actual data leaks (the attack library depends on
+ * this), and counts denied accesses for the security stats.
+ */
+class Scratchpad
+{
+  public:
+    Scratchpad(stats::Group &stats, SpadParams params = {});
+
+    /** Read one row into @p dst (row_bytes long, may be null). */
+    SpadStatus read(World reader, std::uint32_t row, std::uint8_t *dst);
+
+    /** Write one row from @p src (row_bytes long, may be null). */
+    SpadStatus write(World writer, std::uint32_t row,
+                     const std::uint8_t *src);
+
+    /**
+     * Secure instruction: reset rows [first, first+count) from secure
+     * to non-secure, zeroing their contents. Rejected unless issued
+     * from the secure context.
+     */
+    bool secureReset(std::uint32_t first, std::uint32_t count,
+                     bool from_secure);
+
+    /** Reconfigure the isolation mode (experiment setup only). */
+    void setMode(IsolationMode mode, std::uint32_t partition_boundary = 0);
+
+    World idState(std::uint32_t row) const;
+    std::uint32_t rows() const { return params.rows; }
+    std::uint32_t rowBytes() const { return params.row_bytes; }
+    SpadScope scope() const { return params.scope; }
+    IsolationMode mode() const { return params.mode; }
+
+    /**
+     * Rows usable by @p w under the current mode (drives the tiling
+     * compiler's view of available capacity).
+     */
+    std::uint32_t usableRows(World w) const;
+
+    std::uint64_t violations() const
+    {
+        return static_cast<std::uint64_t>(denied.value());
+    }
+
+    /**
+     * Raw, check-free access for the flush engine and loaders that
+     * operate with hardware privilege.
+     */
+    std::uint8_t *rawRow(std::uint32_t row);
+    const std::uint8_t *rawRow(std::uint32_t row) const;
+    void rawSetId(std::uint32_t row, World w);
+
+  private:
+    bool partitionAllows(World w, std::uint32_t row) const;
+
+    SpadParams params;
+    std::vector<std::uint8_t> data;   // rows * row_bytes
+    std::vector<World> id_state;      // per row
+
+    stats::Scalar reads;
+    stats::Scalar writes;
+    stats::Scalar denied;
+    stats::Scalar id_flips;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SPAD_SCRATCHPAD_HH

@@ -1,0 +1,49 @@
+#include "tee/hmac.hh"
+
+#include <cstring>
+
+namespace snpu
+{
+
+Digest
+hmacSha256(const std::vector<std::uint8_t> &key,
+           const std::vector<std::uint8_t> &data)
+{
+    constexpr std::size_t block = 64;
+    std::uint8_t k0[block] = {};
+
+    if (key.size() > block) {
+        const Digest kd = Sha256::hash(key);
+        std::memcpy(k0, kd.data(), kd.size());
+    } else {
+        std::memcpy(k0, key.data(), key.size());
+    }
+
+    std::uint8_t ipad[block];
+    std::uint8_t opad[block];
+    for (std::size_t i = 0; i < block; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad, block);
+    inner.update(data.data(), data.size());
+    const Digest inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad, block);
+    outer.update(inner_digest.data(), inner_digest.size());
+    return outer.finish();
+}
+
+bool
+digestEqual(const Digest &a, const Digest &b)
+{
+    std::uint8_t diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return diff == 0;
+}
+
+} // namespace snpu

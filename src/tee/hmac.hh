@@ -1,0 +1,28 @@
+/**
+ * @file
+ * HMAC-SHA256 (RFC 2104) for authenticated model bundles: the NPU
+ * Monitor verifies the MAC over the encrypted model before
+ * decrypting it into secure memory.
+ */
+
+#ifndef SNPU_TEE_HMAC_HH
+#define SNPU_TEE_HMAC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tee/sha256.hh"
+
+namespace snpu
+{
+
+/** HMAC-SHA256 over @p data with @p key. */
+Digest hmacSha256(const std::vector<std::uint8_t> &key,
+                  const std::vector<std::uint8_t> &data);
+
+/** Constant-time digest comparison. */
+bool digestEqual(const Digest &a, const Digest &b);
+
+} // namespace snpu
+
+#endif // SNPU_TEE_HMAC_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Context setter (§IV-C): the monitor module that programs the NPU
+ * secure context — core ID states and the Guarder's checking and
+ * translation registers — on behalf of a verified secure task. All
+ * writes go through the secure instruction path; the untrusted
+ * driver cannot reach these registers directly.
+ */
+
+#ifndef SNPU_TEE_MONITOR_CONTEXT_SETTER_HH
+#define SNPU_TEE_MONITOR_CONTEXT_SETTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "guarder/guarder.hh"
+#include "npu/npu_device.hh"
+#include "tee/secure_world.hh"
+
+namespace snpu
+{
+
+/** One memory window a task needs (model, input, output, ...). */
+struct TaskWindow
+{
+    Addr va_base = 0;
+    Addr pa_base = 0;
+    Addr size = 0;
+    GuardPerm perm;
+};
+
+/** The context setter. One guarder per core is registered. */
+class ContextSetter
+{
+  public:
+    ContextSetter(NpuDevice &device,
+                  std::vector<NpuGuarder *> guarders);
+
+    /**
+     * Program core @p core's secure context: set its ID state to
+     * secure and install the task's windows into its guarder.
+     * @return false (and rolls nothing back) when the caller lacks
+     * secure privilege or a register write fails.
+     */
+    bool setSecureContext(const SecureContext &ctx, std::uint32_t core,
+                          const std::vector<TaskWindow> &windows);
+
+    /**
+     * Tear down core @p core's secure context: clear registers and
+     * return the core to the normal world.
+     */
+    bool clearContext(const SecureContext &ctx, std::uint32_t core);
+
+    NpuGuarder &guarder(std::uint32_t core);
+
+  private:
+    NpuDevice &device;
+    std::vector<NpuGuarder *> guarders;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_CONTEXT_SETTER_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * NPU Monitor (§IV-C, Fig 10): the only trusted software on the NPU
+ * path. It combines the context setter, trusted allocator, code
+ * verifier and secure loader behind the trampoline interface. The
+ * driver, compiler, scheduler and ML framework all stay untrusted:
+ * everything they hand over is validated here before it can touch
+ * secure state.
+ *
+ * Launch pipeline for one secure task:
+ *   1. code verifier: measure program, compare to user expectation;
+ *   2. code verifier: HMAC-check + decrypt the confidential model
+ *      into a trusted-allocator buffer in secure memory;
+ *   3. secure loader: route-integrity check of the proposed cores;
+ *   4. trusted allocator: scratchpad overlap check + reservations;
+ *   5. context setter: program guarder windows + core ID states;
+ *   6. secure loader: wrap the program with privileged prologue/
+ *      epilogue and hand it to the caller for upload.
+ */
+
+#ifndef SNPU_TEE_MONITOR_NPU_MONITOR_HH
+#define SNPU_TEE_MONITOR_NPU_MONITOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "npu/npu_device.hh"
+#include "sim/stats.hh"
+#include "tee/monitor/code_verifier.hh"
+#include "tee/monitor/context_setter.hh"
+#include "tee/monitor/secure_loader.hh"
+#include "tee/monitor/task_queue.hh"
+#include "tee/monitor/trampoline.hh"
+#include "tee/monitor/trusted_allocator.hh"
+#include "tee/pmp.hh"
+
+namespace snpu
+{
+
+/** Outcome of a launch attempt. */
+struct LaunchResult
+{
+    bool ok = false;
+    std::string reason;
+    std::uint64_t task_id = 0;
+    /** Per-core loadable programs (privileged wrappers installed). */
+    std::vector<NpuProgram> loadable;
+    /** Cores (verified) the task will run on. */
+    std::vector<std::uint32_t> cores;
+    /** Secure-memory address of the decrypted model. */
+    Addr model_paddr = 0;
+};
+
+/** The NPU Monitor. */
+class NpuMonitor
+{
+  public:
+    NpuMonitor(stats::Group &stats, MemSystem &mem, NpuDevice &device,
+               std::vector<NpuGuarder *> guarders, AesKey sealed_key);
+
+    /** Untrusted entry point (driver side). */
+    Trampoline &trampoline() { return _trampoline; }
+
+    /** Driver API: submit a task. @return task id, 0 on failure. */
+    std::uint64_t submit(SecureTask task);
+
+    /**
+     * Driver API: ask the monitor to verify + load the next queued
+     * task. The driver supplies nothing here; all inputs were
+     * captured at submit time.
+     */
+    LaunchResult launchNext(const std::vector<TaskWindow> &extra_windows
+                            = {});
+
+    /** Driver API: release a finished task's secure resources. */
+    bool finish(std::uint64_t task_id);
+
+    SecureTaskQueue &queue() { return task_queue; }
+    TrustedAllocator &allocator() { return trusted_alloc; }
+    CodeVerifier &verifier() { return code_verifier; }
+    SecureLoader &loader() { return secure_loader; }
+    ContextSetter &contexts() { return context_setter; }
+    PmpUnit &pmp() { return pmp_unit; }
+
+    std::uint64_t rejectedLaunches() const
+    {
+        return static_cast<std::uint64_t>(rejected.value());
+    }
+
+  private:
+    LaunchResult reject(SecureTask &task, const std::string &why);
+
+    MemSystem &mem;
+    NpuDevice &device;
+    SecureContext monitor_ctx;
+
+    Trampoline _trampoline;
+    SecureTaskQueue task_queue;
+    TrustedAllocator trusted_alloc;
+    CodeVerifier code_verifier;
+    SecureLoader secure_loader;
+    ContextSetter context_setter;
+    PmpUnit pmp_unit;
+
+    stats::Scalar launches;
+    stats::Scalar rejected;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_NPU_MONITOR_HH

@@ -1,0 +1,108 @@
+#include "tee/monitor/secure_loader.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace snpu
+{
+
+const char *
+routeCheckErrorName(RouteCheckError e)
+{
+    switch (e) {
+      case RouteCheckError::ok:
+        return "ok";
+      case RouteCheckError::wrong_count:
+        return "wrong_count";
+      case RouteCheckError::duplicate_core:
+        return "duplicate_core";
+      case RouteCheckError::out_of_mesh:
+        return "out_of_mesh";
+      case RouteCheckError::not_contiguous:
+        return "not_contiguous";
+    }
+    return "?";
+}
+
+SecureLoader::SecureLoader(const Mesh &mesh)
+    : mesh(mesh)
+{
+}
+
+RouteCheckError
+SecureLoader::checkRoute(const NocTopology &topology,
+                         const std::vector<std::uint32_t> &cores) const
+{
+    if (cores.size() != topology.count())
+        return RouteCheckError::wrong_count;
+
+    std::set<std::uint32_t> unique(cores.begin(), cores.end());
+    if (unique.size() != cores.size())
+        return RouteCheckError::duplicate_core;
+
+    for (std::uint32_t core : cores) {
+        if (core >= mesh.nodes())
+            return RouteCheckError::out_of_mesh;
+    }
+
+    // The first core anchors the sub-mesh; the rest must follow in
+    // row-major order with the requested shape, entirely in-mesh.
+    const std::uint32_t anchor = cores.front();
+    const std::uint32_t ax = anchor % mesh.cols();
+    const std::uint32_t ay = anchor / mesh.cols();
+    if (ax + topology.cols > mesh.cols() ||
+        ay + topology.rows > mesh.meshRows()) {
+        return RouteCheckError::not_contiguous;
+    }
+    for (std::uint32_t r = 0; r < topology.rows; ++r) {
+        for (std::uint32_t c = 0; c < topology.cols; ++c) {
+            const std::uint32_t expected =
+                (ay + r) * mesh.cols() + (ax + c);
+            if (cores[r * topology.cols + c] != expected)
+                return RouteCheckError::not_contiguous;
+        }
+    }
+    return RouteCheckError::ok;
+}
+
+bool
+SecureLoader::prepare(const SecureContext &ctx, const NpuProgram &verified,
+                      NpuProgram &loadable) const
+{
+    if (!ctx.canConfigureSecure())
+        return false;
+
+    loadable = verified;
+    loadable.code.clear();
+    loadable.code.reserve(verified.code.size() + 2);
+
+    Instr prologue;
+    prologue.op = Opcode::sec_set_id;
+    prologue.world = World::secure;
+    prologue.privileged = true;
+    loadable.code.push_back(prologue);
+
+    for (const Instr &in : verified.code) {
+        Instr copy = in;
+        // User code never carries privilege into the NPU; only the
+        // loader's own prologue/epilogue instructions do.
+        copy.privileged = false;
+        loadable.code.push_back(copy);
+    }
+
+    Instr epilogue;
+    epilogue.op = Opcode::sec_reset_spad;
+    epilogue.spad_row = 0;
+    epilogue.rows = verified.spad_rows_used;
+    epilogue.privileged = true;
+    loadable.code.push_back(epilogue);
+
+    // Boundary indices shift by the one-instruction prologue.
+    for (auto &idx : loadable.layer_ends)
+        ++idx;
+    for (auto &idx : loadable.tile_ends)
+        ++idx;
+    return true;
+}
+
+} // namespace snpu

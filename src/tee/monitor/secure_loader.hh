@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Secure loader (§IV-B "Route integrity" + §IV-C): before a
+ * multi-core secure task starts, the loader checks that the core set
+ * proposed by the untrusted scheduler actually forms the NoC topology
+ * the user requested — e.g. a 2x2 sub-mesh, not a 1x4 strip that
+ * would route intermediate results through unexpected cores — and
+ * only then marks the program privileged and uploads it.
+ */
+
+#ifndef SNPU_TEE_MONITOR_SECURE_LOADER_HH
+#define SNPU_TEE_MONITOR_SECURE_LOADER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh.hh"
+#include "npu/isa.hh"
+#include "tee/monitor/task_queue.hh"
+#include "tee/secure_world.hh"
+
+namespace snpu
+{
+
+/** Why a route-integrity check failed. */
+enum class RouteCheckError : std::uint8_t
+{
+    ok,
+    wrong_count,       //!< core count != requested topology size
+    duplicate_core,    //!< same core listed twice
+    out_of_mesh,       //!< core id outside the physical mesh
+    not_contiguous,    //!< cores do not form the requested sub-mesh
+};
+
+const char *routeCheckErrorName(RouteCheckError e);
+
+/** The secure loader. */
+class SecureLoader
+{
+  public:
+    explicit SecureLoader(const Mesh &mesh);
+
+    /**
+     * Route integrity check: do @p cores form a contiguous
+     * topology.cols x topology.rows sub-mesh of the physical mesh,
+     * in row-major order?
+     */
+    RouteCheckError checkRoute(const NocTopology &topology,
+                               const std::vector<std::uint32_t> &cores)
+        const;
+
+    /**
+     * Produce the loadable (privileged) program for one core:
+     * a privileged prologue that sets the core's ID state, the
+     * verified user program, and a privileged epilogue that resets
+     * the secure scratchpad rows. Requires secure privilege.
+     */
+    bool prepare(const SecureContext &ctx, const NpuProgram &verified,
+                 NpuProgram &loadable) const;
+
+  private:
+    const Mesh &mesh;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_SECURE_LOADER_HH

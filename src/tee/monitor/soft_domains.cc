@@ -1,0 +1,92 @@
+#include "tee/monitor/soft_domains.hh"
+
+namespace snpu
+{
+
+SoftDomainTable::SoftDomainTable(stats::Group &stats)
+    : checks(stats, "softdom_checks", "software-domain checks"),
+      denials(stats, "softdom_denials", "software-domain denials"),
+      registrations(stats, "softdom_registrations",
+                    "software domains registered")
+{
+}
+
+bool
+SoftDomainTable::registerDomain(const SoftDomain &domain)
+{
+    if (domain.task_id == 0 || domains.count(domain.task_id))
+        return false;
+
+    // Overlap checks against every existing domain.
+    for (const auto &[id, other] : domains) {
+        for (const auto &[core, range] : domain.spad_rows) {
+            auto it = other.spad_rows.find(core);
+            if (it == other.spad_rows.end())
+                continue;
+            const auto [a_first, a_count] = range;
+            const auto [b_first, b_count] = it->second;
+            const bool disjoint = a_first + a_count <= b_first ||
+                                  b_first + b_count <= a_first;
+            if (!disjoint)
+                return false;
+        }
+        for (const AddrRange &w : domain.windows) {
+            for (const AddrRange &ow : other.windows) {
+                if (w.overlaps(ow))
+                    return false;
+            }
+        }
+    }
+    domains[domain.task_id] = domain;
+    ++registrations;
+    return true;
+}
+
+bool
+SoftDomainTable::unregisterDomain(std::uint64_t task_id)
+{
+    return domains.erase(task_id) != 0;
+}
+
+bool
+SoftDomainTable::checkSpad(std::uint64_t task_id, std::uint32_t core,
+                           std::uint32_t row)
+{
+    ++checks;
+    auto it = domains.find(task_id);
+    if (it == domains.end()) {
+        ++denials;
+        return false;
+    }
+    auto rit = it->second.spad_rows.find(core);
+    if (rit == it->second.spad_rows.end()) {
+        ++denials;
+        return false;
+    }
+    const auto [first, count] = rit->second;
+    if (row < first || row >= first + count) {
+        ++denials;
+        return false;
+    }
+    return true;
+}
+
+bool
+SoftDomainTable::checkMemory(std::uint64_t task_id, Addr addr,
+                             Addr bytes)
+{
+    ++checks;
+    auto it = domains.find(task_id);
+    if (it == domains.end()) {
+        ++denials;
+        return false;
+    }
+    for (const AddrRange &w : it->second.windows) {
+        if (w.contains(addr, bytes))
+            return true;
+    }
+    ++denials;
+    return false;
+}
+
+} // namespace snpu

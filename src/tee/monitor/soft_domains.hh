@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Software-defined domains (§VII): within one hardware-defined
+ * secure domain, the NPU Monitor can further isolate multiple secure
+ * ML tasks from each other — scratchpad row ranges and memory
+ * windows are checked in software on each grant. This trades a small
+ * checking overhead (counted here) for unbounded domain count, and
+ * never affects tasks outside the secure world.
+ */
+
+#ifndef SNPU_TEE_MONITOR_SOFT_DOMAINS_HH
+#define SNPU_TEE_MONITOR_SOFT_DOMAINS_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** One software domain's resource grants. */
+struct SoftDomain
+{
+    std::uint64_t task_id = 0;
+    /** Scratchpad rows this domain owns, per core. */
+    std::map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>>
+        spad_rows; // core -> (first, count)
+    /** Secure-memory windows this domain may touch. */
+    std::vector<AddrRange> windows;
+};
+
+/**
+ * The software-domain checker the monitor consults for secure tasks.
+ * Registration rejects overlapping grants; checks count their own
+ * cost (the §VII "checking overhead").
+ */
+class SoftDomainTable
+{
+  public:
+    explicit SoftDomainTable(stats::Group &stats);
+
+    /**
+     * Register a domain. Fails when any scratchpad range or memory
+     * window overlaps an existing domain's grant.
+     */
+    bool registerDomain(const SoftDomain &domain);
+
+    /** Remove a domain and free its grants. */
+    bool unregisterDomain(std::uint64_t task_id);
+
+    /** May @p task touch scratchpad row @p row on @p core? */
+    bool checkSpad(std::uint64_t task_id, std::uint32_t core,
+                   std::uint32_t row);
+
+    /** May @p task touch memory [addr, addr+bytes)? */
+    bool checkMemory(std::uint64_t task_id, Addr addr, Addr bytes);
+
+    std::size_t domainCount() const { return domains.size(); }
+    std::uint64_t checksPerformed() const
+    {
+        return static_cast<std::uint64_t>(checks.value());
+    }
+    std::uint64_t denialCount() const
+    {
+        return static_cast<std::uint64_t>(denials.value());
+    }
+
+  private:
+    std::map<std::uint64_t, SoftDomain> domains;
+
+    stats::Scalar checks;
+    stats::Scalar denials;
+    stats::Scalar registrations;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_SOFT_DOMAINS_HH

@@ -1,0 +1,50 @@
+#include "tee/monitor/trampoline.hh"
+
+namespace snpu
+{
+
+Trampoline::Trampoline(MemSystem &mem)
+    : mem(mem)
+{
+}
+
+void
+Trampoline::registerHandler(MonitorFn fn, Handler handler)
+{
+    handlers[fn] = std::move(handler);
+}
+
+TrampolineResult
+Trampoline::invoke(const TrampolineCall &call)
+{
+    ++call_count;
+
+    auto it = handlers.find(call.fn);
+    if (it == handlers.end()) {
+        ++reject_count;
+        return TrampolineResult{false, 0, 1};
+    }
+
+    // The shared window must be entirely normal-world memory: the
+    // monitor will dereference it with secure privilege, so letting
+    // the driver point it at secure memory would leak or corrupt
+    // secrets (classic confused deputy).
+    if (call.shared.size > 0) {
+        const bool in_dram =
+            mem.map().dram().contains(call.shared.base,
+                                      call.shared.size);
+        const bool touches_secure =
+            call.shared.overlaps(mem.map().secureRegion());
+        if (!in_dram || touches_secure) {
+            ++reject_count;
+            return TrampolineResult{false, 0, 2};
+        }
+    }
+
+    TrampolineResult result = it->second(call);
+    if (!result.ok && result.error == 0)
+        result.error = 3;
+    return result;
+}
+
+} // namespace snpu

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trampoline protocol (§IV-C / §V): the only interface between the
+ * untrusted NPU driver in the normal world and the NPU Monitor in
+ * the secure world. A call carries a function ID, scalar arguments,
+ * and a shared-memory window for bulk data (encrypted models, task
+ * descriptors). The monitor validates the function ID and that the
+ * shared window lies entirely in normal-world memory — the driver
+ * must never be able to make the monitor read or write secure memory
+ * on its behalf (confused-deputy prevention).
+ */
+
+#ifndef SNPU_TEE_MONITOR_TRAMPOLINE_HH
+#define SNPU_TEE_MONITOR_TRAMPOLINE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "mem/mem_system.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Monitor functions callable through the trampoline. */
+enum class MonitorFn : std::uint32_t
+{
+    submit_task = 1,    //!< enqueue a secure task descriptor
+    launch_task = 2,    //!< verify + load + run the next queued task
+    reset_spad = 3,     //!< release secure scratchpad rows
+    query_status = 4,   //!< read back task status
+};
+
+/** One trampoline call frame. */
+struct TrampolineCall
+{
+    MonitorFn fn = MonitorFn::query_status;
+    std::array<std::uint64_t, 6> args{};
+    /** Shared-memory window (normal world) for bulk arguments. */
+    AddrRange shared{0, 0};
+};
+
+/** Result returned to the normal world. */
+struct TrampolineResult
+{
+    bool ok = false;
+    std::uint64_t value = 0;
+    /** Error code: 0 none, 1 bad fn, 2 bad shared window, 3 handler. */
+    std::uint32_t error = 0;
+};
+
+/**
+ * The trampoline. The monitor registers handlers; the driver calls
+ * invoke(). Handler code runs with the monitor's context — the
+ * trampoline's validation is the security boundary.
+ */
+class Trampoline
+{
+  public:
+    using Handler = std::function<TrampolineResult(
+        const TrampolineCall &)>;
+
+    explicit Trampoline(MemSystem &mem);
+
+    void registerHandler(MonitorFn fn, Handler handler);
+
+    /** Entry from the normal world. */
+    TrampolineResult invoke(const TrampolineCall &call);
+
+    std::uint64_t calls() const { return call_count; }
+    std::uint64_t rejected() const { return reject_count; }
+
+  private:
+    MemSystem &mem;
+    std::map<MonitorFn, Handler> handlers;
+    std::uint64_t call_count = 0;
+    std::uint64_t reject_count = 0;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_TRAMPOLINE_HH

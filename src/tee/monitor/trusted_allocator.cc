@@ -1,0 +1,125 @@
+#include "tee/monitor/trusted_allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+TrustedAllocator::TrustedAllocator(AddrRange arena, Addr alignment)
+    : _arena(arena), alignment(alignment)
+{
+    if (arena.size == 0)
+        fatal("trusted allocator arena is empty");
+    if (alignment == 0 || (alignment & (alignment - 1)) != 0)
+        fatal("allocator alignment must be a power of two");
+    free_list.push_back(FreeBlock{arena.base, arena.size});
+}
+
+Addr
+TrustedAllocator::alloc(Addr bytes)
+{
+    if (bytes == 0)
+        return 0;
+    bytes = (bytes + alignment - 1) & ~(alignment - 1);
+
+    for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+        if (it->size < bytes)
+            continue;
+        const Addr base = it->base;
+        if (it->size == bytes) {
+            free_list.erase(it);
+        } else {
+            it->base += bytes;
+            it->size -= bytes;
+        }
+        allocations[base] = bytes;
+        return base;
+    }
+    return 0;
+}
+
+bool
+TrustedAllocator::free(Addr addr)
+{
+    auto it = allocations.find(addr);
+    if (it == allocations.end())
+        return false;
+    const Addr size = it->second;
+    allocations.erase(it);
+
+    // Insert sorted and coalesce with neighbours.
+    auto pos = free_list.begin();
+    while (pos != free_list.end() && pos->base < addr)
+        ++pos;
+    pos = free_list.insert(pos, FreeBlock{addr, size});
+
+    if (pos != free_list.begin()) {
+        auto prev = std::prev(pos);
+        if (prev->base + prev->size == pos->base) {
+            prev->size += pos->size;
+            free_list.erase(pos);
+            pos = prev;
+        }
+    }
+    auto next = std::next(pos);
+    if (next != free_list.end() && pos->base + pos->size == next->base) {
+        pos->size += next->size;
+        free_list.erase(next);
+    }
+    return true;
+}
+
+bool
+TrustedAllocator::reserveSpad(std::uint64_t task, std::uint32_t core,
+                              std::uint32_t first_row,
+                              std::uint32_t rows)
+{
+    if (rows == 0)
+        return false;
+    for (const auto &[owner, res] : spad_map) {
+        if (res.core != core)
+            continue;
+        const bool disjoint = first_row + rows <= res.first_row ||
+                              res.first_row + res.rows <= first_row;
+        if (!disjoint)
+            return false;
+    }
+    spad_map.emplace(task, SpadReservation{core, first_row, rows});
+    return true;
+}
+
+void
+TrustedAllocator::releaseSpad(std::uint64_t task)
+{
+    spad_map.erase(task);
+}
+
+std::vector<SpadReservation>
+TrustedAllocator::reservations(std::uint64_t task) const
+{
+    std::vector<SpadReservation> out;
+    auto [lo, hi] = spad_map.equal_range(task);
+    for (auto it = lo; it != hi; ++it)
+        out.push_back(it->second);
+    return out;
+}
+
+Addr
+TrustedAllocator::bytesFree() const
+{
+    Addr total = 0;
+    for (const auto &block : free_list)
+        total += block.size;
+    return total;
+}
+
+Addr
+TrustedAllocator::bytesAllocated() const
+{
+    Addr total = 0;
+    for (const auto &[base, size] : allocations)
+        total += size;
+    return total;
+}
+
+} // namespace snpu

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trusted allocator (§IV-C): manages the secure-world NPU arena —
+ * model/input/output buffers of secure tasks — with a first-fit
+ * free-list allocator, and tracks scratchpad row reservations so no
+ * two secure tasks overlap in the scratchpad.
+ */
+
+#ifndef SNPU_TEE_MONITOR_TRUSTED_ALLOCATOR_HH
+#define SNPU_TEE_MONITOR_TRUSTED_ALLOCATOR_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** A scratchpad row reservation held by a task on one core. */
+struct SpadReservation
+{
+    std::uint32_t core = 0;
+    std::uint32_t first_row = 0;
+    std::uint32_t rows = 0;
+};
+
+/** First-fit allocator over the secure NPU arena. */
+class TrustedAllocator
+{
+  public:
+    explicit TrustedAllocator(AddrRange arena,
+                              Addr alignment = 64);
+
+    /** Allocate @p bytes; 0 on failure. */
+    Addr alloc(Addr bytes);
+
+    /** Free a previous allocation; false when unknown. */
+    bool free(Addr addr);
+
+    /**
+     * Reserve scratchpad rows for @p task on @p core. Fails when the
+     * range overlaps an existing reservation on the same core — the
+     * "no overlap for the scratchpad" check of §IV-C.
+     */
+    bool reserveSpad(std::uint64_t task, std::uint32_t core,
+                     std::uint32_t first_row, std::uint32_t rows);
+
+    /** Release every scratchpad reservation held by @p task. */
+    void releaseSpad(std::uint64_t task);
+
+    /** Reservations currently held by @p task. */
+    std::vector<SpadReservation> reservations(std::uint64_t task) const;
+
+    Addr bytesFree() const;
+    Addr bytesAllocated() const;
+    const AddrRange &arena() const { return _arena; }
+
+  private:
+    struct FreeBlock
+    {
+        Addr base;
+        Addr size;
+    };
+
+    AddrRange _arena;
+    Addr alignment;
+    std::list<FreeBlock> free_list;
+    std::map<Addr, Addr> allocations; // base -> size
+    std::multimap<std::uint64_t, SpadReservation> spad_map;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_MONITOR_TRUSTED_ALLOCATOR_HH

@@ -1,0 +1,59 @@
+#include "tee/pmp.hh"
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+PmpUnit::PmpUnit(std::size_t count)
+    : entries(count)
+{
+    if (count == 0)
+        fatal("PMP unit needs at least one entry");
+}
+
+bool
+PmpUnit::configure(std::size_t idx, const PmpEntry &entry,
+                   const SecureContext &ctx)
+{
+    if (ctx.privilege != Privilege::machine)
+        return false;
+    if (idx >= entries.size())
+        return false;
+    if (entries[idx].valid && entries[idx].locked)
+        return false;
+    entries[idx] = entry;
+    return true;
+}
+
+bool
+PmpUnit::check(const SecureContext &ctx, Addr addr, Addr bytes,
+               bool is_write, bool is_exec) const
+{
+    for (const auto &e : entries) {
+        if (!e.valid || !e.range.contains(addr, bytes))
+            continue;
+        if (static_cast<int>(ctx.privilege) <
+            static_cast<int>(e.min_privilege)) {
+            ++denial_count;
+            return false;
+        }
+        bool ok = true;
+        if (is_exec)
+            ok = e.perm.exec;
+        else if (is_write)
+            ok = e.perm.write;
+        else
+            ok = e.perm.read;
+        if (!ok)
+            ++denial_count;
+        return ok;
+    }
+    // No match: machine mode falls through, everyone else is denied.
+    if (ctx.privilege == Privilege::machine)
+        return true;
+    ++denial_count;
+    return false;
+}
+
+} // namespace snpu

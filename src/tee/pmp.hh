@@ -1,0 +1,73 @@
+/**
+ * @file
+ * RISC-V-style Physical Memory Protection model. The NPU Monitor's
+ * code and data live behind PMP entries only machine mode may
+ * reconfigure; normal-world software cannot reach monitor memory.
+ * This is the mechanism the paper's prototype uses to carve the
+ * monitor's secure domain (§V, "PMP protection").
+ */
+
+#ifndef SNPU_TEE_PMP_HH
+#define SNPU_TEE_PMP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/address_map.hh"
+#include "tee/secure_world.hh"
+
+namespace snpu
+{
+
+/** Permission bits of one PMP entry. */
+struct PmpPerm
+{
+    bool read = false;
+    bool write = false;
+    bool exec = false;
+};
+
+/** One PMP entry. */
+struct PmpEntry
+{
+    bool valid = false;
+    /** Locked entries bind even machine mode until reset. */
+    bool locked = false;
+    AddrRange range;
+    PmpPerm perm;
+    /** Minimum privilege that may use this window at all. */
+    Privilege min_privilege = Privilege::user;
+};
+
+/** The PMP unit. */
+class PmpUnit
+{
+  public:
+    explicit PmpUnit(std::size_t entries = 16);
+
+    /**
+     * Program entry @p idx. Only machine mode may program; locked
+     * entries refuse reprogramming even from machine mode.
+     */
+    bool configure(std::size_t idx, const PmpEntry &entry,
+                   const SecureContext &ctx);
+
+    /**
+     * Check an access. Matching follows priority order (lowest index
+     * wins, like hardware). An access matching no entry is allowed
+     * only for machine mode (the RISC-V default).
+     */
+    bool check(const SecureContext &ctx, Addr addr, Addr bytes,
+               bool is_write, bool is_exec = false) const;
+
+    std::size_t capacity() const { return entries.size(); }
+    std::uint64_t denials() const { return denial_count; }
+
+  private:
+    std::vector<PmpEntry> entries;
+    mutable std::uint64_t denial_count = 0;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_PMP_HH

@@ -1,0 +1,47 @@
+#include "tee/secure_boot.hh"
+
+namespace snpu
+{
+
+void
+BootChain::addStage(std::string name, std::vector<std::uint8_t> image)
+{
+    BootStage stage;
+    stage.name = std::move(name);
+    stage.expected = Sha256::hash(image);
+    stage.image = std::move(image);
+    chain.push_back(std::move(stage));
+}
+
+bool
+BootChain::corruptStage(const std::string &name, std::size_t byte_index)
+{
+    for (auto &stage : chain) {
+        if (stage.name != name)
+            continue;
+        if (stage.image.empty())
+            return false;
+        const std::size_t idx = byte_index % stage.image.size();
+        stage.image[idx] ^= 0xff;
+        return true;
+    }
+    return false;
+}
+
+BootReport
+BootChain::boot() const
+{
+    BootReport report;
+    for (const auto &stage : chain) {
+        const Digest measured = Sha256::hash(stage.image);
+        if (!(measured == stage.expected)) {
+            report.failed_stage = stage.name;
+            return report;
+        }
+        report.verified.push_back(stage.name);
+    }
+    report.ok = true;
+    return report;
+}
+
+} // namespace snpu

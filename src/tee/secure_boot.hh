@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Measured boot chain (§IV-C "Secure boot"): ROM -> trusted loader ->
+ * trusted firmware -> TEEOS + NPU Monitor -> normal world. Each stage
+ * carries an expected SHA-256 measurement; the previous stage hashes
+ * the next stage's image and halts the chain on mismatch. The root
+ * of trust (the first expected measurement) stays in the "SoC" —
+ * i.e., in the BootChain object itself.
+ */
+
+#ifndef SNPU_TEE_SECURE_BOOT_HH
+#define SNPU_TEE_SECURE_BOOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tee/sha256.hh"
+
+namespace snpu
+{
+
+/** One boot stage: a named image plus its expected measurement. */
+struct BootStage
+{
+    std::string name;
+    std::vector<std::uint8_t> image;
+    Digest expected{};
+};
+
+/** Result of a boot attempt. */
+struct BootReport
+{
+    bool ok = false;
+    /** Stages that verified before the failure (all, when ok). */
+    std::vector<std::string> verified;
+    /** Name of the stage whose measurement failed (empty when ok). */
+    std::string failed_stage;
+};
+
+/** The measured boot chain. */
+class BootChain
+{
+  public:
+    /** Append a stage; expected measurements are taken at add time
+     *  (golden images), so later tampering is detectable. */
+    void addStage(std::string name, std::vector<std::uint8_t> image);
+
+    /** Tamper helper for tests/demos: mutate a staged image. */
+    bool corruptStage(const std::string &name, std::size_t byte_index);
+
+    /** Run the chain: verify each stage in order. */
+    BootReport boot() const;
+
+    std::size_t stages() const { return chain.size(); }
+
+  private:
+    std::vector<BootStage> chain;
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_SECURE_BOOT_HH

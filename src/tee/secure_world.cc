@@ -1,0 +1,8 @@
+#include "tee/secure_world.hh"
+
+// SecureContext is header-only; this unit exists for build symmetry
+// and future non-inline additions.
+
+namespace snpu
+{
+} // namespace snpu

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CPU-side TEE context, Penglai/TrustZone style: execution happens in
+ * the normal world, the secure world, or machine (monitor) mode. The
+ * SecureContext value acts as the capability token that privileged
+ * interfaces (guarder programming, core ID setting, secure
+ * instructions) demand; the untrusted driver only ever holds a
+ * normal-world token.
+ */
+
+#ifndef SNPU_TEE_SECURE_WORLD_HH
+#define SNPU_TEE_SECURE_WORLD_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** CPU privilege level in the TEE model. */
+enum class Privilege : std::uint8_t
+{
+    user = 0,
+    supervisor = 1,
+    machine = 3,   //!< the monitor (RISC-V M mode / ARM EL3)
+};
+
+/** Execution context of a CPU-side software agent. */
+struct SecureContext
+{
+    World world = World::normal;
+    Privilege privilege = Privilege::user;
+
+    /** May this context program secure NPU state? */
+    bool
+    canConfigureSecure() const
+    {
+        return world == World::secure ||
+               privilege == Privilege::machine;
+    }
+
+    static SecureContext
+    monitor()
+    {
+        return SecureContext{World::secure, Privilege::machine};
+    }
+    static SecureContext
+    secureUser()
+    {
+        return SecureContext{World::secure, Privilege::user};
+    }
+    static SecureContext
+    normalDriver()
+    {
+        return SecureContext{World::normal, Privilege::supervisor};
+    }
+};
+
+} // namespace snpu
+
+#endif // SNPU_TEE_SECURE_WORLD_HH

@@ -1,0 +1,57 @@
+#include "workload/layer.hh"
+
+#include <algorithm>
+
+namespace snpu
+{
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::conv:
+        return "conv";
+      case LayerKind::depthwise:
+        return "depthwise";
+      case LayerKind::pointwise:
+        return "pointwise";
+      case LayerKind::fc:
+        return "fc";
+      case LayerKind::attention:
+        return "attention";
+    }
+    return "?";
+}
+
+std::uint64_t
+ModelSpec::macs() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.macs();
+    return total;
+}
+
+std::uint64_t
+ModelSpec::weightBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.wBytes();
+    return total;
+}
+
+ModelSpec
+ModelSpec::scaled(std::uint32_t divisor) const
+{
+    if (divisor <= 1)
+        return *this;
+    ModelSpec out;
+    out.name = name;
+    out.layers = layers;
+    for (auto &layer : out.layers)
+        layer.m = std::max<std::uint32_t>(16, layer.m / divisor);
+    return out;
+}
+
+} // namespace snpu

@@ -1,0 +1,65 @@
+#include "workload/mapping.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+std::vector<PipelineStage>
+balanceStages(const ModelSpec &model, std::uint32_t stages)
+{
+    if (stages == 0)
+        fatal("need at least one pipeline stage");
+    const std::size_t layers = model.layers.size();
+    if (layers == 0)
+        fatal("cannot map an empty model");
+    stages = std::min<std::uint32_t>(
+        stages, static_cast<std::uint32_t>(layers));
+
+    const std::uint64_t total = model.macs();
+    const std::uint64_t target = total / stages;
+
+    std::vector<PipelineStage> out;
+    PipelineStage current;
+    current.first_layer = 0;
+
+    for (std::size_t i = 0; i < layers; ++i) {
+        const LayerSpec &layer = model.layers[i];
+        current.layer_count += 1;
+        current.macs += layer.macs();
+        current.out_bytes = layer.cBytes();
+
+        const std::size_t remaining_layers = layers - i - 1;
+        const std::size_t remaining_stages = stages - out.size() - 1;
+        const bool must_close = remaining_layers == remaining_stages &&
+                                remaining_stages > 0;
+        const bool reached = current.macs >= target &&
+                             out.size() + 1 < stages;
+        if ((reached || must_close) && remaining_stages > 0) {
+            out.push_back(current);
+            current = PipelineStage{};
+            current.first_layer = i + 1;
+        }
+    }
+    if (current.layer_count > 0)
+        out.push_back(current);
+    return out;
+}
+
+ModelSpec
+stageModel(const ModelSpec &model, const PipelineStage &stage)
+{
+    ModelSpec out;
+    out.name = model.name + "_stage";
+    out.layers.assign(
+        model.layers.begin() +
+            static_cast<std::ptrdiff_t>(stage.first_layer),
+        model.layers.begin() +
+            static_cast<std::ptrdiff_t>(stage.first_layer +
+                                        stage.layer_count));
+    return out;
+}
+
+} // namespace snpu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Multi-core mapping strategies. Fig 17's experiments pipeline a
+ * network's layers across several NPU cores; the mapper balances
+ * stages by MAC count (the "feasible mapping strategy" the paper
+ * uses — mapping optimality is explicitly out of scope there).
+ */
+
+#ifndef SNPU_WORKLOAD_MAPPING_HH
+#define SNPU_WORKLOAD_MAPPING_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/layer.hh"
+
+namespace snpu
+{
+
+/** One pipeline stage: a contiguous range of layers. */
+struct PipelineStage
+{
+    std::size_t first_layer = 0;
+    std::size_t layer_count = 0;
+    std::uint64_t macs = 0;
+    /** Activation bytes leaving this stage (to the next). */
+    std::uint64_t out_bytes = 0;
+};
+
+/**
+ * Split @p model into @p stages contiguous stages with approximately
+ * equal MAC counts (greedy threshold partitioning).
+ */
+std::vector<PipelineStage> balanceStages(const ModelSpec &model,
+                                         std::uint32_t stages);
+
+/** Build the sub-model for one stage. */
+ModelSpec stageModel(const ModelSpec &model, const PipelineStage &stage);
+
+} // namespace snpu
+
+#endif // SNPU_WORKLOAD_MAPPING_HH

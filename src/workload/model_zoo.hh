@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The six evaluation networks (§VI-A): GoogleNet, AlexNet, YOLO-lite,
+ * MobileNet, ResNet, and BERT — CV and NLP models with very different
+ * kernel mixes, arithmetic intensity, and weight footprints. Layer
+ * shapes are representative GEMM lowerings of the published
+ * architectures (inference; CNNs at batch 1 except the FC-heavy
+ * AlexNet head which uses a batch of 128, BERT at sequence 512).
+ */
+
+#ifndef SNPU_WORKLOAD_MODEL_ZOO_HH
+#define SNPU_WORKLOAD_MODEL_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/layer.hh"
+
+namespace snpu
+{
+
+/** The evaluation workloads, in the paper's order. */
+enum class ModelId
+{
+    googlenet,
+    alexnet,
+    yololite,
+    mobilenet,
+    resnet,
+    bert,
+};
+
+/** All six, for sweeps. */
+std::vector<ModelId> allModels();
+
+const char *modelName(ModelId id);
+
+/** Build the layer list for @p id. */
+ModelSpec makeModel(ModelId id);
+
+/** Parse a model name; fatal on unknown names. */
+ModelId modelByName(const std::string &name);
+
+} // namespace snpu
+
+#endif // SNPU_WORKLOAD_MODEL_ZOO_HH

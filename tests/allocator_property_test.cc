@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Property tests for the trusted allocator: under random alloc/free
+ * sequences, live allocations never overlap, freed space is reusable
+ * (coalescing works), and accounting balances.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/random.hh"
+#include "tee/monitor/trusted_allocator.hh"
+
+namespace snpu
+{
+namespace
+{
+
+class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AllocatorProperty, RandomAllocFreeKeepsInvariants)
+{
+    const AddrRange arena{0x1000, 1u << 20};
+    TrustedAllocator alloc(arena);
+    Rng rng(GetParam());
+
+    std::map<Addr, Addr> live; // base -> requested size
+    Addr live_bytes = 0;
+
+    for (int op = 0; op < 4000; ++op) {
+        if (live.empty() || rng.chance(0.55)) {
+            const Addr size = 64 + rng.below(8192);
+            const Addr base = alloc.alloc(size);
+            if (base == 0)
+                continue; // exhausted is legal
+            // Inside the arena.
+            EXPECT_TRUE(arena.contains(base, size));
+            // Aligned.
+            EXPECT_EQ(base % 64, 0u);
+            // Disjoint from every live allocation (conservatively
+            // use the aligned size bound of +63).
+            for (const auto &[other, osize] : live) {
+                const Addr oend = other + ((osize + 63) & ~Addr(63));
+                const Addr end = base + ((size + 63) & ~Addr(63));
+                EXPECT_TRUE(end <= other || oend <= base)
+                    << "overlap: " << base << " vs " << other;
+            }
+            live[base] = size;
+            live_bytes += (size + 63) & ~Addr(63);
+        } else {
+            auto it = live.begin();
+            std::advance(it,
+                         static_cast<long>(rng.below(live.size())));
+            EXPECT_TRUE(alloc.free(it->first));
+            live_bytes -= (it->second + 63) & ~Addr(63);
+            live.erase(it);
+        }
+        EXPECT_EQ(alloc.bytesAllocated(), live_bytes);
+        EXPECT_EQ(alloc.bytesFree(), arena.size - live_bytes);
+    }
+
+    // Free everything: the arena must coalesce back to one block
+    // able to satisfy a full-size allocation.
+    for (const auto &[base, size] : live)
+        EXPECT_TRUE(alloc.free(base));
+    EXPECT_EQ(alloc.bytesFree(), arena.size);
+    const Addr whole = alloc.alloc(arena.size);
+    EXPECT_EQ(whole, arena.base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Values(1, 9, 81, 6561));
+
+TEST(AllocatorEdge, DoubleFreeRejected)
+{
+    TrustedAllocator alloc(AddrRange{0x1000, 0x10000});
+    const Addr a = alloc.alloc(128);
+    ASSERT_NE(a, 0u);
+    EXPECT_TRUE(alloc.free(a));
+    EXPECT_FALSE(alloc.free(a));
+}
+
+TEST(AllocatorEdge, ZeroByteAllocReturnsZero)
+{
+    TrustedAllocator alloc(AddrRange{0x1000, 0x10000});
+    EXPECT_EQ(alloc.alloc(0), 0u);
+}
+
+TEST(AllocatorEdge, OversizeAllocReturnsZero)
+{
+    TrustedAllocator alloc(AddrRange{0x1000, 0x1000});
+    EXPECT_EQ(alloc.alloc(0x2000), 0u);
+    EXPECT_EQ(alloc.bytesAllocated(), 0u);
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Security tests: every attack in the library must succeed against
+ * the unprotected baseline and be blocked by sNPU. This is the
+ * executable form of the paper's three attack surfaces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/attacks.hh"
+#include "core/soc.hh"
+
+namespace snpu
+{
+namespace
+{
+
+const std::vector<std::uint8_t> secret = {0xde, 0xad, 0xbe, 0xef,
+                                          0x10, 0x20, 0x30, 0x40};
+
+TEST(Attacks, LeftoverLocalsSucceedsOnNormalNpu)
+{
+    Soc soc(makeSystem(SystemKind::normal_npu));
+    AttackResult res = leftoverLocalsAttack(soc, secret);
+    EXPECT_FALSE(res.blocked) << res.detail;
+    ASSERT_EQ(res.leaked.size(), secret.size());
+    EXPECT_EQ(res.leaked, secret);
+}
+
+TEST(Attacks, LeftoverLocalsBlockedOnSnpu)
+{
+    Soc soc(makeSystem(SystemKind::snpu));
+    AttackResult res = leftoverLocalsAttack(soc, secret);
+    EXPECT_TRUE(res.blocked) << res.detail;
+    EXPECT_TRUE(res.leaked.empty());
+}
+
+TEST(Attacks, NocHijackSucceedsOnNormalNpu)
+{
+    Soc soc(makeSystem(SystemKind::normal_npu));
+    AttackResult res = nocHijackAttack(soc, secret);
+    EXPECT_FALSE(res.blocked) << res.detail;
+    EXPECT_EQ(res.leaked, secret);
+}
+
+TEST(Attacks, NocHijackBlockedByPeephole)
+{
+    Soc soc(makeSystem(SystemKind::snpu));
+    AttackResult res = nocHijackAttack(soc, secret);
+    EXPECT_TRUE(res.blocked) << res.detail;
+    EXPECT_NE(res.detail.find("peephole"), std::string::npos);
+}
+
+TEST(Attacks, DmaOutOfBoundsBlockedEverywhere)
+{
+    // Even the normal NPU's memory partition stops a normal-world
+    // DMA into secure memory; sNPU additionally blocks it at the
+    // Guarder before it reaches the bus.
+    for (SystemKind kind :
+         {SystemKind::normal_npu, SystemKind::snpu}) {
+        Soc soc(makeSystem(kind));
+        AttackResult res = dmaOutOfBoundsAttack(soc, secret);
+        EXPECT_TRUE(res.blocked)
+            << systemKindName(kind) << ": " << res.detail;
+    }
+}
+
+TEST(Attacks, DmaOutOfBoundsSucceedsIfNpuClaimsSecure)
+{
+    // On the unprotected NPU, the driver can first flip the core
+    // into the secure world (no enforcement), then the DMA passes
+    // the partition — the full threat-1 chain.
+    Soc soc(makeSystem(SystemKind::normal_npu));
+    ASSERT_TRUE(soc.driverSetCoreWorld(
+        0, World::secure, SecureContext::normalDriver()));
+    AttackResult res = dmaOutOfBoundsAttack(soc, secret);
+    // dmaOutOfBoundsAttack resets core 0 to normal world itself, so
+    // re-flip before the DMA: run the raw steps here instead.
+    // (The helper already sets world normal; this test documents
+    // the distinction via the soc-level API.)
+    (void)res;
+    ASSERT_TRUE(soc.driverSetCoreWorld(
+        0, World::secure, SecureContext::normalDriver()));
+    NpuCore &core = soc.npu().core(0);
+    const Addr secret_pa =
+        soc.mem().map().secureRegion().base + (4u << 20);
+    soc.mem().data().write(secret_pa, secret.data(), secret.size());
+    DmaRequest req{secret_pa, 64, MemOp::read, core.idState()};
+    std::vector<std::uint8_t> buf;
+    DmaResult dres = core.dma().transfer(0, req, &buf);
+    EXPECT_TRUE(dres.ok);
+    buf.resize(secret.size());
+    EXPECT_EQ(buf, secret);
+}
+
+TEST(Attacks, SecInstructionBlockedOnAllSystems)
+{
+    for (SystemKind kind :
+         {SystemKind::normal_npu, SystemKind::trustzone_npu,
+          SystemKind::snpu}) {
+        Soc soc(makeSystem(kind));
+        AttackResult res = secInstructionAttack(soc);
+        EXPECT_TRUE(res.blocked)
+            << systemKindName(kind) << ": " << res.detail;
+    }
+}
+
+TEST(Attacks, TopologyAttackBlockedByMonitor)
+{
+    Soc snpu(makeSystem(SystemKind::snpu));
+    EXPECT_TRUE(topologyAttack(snpu).blocked);
+
+    Soc normal(makeSystem(SystemKind::normal_npu));
+    EXPECT_FALSE(topologyAttack(normal).blocked);
+}
+
+TEST(Attacks, TamperedCodeBlockedByMonitor)
+{
+    Soc snpu(makeSystem(SystemKind::snpu));
+    AttackResult res = tamperedCodeAttack(snpu);
+    EXPECT_TRUE(res.blocked) << res.detail;
+    EXPECT_NE(res.detail.find("measurement"), std::string::npos);
+
+    Soc normal(makeSystem(SystemKind::normal_npu));
+    EXPECT_FALSE(tamperedCodeAttack(normal).blocked);
+}
+
+TEST(Attacks, FullSuiteBlockedOnSnpu)
+{
+    Soc soc(makeSystem(SystemKind::snpu));
+    const auto results = runAllAttacks(soc);
+    EXPECT_EQ(results.size(), 6u);
+    for (const auto &res : results)
+        EXPECT_TRUE(res.blocked) << res.name << ": " << res.detail;
+}
+
+TEST(Attacks, BaselineIsActuallyVulnerable)
+{
+    // Guards against a trivially-blocking attack library: the
+    // unprotected system must fail at least three of the attacks.
+    Soc soc(makeSystem(SystemKind::normal_npu));
+    const auto results = runAllAttacks(soc);
+    int succeeded = 0;
+    for (const auto &res : results)
+        succeeded += res.blocked ? 0 : 1;
+    EXPECT_GE(succeeded, 3);
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the §VII extensions: multiple hardware secure domains,
+ * software-defined domains inside the monitor, and the TNPU-style
+ * memory encryption engine that sNPU complements.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "core/area_model.hh"
+#include "core/systems.hh"
+#include "mem/mem_crypto.hh"
+#include "mem/mem_system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+#include "spad/multi_domain.hh"
+#include "tee/monitor/soft_domains.hh"
+
+namespace snpu
+{
+namespace
+{
+
+MultiDomainParams
+smallMd(SpadScope scope, std::uint32_t domains)
+{
+    MultiDomainParams p;
+    p.rows = 64;
+    p.row_bytes = 16;
+    p.scope = scope;
+    p.domains = domains;
+    return p;
+}
+
+TEST(MultiDomainSpad, TagBits)
+{
+    stats::Group stats("g");
+    EXPECT_EQ(MultiDomainScratchpad(stats, smallMd(SpadScope::local, 2))
+                  .tagBits(),
+              1u);
+    EXPECT_EQ(MultiDomainScratchpad(stats, smallMd(SpadScope::local, 4))
+                  .tagBits(),
+              2u);
+    EXPECT_EQ(
+        MultiDomainScratchpad(stats, smallMd(SpadScope::local, 16))
+            .tagBits(),
+        4u);
+}
+
+TEST(MultiDomainSpad, NonPowerOfTwoIsFatal)
+{
+    stats::Group stats("g");
+    EXPECT_THROW(
+        MultiDomainScratchpad(stats, smallMd(SpadScope::local, 3)),
+        FatalError);
+    EXPECT_THROW(
+        MultiDomainScratchpad(stats, smallMd(SpadScope::local, 1)),
+        FatalError);
+}
+
+TEST(MultiDomainSpad, DomainsAreMutuallyIsolated)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::local, 4));
+    std::uint8_t row[16] = {0x11};
+    ASSERT_EQ(spad.write(1, 0, row), SpadStatus::ok);
+
+    // Domains 2, 3 and the normal world all get denied; domain 1
+    // reads its own data back.
+    for (DomainId d : {DomainId(0), DomainId(2), DomainId(3)}) {
+        EXPECT_EQ(spad.read(d, 0, nullptr),
+                  SpadStatus::security_violation)
+            << "domain " << int(d);
+    }
+    std::uint8_t out[16];
+    EXPECT_EQ(spad.read(1, 0, out), SpadStatus::ok);
+    EXPECT_EQ(out[0], 0x11);
+}
+
+TEST(MultiDomainSpad, ForcedWriteRetagsOnLocal)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::local, 4));
+    std::uint8_t secret[16] = {0x5e};
+    spad.write(2, 5, secret);
+    std::uint8_t junk[16] = {0x00};
+    EXPECT_EQ(spad.write(3, 5, junk), SpadStatus::ok);
+    EXPECT_EQ(spad.tag(5), 3);
+    std::uint8_t out[16];
+    EXPECT_EQ(spad.read(3, 5, out), SpadStatus::ok);
+    EXPECT_EQ(out[0], 0x00);
+}
+
+TEST(MultiDomainSpad, SharedScopeForbidsForcedCrossDomainWrite)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::global, 4));
+    std::uint8_t row[16] = {1};
+    spad.write(1, 0, row);
+    EXPECT_EQ(spad.write(2, 0, row), SpadStatus::security_violation);
+    EXPECT_EQ(spad.write(0, 0, row), SpadStatus::security_violation);
+    // Domain 1 keeps access.
+    EXPECT_EQ(spad.write(1, 0, row), SpadStatus::ok);
+}
+
+TEST(MultiDomainSpad, SecureAccessClaimsUntaggedSharedLine)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::global, 8));
+    EXPECT_EQ(spad.tag(3), 0);
+    EXPECT_EQ(spad.read(5, 3, nullptr), SpadStatus::ok);
+    EXPECT_EQ(spad.tag(3), 5);
+}
+
+TEST(MultiDomainSpad, ResetDomainScrubsOnlyThatDomain)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::local, 4));
+    std::uint8_t a[16] = {0xaa};
+    std::uint8_t b[16] = {0xbb};
+    spad.write(1, 0, a);
+    spad.write(2, 1, b);
+
+    EXPECT_FALSE(spad.resetDomain(1, false)); // needs privilege
+    EXPECT_FALSE(spad.resetDomain(0, true));  // domain 0 not resettable
+    EXPECT_TRUE(spad.resetDomain(1, true));
+
+    EXPECT_EQ(spad.tag(0), 0);
+    EXPECT_EQ(spad.tag(1), 2); // untouched
+    std::uint8_t out[16];
+    EXPECT_EQ(spad.read(0, 0, out), SpadStatus::ok);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(spad.read(2, 1, out), SpadStatus::ok);
+    EXPECT_EQ(out[0], 0xbb);
+}
+
+TEST(MultiDomainSpad, InvalidDomainRejected)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::local, 4));
+    EXPECT_EQ(spad.write(4, 0, nullptr),
+              SpadStatus::security_violation);
+    EXPECT_EQ(spad.read(9, 0, nullptr),
+              SpadStatus::security_violation);
+}
+
+/** Property: no domain ever reads another domain's bytes. */
+class MultiDomainProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(MultiDomainProperty, NoCrossDomainLeak)
+{
+    stats::Group stats("g");
+    MultiDomainScratchpad spad(stats, smallMd(SpadScope::local, 8));
+    Rng rng(GetParam());
+    std::vector<DomainId> owner(64, 0);
+
+    for (int op = 0; op < 5000; ++op) {
+        const auto row = static_cast<std::uint32_t>(rng.below(64));
+        const auto d = static_cast<DomainId>(rng.below(8));
+        std::uint8_t buf[16];
+        if (rng.chance(0.5)) {
+            std::memset(buf, 0x10 + d, sizeof(buf));
+            if (spad.write(d, row, buf) == SpadStatus::ok)
+                owner[row] = d;
+        } else {
+            if (spad.read(d, row, buf) == SpadStatus::ok) {
+                EXPECT_EQ(owner[row], d);
+                EXPECT_EQ(buf[0], owner[row] ? 0x10 + owner[row]
+                                             : buf[0]);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiDomainProperty,
+                         ::testing::Values(3, 17, 1234));
+
+TEST(SoftDomains, RegisterAndCheck)
+{
+    stats::Group stats("g");
+    SoftDomainTable table(stats);
+    SoftDomain d1;
+    d1.task_id = 1;
+    d1.spad_rows[0] = {0, 100};
+    d1.windows.push_back(AddrRange{0x1000, 0x1000});
+    ASSERT_TRUE(table.registerDomain(d1));
+
+    EXPECT_TRUE(table.checkSpad(1, 0, 50));
+    EXPECT_FALSE(table.checkSpad(1, 0, 100));
+    EXPECT_FALSE(table.checkSpad(1, 1, 50)); // no grant on core 1
+    EXPECT_TRUE(table.checkMemory(1, 0x1800, 64));
+    EXPECT_FALSE(table.checkMemory(1, 0x2000, 64));
+    EXPECT_FALSE(table.checkMemory(2, 0x1800, 64)); // unknown task
+    EXPECT_GT(table.checksPerformed(), 0u);
+    EXPECT_GT(table.denialCount(), 0u);
+}
+
+TEST(SoftDomains, OverlappingGrantsRejected)
+{
+    stats::Group stats("g");
+    SoftDomainTable table(stats);
+    SoftDomain d1;
+    d1.task_id = 1;
+    d1.spad_rows[0] = {0, 100};
+    d1.windows.push_back(AddrRange{0x1000, 0x1000});
+    ASSERT_TRUE(table.registerDomain(d1));
+
+    SoftDomain d2;
+    d2.task_id = 2;
+    d2.spad_rows[0] = {50, 100}; // overlaps d1 on core 0
+    EXPECT_FALSE(table.registerDomain(d2));
+    d2.spad_rows[0] = {100, 100};
+    d2.windows.push_back(AddrRange{0x1800, 0x100}); // overlaps window
+    EXPECT_FALSE(table.registerDomain(d2));
+    d2.windows.clear();
+    d2.windows.push_back(AddrRange{0x3000, 0x100});
+    EXPECT_TRUE(table.registerDomain(d2));
+
+    // Unregister frees the grants for reuse.
+    EXPECT_TRUE(table.unregisterDomain(1));
+    SoftDomain d3;
+    d3.task_id = 3;
+    d3.spad_rows[0] = {0, 100};
+    EXPECT_TRUE(table.registerDomain(d3));
+    EXPECT_FALSE(table.unregisterDomain(99));
+}
+
+TEST(SoftDomains, DuplicateOrZeroIdRejected)
+{
+    stats::Group stats("g");
+    SoftDomainTable table(stats);
+    SoftDomain d;
+    d.task_id = 0;
+    EXPECT_FALSE(table.registerDomain(d));
+    d.task_id = 7;
+    EXPECT_TRUE(table.registerDomain(d));
+    EXPECT_FALSE(table.registerDomain(d));
+}
+
+TEST(MemCrypto, DisabledIsFree)
+{
+    stats::Group stats("g");
+    MemCryptoEngine engine(stats);
+    EXPECT_EQ(engine.accessPenalty(0x1000), 0u);
+    EXPECT_FALSE(engine.enabled());
+}
+
+TEST(MemCrypto, CounterCacheHitsAndMisses)
+{
+    stats::Group stats("g");
+    MemCryptoParams p;
+    p.enabled = true;
+    p.counter_cache_entries = 2;
+    MemCryptoEngine engine(stats, p);
+
+    // First touch of a page: miss; second: hit.
+    const Tick miss = engine.accessPenalty(0x10000);
+    const Tick hit = engine.accessPenalty(0x10040);
+    EXPECT_EQ(miss, p.engine_latency + p.counter_miss_penalty);
+    EXPECT_EQ(hit, p.engine_latency);
+
+    // Thrash the 2-entry cache with three pages.
+    engine.accessPenalty(0x20000);
+    engine.accessPenalty(0x30000); // evicts 0x10000's page (LRU)
+    EXPECT_EQ(engine.accessPenalty(0x10000),
+              p.engine_latency + p.counter_miss_penalty);
+    EXPECT_GE(engine.counterMisses(), 4u);
+}
+
+TEST(MemCrypto, EndToEndOverheadIsModest)
+{
+    SystemOverrides plain;
+    plain.model_scale = 8;
+    SystemOverrides enc = plain;
+    enc.memory_encryption = true;
+
+    RunResult base = measureModel(SystemKind::snpu, ModelId::resnet,
+                                  plain);
+    RunResult with = measureModel(SystemKind::snpu, ModelId::resnet,
+                                  enc);
+    ASSERT_TRUE(base.ok);
+    ASSERT_TRUE(with.ok);
+    EXPECT_GT(with.cycles, base.cycles);
+    // TNPU-class engines stay in single-digit percentages.
+    EXPECT_LT(static_cast<double>(with.cycles),
+              1.15 * static_cast<double>(base.cycles));
+}
+
+TEST(AreaModelExtension, TagBitsScaleWithDomains)
+{
+    AreaModel model(makeSystem(SystemKind::snpu));
+    const Resources d2 = model.sSpadMultiDomain(2);
+    const Resources d4 = model.sSpadMultiDomain(4);
+    const Resources d16 = model.sSpadMultiDomain(16);
+    EXPECT_DOUBLE_EQ(d2.ram_bits, model.sSpad().ram_bits);
+    EXPECT_GT(d4.ram_bits, d2.ram_bits);
+    EXPECT_GT(d16.ram_bits, d4.ram_bits);
+    EXPECT_NEAR(d16.ram_bits, 4 * d2.ram_bits, 1.0);
+    // Even 16 domains stay under ~3% of the tile's RAM bits.
+    const Resources pct = model.baselineTile().percentOver(d16);
+    EXPECT_LT(pct.ram_bits, 3.0);
+}
+
+} // namespace
+} // namespace snpu

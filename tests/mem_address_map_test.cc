@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the world-partitioned address map.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_map.hh"
+#include "sim/logging.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(AddrRange, ContainsAndOverlaps)
+{
+    AddrRange r{100, 50};
+    EXPECT_TRUE(r.contains(100));
+    EXPECT_TRUE(r.contains(149));
+    EXPECT_FALSE(r.contains(150));
+    EXPECT_TRUE(r.contains(100, 50));
+    EXPECT_FALSE(r.contains(100, 51));
+    EXPECT_FALSE(r.contains(99, 2));
+
+    EXPECT_TRUE(r.overlaps(AddrRange{140, 20}));
+    EXPECT_FALSE(r.overlaps(AddrRange{150, 10}));
+    EXPECT_TRUE(r.overlaps(AddrRange{0, 101}));
+    EXPECT_FALSE(r.overlaps(AddrRange{0, 100}));
+}
+
+TEST(AddrRange, ContainsHandlesOverflowAttempts)
+{
+    AddrRange r{0xffff'ffff'ffff'f000ULL, 0x1000};
+    EXPECT_TRUE(r.contains(0xffff'ffff'ffff'f000ULL, 0x1000));
+    EXPECT_FALSE(r.contains(0xffff'ffff'ffff'f800ULL, 0x1000));
+}
+
+TEST(AddressMap, DefaultLayoutIsConsistent)
+{
+    AddressMap map;
+    EXPECT_TRUE(map.dram().contains(map.secureRegion().base,
+                                    map.secureRegion().size));
+    EXPECT_TRUE(map.secureRegion().contains(
+        map.npuArena(World::secure).base,
+        map.npuArena(World::secure).size));
+    EXPECT_FALSE(map.npuArena(World::normal)
+                     .overlaps(map.secureRegion()));
+}
+
+TEST(AddressMap, WorldOf)
+{
+    AddressMap map;
+    EXPECT_EQ(map.worldOf(map.dram().base), World::normal);
+    EXPECT_EQ(map.worldOf(map.secureRegion().base), World::secure);
+    EXPECT_EQ(map.worldOf(map.secureRegion().end() - 1),
+              World::secure);
+}
+
+TEST(AddressMap, NormalCannotTouchSecure)
+{
+    AddressMap map;
+    const Addr secure = map.secureRegion().base;
+    EXPECT_FALSE(map.accessAllowed(World::normal, secure, 64));
+    // A range straddling the boundary is also denied.
+    EXPECT_FALSE(map.accessAllowed(World::normal, secure - 32, 64));
+    EXPECT_TRUE(map.accessAllowed(World::normal, secure - 64, 64));
+}
+
+TEST(AddressMap, SecureCanTouchBothWorlds)
+{
+    AddressMap map;
+    EXPECT_TRUE(map.accessAllowed(World::secure,
+                                  map.secureRegion().base, 64));
+    EXPECT_TRUE(
+        map.accessAllowed(World::secure, map.dram().base, 64));
+}
+
+TEST(AddressMap, OutsideDramDenied)
+{
+    AddressMap map;
+    EXPECT_FALSE(map.accessAllowed(World::secure, 0x1000, 64));
+    EXPECT_FALSE(map.accessAllowed(World::normal,
+                                   map.dram().end(), 64));
+}
+
+TEST(AddressMap, BadLayoutsAreFatal)
+{
+    const AddrRange dram{0x8000'0000, 1u << 30};
+    const AddrRange secure{0x8000'0000 + (1u << 29), 1u << 28};
+    const AddrRange npu_n{0x8000'0000, 1u << 20};
+    const AddrRange npu_s{secure.base, 1u << 20};
+    // Secure region outside DRAM.
+    EXPECT_THROW(AddressMap(dram, AddrRange{0x4000'0000, 64}, npu_n,
+                            npu_s),
+                 FatalError);
+    // Secure NPU arena outside the secure region.
+    EXPECT_THROW(AddressMap(dram, secure, npu_n,
+                            AddrRange{dram.base, 1u << 20}),
+                 FatalError);
+    // Normal arena overlapping the secure region.
+    EXPECT_THROW(AddressMap(dram, secure,
+                            AddrRange{secure.base, 1u << 20}, npu_s),
+                 FatalError);
+}
+
+} // namespace
+} // namespace snpu

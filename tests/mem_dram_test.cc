@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit and property tests for the DRAM bandwidth model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram_model.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Dram, SingleAccessPaysLatencyPlusTransfer)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    // 64 bytes at 16 B/cycle: 4 transfer cycles + 100 latency.
+    EXPECT_EQ(dram.access(0, 64, MemOp::read), 104u);
+}
+
+TEST(Dram, BackToBackAccessesQueue)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    dram.access(0, 64, MemOp::read);
+    // Channel busy until tick 4; second access starts there.
+    EXPECT_EQ(dram.access(0, 64, MemOp::read), 108u);
+    EXPECT_EQ(dram.nextFree(), 8u);
+}
+
+TEST(Dram, IdleChannelDoesNotQueue)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    dram.access(0, 64, MemOp::read);
+    EXPECT_EQ(dram.access(1000, 64, MemOp::write), 1104u);
+}
+
+TEST(Dram, ResetClearsQueueState)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    dram.access(0, 4096, MemOp::read);
+    dram.reset();
+    EXPECT_EQ(dram.nextFree(), 0u);
+    EXPECT_EQ(dram.access(0, 64, MemOp::read), 104u);
+}
+
+TEST(Dram, ZeroByteAccessPanics)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    EXPECT_THROW(dram.access(0, 0, MemOp::read), PanicError);
+}
+
+TEST(Dram, BadBandwidthIsFatal)
+{
+    stats::Group stats("g");
+    DramParams params;
+    params.bytes_per_cycle = 0;
+    EXPECT_THROW(DramModel(stats, params), FatalError);
+}
+
+TEST(Dram, SustainedStreamAchievesConfiguredBandwidth)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    // Stream 1 MiB in 64-byte packets issued as fast as possible.
+    const std::uint64_t total = 1u << 20;
+    Tick done = 0;
+    for (std::uint64_t off = 0; off < total; off += 64)
+        done = dram.access(0, 64, MemOp::read);
+    // Effective bandwidth = total / busy-time; latency amortizes.
+    const double cycles = static_cast<double>(dram.nextFree());
+    const double bpc = static_cast<double>(total) / cycles;
+    EXPECT_NEAR(bpc, 16.0, 0.1);
+    EXPECT_GE(done, dram.nextFree());
+}
+
+TEST(Dram, FractionalBandwidthConserved)
+{
+    stats::Group stats("g");
+    DramParams params;
+    params.bytes_per_cycle = 6.4; // non-integer rate
+    DramModel dram(stats, params);
+    const std::uint64_t total = 64000;
+    for (std::uint64_t off = 0; off < total; off += 64)
+        dram.access(0, 64, MemOp::read);
+    const double bpc =
+        static_cast<double>(total) / static_cast<double>(dram.nextFree());
+    EXPECT_NEAR(bpc, 6.4, 0.1);
+}
+
+class DramPropertyTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(DramPropertyTest, CompletionMonotonicAndBandwidthBounded)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    Rng rng(GetParam());
+    Tick when = 0;
+    Tick prev_done = 0;
+    std::uint64_t bytes = 0;
+    for (int i = 0; i < 2000; ++i) {
+        when += rng.below(8);
+        const auto size =
+            static_cast<std::uint32_t>(8 + rng.below(512));
+        const Tick done = dram.access(when, size, MemOp::read);
+        EXPECT_GE(done, when + 100) << "latency floor violated";
+        EXPECT_GE(done, prev_done > 100 ? prev_done - 100 : 0);
+        prev_done = done;
+        bytes += size;
+    }
+    // The channel can never move data faster than its rated speed.
+    EXPECT_GE(static_cast<double>(dram.nextFree()) * 16.0 + 16,
+              static_cast<double>(bytes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DramPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+} // namespace
+} // namespace snpu

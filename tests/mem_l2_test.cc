@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the banked L2 cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/l2_cache.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+namespace
+{
+
+struct L2Fixture : ::testing::Test
+{
+    L2Fixture()
+        : stats("g"), dram(stats), l2(stats, dram, smallParams())
+    {
+    }
+
+    static L2Params
+    smallParams()
+    {
+        L2Params p;
+        p.size_bytes = 16 * 1024; // 16 KiB: 256 lines
+        p.ways = 4;
+        p.banks = 4;
+        return p;
+    }
+
+    MemRequest
+    read(Addr addr, std::uint32_t bytes = 64)
+    {
+        return MemRequest{addr, bytes, MemOp::read, World::normal};
+    }
+
+    stats::Group stats;
+    DramModel dram;
+    L2Cache l2;
+};
+
+TEST_F(L2Fixture, FirstAccessMissesSecondHits)
+{
+    MemResult r1 = l2.access(0, read(0x8000'0000));
+    EXPECT_EQ(l2.misses(), 1u);
+    EXPECT_FALSE(r1.l2_hit);
+
+    MemResult r2 = l2.access(r1.done, read(0x8000'0000));
+    EXPECT_EQ(l2.hits(), 1u);
+    EXPECT_TRUE(r2.l2_hit);
+    EXPECT_LT(r2.done - r1.done, r1.done); // hit is much faster
+}
+
+TEST_F(L2Fixture, HitLatencyMatchesParameter)
+{
+    MemResult miss = l2.access(0, read(0x8000'0000));
+    MemResult hit = l2.access(miss.done, read(0x8000'0000));
+    EXPECT_EQ(hit.done - miss.done, smallParams().hit_latency);
+}
+
+TEST_F(L2Fixture, MultiLineRequestTouchesEachLine)
+{
+    l2.access(0, read(0x8000'0000, 256)); // 4 lines
+    EXPECT_EQ(l2.misses(), 4u);
+}
+
+TEST_F(L2Fixture, LruEvictsOldest)
+{
+    // 4 ways per set; the set repeats every 64 sets * 64 B = 4 KiB.
+    const Addr base = 0x8000'0000;
+    const Addr stride = 4096;
+    // Fill all four ways of set 0.
+    Tick t = 0;
+    for (int w = 0; w < 4; ++w)
+        t = l2.access(t, read(base + w * stride)).done;
+    // Touch way 0 so way 1 becomes LRU.
+    t = l2.access(t, read(base)).done;
+    // Insert a fifth line: evicts way 1.
+    t = l2.access(t, read(base + 4 * stride)).done;
+    // Way 0 still hits; way 1 misses again.
+    const std::uint64_t misses_before = l2.misses();
+    t = l2.access(t, read(base)).done;
+    EXPECT_EQ(l2.misses(), misses_before);
+    l2.access(t, read(base + stride));
+    EXPECT_EQ(l2.misses(), misses_before + 1);
+}
+
+TEST_F(L2Fixture, DirtyEvictionWritesBack)
+{
+    const Addr base = 0x8000'0000;
+    const Addr stride = 4096;
+    Tick t = 0;
+    // Dirty one line.
+    t = l2.access(t, MemRequest{base, 64, MemOp::write,
+                                World::normal})
+            .done;
+    const std::uint64_t dram_writes_before =
+        static_cast<std::uint64_t>(dram.totalBytes());
+    // Evict it by filling the set.
+    for (int w = 1; w <= 4; ++w)
+        t = l2.access(t, read(base + w * stride)).done;
+    EXPECT_GT(dram.totalBytes(), dram_writes_before);
+}
+
+TEST_F(L2Fixture, InvalidateAllForcesMisses)
+{
+    Tick t = l2.access(0, read(0x8000'0000)).done;
+    l2.invalidateAll();
+    l2.access(t, read(0x8000'0000));
+    EXPECT_EQ(l2.misses(), 2u);
+}
+
+TEST_F(L2Fixture, BankConflictSerializes)
+{
+    // Two lines in the same bank (stride = banks * line = 256 B).
+    Tick t = l2.access(0, read(0x8000'0000)).done;
+    t = l2.access(t, read(0x8000'0000 + 256)).done;
+    // Both warm: same-tick hits to the same bank serialize by the
+    // bank cycle time; a hit in a different bank does not.
+    const Tick a = l2.access(10000, read(0x8000'0000)).done;
+    const Tick b = l2.access(10000, read(0x8000'0000 + 256)).done;
+    EXPECT_EQ(b - a, smallParams().bank_cycle);
+
+    Tick warm = l2.access(20000, read(0x8000'0000 + 64)).done;
+    (void)warm;
+    const Tick c = l2.access(30000, read(0x8000'0000)).done;
+    const Tick d = l2.access(30000, read(0x8000'0000 + 64)).done;
+    EXPECT_EQ(c, d);
+}
+
+TEST_F(L2Fixture, ZeroByteAccessPanics)
+{
+    EXPECT_THROW(l2.access(0, read(0x8000'0000, 0)), PanicError);
+}
+
+TEST(L2Geometry, BadGeometryIsFatal)
+{
+    stats::Group stats("g");
+    DramModel dram(stats);
+    L2Params p;
+    p.size_bytes = 100; // not line-divisible into ways
+    p.ways = 3;
+    EXPECT_THROW(L2Cache(stats, dram, p), FatalError);
+}
+
+} // namespace
+} // namespace snpu

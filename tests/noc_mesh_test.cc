@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for the mesh interconnect: XY routing, wormhole timing,
+ * link contention, and node world tracking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/flit.hh"
+#include "noc/mesh.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+namespace
+{
+
+struct MeshFixture : ::testing::Test
+{
+    MeshFixture() : stats("g"), mesh(stats) {}
+
+    stats::Group stats;
+    Mesh mesh; // default 5x2
+};
+
+TEST_F(MeshFixture, GeometryAndHops)
+{
+    EXPECT_EQ(mesh.nodes(), 10u);
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 4), 4u);
+    EXPECT_EQ(mesh.hops(0, 5), 1u);
+    EXPECT_EQ(mesh.hops(0, 9), 5u);
+    EXPECT_EQ(mesh.hops(9, 0), 5u);
+}
+
+TEST_F(MeshFixture, XyRouteIsXThenY)
+{
+    const auto route = mesh.routeNodes(0, 7);
+    // 0 -> 1 -> 2 (X first) -> 7 (then Y).
+    EXPECT_EQ(route,
+              (std::vector<std::uint32_t>{0, 1, 2, 7}));
+}
+
+TEST_F(MeshFixture, RouteEndpointsAlwaysPresent)
+{
+    for (std::uint32_t s = 0; s < mesh.nodes(); ++s) {
+        for (std::uint32_t d = 0; d < mesh.nodes(); ++d) {
+            const auto route = mesh.routeNodes(s, d);
+            EXPECT_EQ(route.front(), s);
+            EXPECT_EQ(route.back(), d);
+            EXPECT_EQ(route.size(), mesh.hops(s, d) + 1);
+        }
+    }
+}
+
+TEST_F(MeshFixture, TraversalLatencyIsHopsPlusFlits)
+{
+    // 4 hops, 10 flits: head arrives after 4 hop cycles, tail 9
+    // cycles later.
+    const Tick done = mesh.traverse(100, 0, 4, 10);
+    EXPECT_EQ(done, 100u + 4 + 10 - 1);
+}
+
+TEST_F(MeshFixture, SelfTransferIsOneCycle)
+{
+    EXPECT_EQ(mesh.traverse(50, 3, 3, 8), 51u);
+}
+
+TEST_F(MeshFixture, ContendingPacketsSerializeOnSharedLink)
+{
+    // Both packets use link 0->1.
+    const Tick a = mesh.traverse(0, 0, 2, 16);
+    const Tick b = mesh.traverse(0, 0, 1, 16);
+    EXPECT_GT(b, 16u); // the second waits for the first's tail
+    EXPECT_GT(a, 0u);
+}
+
+TEST_F(MeshFixture, DisjointRoutesDoNotInterfere)
+{
+    const Tick a = mesh.traverse(0, 0, 1, 16);
+    const Tick b = mesh.traverse(0, 8, 9, 16);
+    EXPECT_EQ(a, b); // same shape, no shared links
+}
+
+TEST_F(MeshFixture, ControlPacketIsSingleFlit)
+{
+    const Tick done = mesh.control(0, 0, 4);
+    EXPECT_EQ(done, 4u); // 4 hops, 1 flit
+}
+
+TEST_F(MeshFixture, NodeWorldTracking)
+{
+    EXPECT_EQ(mesh.nodeWorld(3), World::normal);
+    mesh.setNodeWorld(3, World::secure);
+    EXPECT_EQ(mesh.nodeWorld(3), World::secure);
+    EXPECT_THROW(mesh.setNodeWorld(10, World::secure), PanicError);
+}
+
+TEST_F(MeshFixture, EmptyPacketPanics)
+{
+    EXPECT_THROW(mesh.traverse(0, 0, 1, 0), PanicError);
+}
+
+TEST(MeshGeometry, FlitsCounted)
+{
+    stats::Group stats("g");
+    Mesh mesh(stats);
+    mesh.traverse(0, 0, 1, 7);
+    EXPECT_EQ(mesh.flitsMoved(), 7u);
+}
+
+TEST(PacketFlits, HeadBodyTail)
+{
+    EXPECT_EQ(packetFlits(0), 2u);           // head + tail
+    EXPECT_EQ(packetFlits(16), 3u);          // one body flit
+    EXPECT_EQ(packetFlits(17), 4u);          // two body flits
+    EXPECT_EQ(packetFlits(160), 12u);
+}
+
+} // namespace
+} // namespace snpu

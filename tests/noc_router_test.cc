@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit tests for the detailed (cycle-stepped) router model:
+ * XY output selection, wormhole channel ownership, round-robin
+ * arbitration, and back-pressure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/router.hh"
+#include "sim/logging.hh"
+
+namespace snpu
+{
+namespace
+{
+
+Flit
+head(std::uint32_t src, std::uint32_t dst)
+{
+    Flit f;
+    f.type = FlitType::head;
+    f.src_core = src;
+    f.dst_core = dst;
+    return f;
+}
+
+Flit
+body(std::uint32_t src, std::uint32_t dst, std::uint32_t seq)
+{
+    Flit f;
+    f.type = FlitType::body;
+    f.src_core = src;
+    f.dst_core = dst;
+    f.seq = seq;
+    return f;
+}
+
+Flit
+tail(std::uint32_t src, std::uint32_t dst)
+{
+    Flit f;
+    f.type = FlitType::tail;
+    f.src_core = src;
+    f.dst_core = dst;
+    return f;
+}
+
+TEST(Router, XyOutputSelection)
+{
+    // Router at (2, 0) of a 5x2 mesh.
+    Router router(2, 0, 5, 2);
+    EXPECT_EQ(router.route(3), RouterPort::east);
+    EXPECT_EQ(router.route(0), RouterPort::west);
+    EXPECT_EQ(router.route(7), RouterPort::south);
+    EXPECT_EQ(router.route(2), RouterPort::local);
+    // X is corrected before Y: node 9 is east then south.
+    EXPECT_EQ(router.route(9), RouterPort::east);
+}
+
+TEST(Router, MovesFlitToOutputLatch)
+{
+    Router router(0, 0, 5, 2);
+    ASSERT_TRUE(router.accept(RouterPort::local, head(0, 2)));
+    router.step();
+    auto flit = router.collect(RouterPort::east);
+    ASSERT_TRUE(flit.has_value());
+    EXPECT_EQ(flit->dst_core, 2u);
+}
+
+TEST(Router, WormholeKeepsChannelForOnePacket)
+{
+    Router router(0, 0, 5, 2);
+    // Two complete packets competing for the east output: A from
+    // local (head/body/tail), B from north (head/tail). Whoever wins
+    // arbitration must drain its whole packet before the other's
+    // head passes — no interleaving of owners.
+    ASSERT_TRUE(router.accept(RouterPort::local, head(0, 2)));
+    ASSERT_TRUE(router.accept(RouterPort::local, body(0, 2, 0)));
+    ASSERT_TRUE(router.accept(RouterPort::local, tail(0, 2)));
+    ASSERT_TRUE(router.accept(RouterPort::north, head(5, 2)));
+    ASSERT_TRUE(router.accept(RouterPort::north, tail(5, 2)));
+
+    std::vector<Flit> sequence;
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        router.step();
+        if (auto flit = router.collect(RouterPort::east))
+            sequence.push_back(*flit);
+    }
+    ASSERT_EQ(sequence.size(), 5u);
+
+    // Each packet must come out contiguously, head first.
+    std::size_t i = 0;
+    while (i < sequence.size()) {
+        ASSERT_EQ(sequence[i].type, FlitType::head);
+        const std::uint32_t owner = sequence[i].src_core;
+        ++i;
+        while (i < sequence.size() &&
+               sequence[i].type != FlitType::head) {
+            EXPECT_EQ(sequence[i].src_core, owner)
+                << "foreign flit interleaved at " << i;
+            ++i;
+        }
+    }
+}
+
+TEST(Router, BackPressureWhenLatchFull)
+{
+    Router router(0, 0, 5, 2);
+    ASSERT_TRUE(router.accept(RouterPort::local, head(0, 2)));
+    router.step();
+    // Latch not collected: the next step must not overwrite it.
+    ASSERT_TRUE(router.accept(RouterPort::local, body(0, 2, 0)));
+    router.step();
+    auto flit = router.collect(RouterPort::east);
+    ASSERT_TRUE(flit.has_value());
+    EXPECT_EQ(flit->type, FlitType::head);
+    // Body still queued, moves on the next step.
+    router.step();
+    auto next = router.collect(RouterPort::east);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->type, FlitType::body);
+}
+
+TEST(Router, QueueCapacityEnforced)
+{
+    Router router(0, 0, 5, 2, 2);
+    EXPECT_TRUE(router.accept(RouterPort::local, head(0, 2)));
+    EXPECT_TRUE(router.accept(RouterPort::local, body(0, 2, 0)));
+    EXPECT_FALSE(router.accept(RouterPort::local, body(0, 2, 1)));
+    EXPECT_FALSE(router.canAccept(RouterPort::local));
+    EXPECT_EQ(router.queued(RouterPort::local), 2u);
+}
+
+TEST(Router, RoundRobinRotatesBetweenInputs)
+{
+    Router router(1, 0, 5, 2);
+    // Two single-flit "packets" (head-only control flits would be
+    // head+tail in practice; use head flits routed to local).
+    ASSERT_TRUE(router.accept(RouterPort::west, head(0, 1)));
+    ASSERT_TRUE(router.accept(RouterPort::east, head(2, 1)));
+    router.step();
+    auto first = router.collect(RouterPort::local);
+    ASSERT_TRUE(first.has_value());
+    // A head without a tail holds the channel; send its tail.
+    ASSERT_TRUE(router.accept(
+        first->src_core == 0 ? RouterPort::west : RouterPort::east,
+        tail(first->src_core, 1)));
+    router.step();
+    router.collect(RouterPort::local);
+    router.step();
+    auto second = router.collect(RouterPort::local);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_NE(second->src_core, first->src_core);
+}
+
+TEST(Router, BadGeometryIsFatal)
+{
+    EXPECT_THROW(Router(5, 0, 5, 2), FatalError);
+    EXPECT_THROW(Router(0, 0, 5, 2, 0), FatalError);
+}
+
+TEST(Router, RouteOutsideMeshPanics)
+{
+    Router router(0, 0, 5, 2);
+    EXPECT_THROW(router.route(10), PanicError);
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the systolic array timing and functional model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "npu/systolic_model.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Systolic, TimingFormulas)
+{
+    SystolicArray array;
+    EXPECT_EQ(array.dim(), 16u);
+    EXPECT_EQ(array.preloadCycles(), 16u);
+    EXPECT_EQ(array.computeCycles(64), 64u + 32);
+    EXPECT_EQ(array.peakMacsPerCycle(), 256u);
+}
+
+TEST(Systolic, BadDimIsFatal)
+{
+    SystolicParams p;
+    p.dim = 0;
+    EXPECT_THROW(SystolicArray array(p), FatalError);
+}
+
+TEST(Systolic, ComputeRowMatchesReference)
+{
+    SystolicArray array;
+    std::vector<std::int8_t> weights(16 * 16);
+    Rng rng(42);
+    for (auto &w : weights)
+        w = static_cast<std::int8_t>(rng.range(-128, 127));
+    array.preload(weights.data());
+
+    std::int8_t a[16];
+    for (auto &v : a)
+        v = static_cast<std::int8_t>(rng.range(-128, 127));
+
+    std::int32_t acc[16] = {};
+    array.computeRow(a, 16, acc, false);
+
+    for (int col = 0; col < 16; ++col) {
+        std::int32_t expected = 0;
+        for (int i = 0; i < 16; ++i)
+            expected += static_cast<std::int32_t>(a[i]) *
+                        weights[i * 16 + col];
+        EXPECT_EQ(acc[col], expected) << "col " << col;
+    }
+}
+
+TEST(Systolic, AccumulateAddsToPriorValues)
+{
+    SystolicArray array;
+    std::vector<std::int8_t> weights(256, 1);
+    array.preload(weights.data());
+    std::int8_t a[16];
+    std::fill(std::begin(a), std::end(a), 2);
+
+    std::int32_t acc[16];
+    std::fill(std::begin(acc), std::end(acc), 100);
+    array.computeRow(a, 16, acc, true);
+    for (int col = 0; col < 16; ++col)
+        EXPECT_EQ(acc[col], 100 + 2 * 16);
+}
+
+TEST(Systolic, OverwriteClearsPriorValues)
+{
+    SystolicArray array;
+    std::vector<std::int8_t> weights(256, 1);
+    array.preload(weights.data());
+    std::int8_t a[16] = {};
+    std::int32_t acc[16];
+    std::fill(std::begin(acc), std::end(acc), 999);
+    array.computeRow(a, 16, acc, false);
+    for (int col = 0; col < 16; ++col)
+        EXPECT_EQ(acc[col], 0);
+}
+
+TEST(Systolic, PartialKUsesOnlyLiveElements)
+{
+    SystolicArray array;
+    std::vector<std::int8_t> weights(256, 1);
+    array.preload(weights.data());
+    std::int8_t a[16];
+    std::fill(std::begin(a), std::end(a), 1);
+    std::int32_t acc[16] = {};
+    array.computeRow(a, 5, acc, false);
+    for (int col = 0; col < 16; ++col)
+        EXPECT_EQ(acc[col], 5);
+}
+
+TEST(Systolic, KBeyondDimPanics)
+{
+    SystolicArray array;
+    std::int8_t a[16] = {};
+    std::int32_t acc[16] = {};
+    EXPECT_THROW(array.computeRow(a, 17, acc, false), PanicError);
+}
+
+TEST(Systolic, NullPreloadZeroesWeights)
+{
+    SystolicArray array;
+    std::vector<std::int8_t> weights(256, 3);
+    array.preload(weights.data());
+    array.preload(nullptr);
+    std::int8_t a[16];
+    std::fill(std::begin(a), std::end(a), 7);
+    std::int32_t acc[16] = {};
+    array.computeRow(a, 16, acc, false);
+    for (int col = 0; col < 16; ++col)
+        EXPECT_EQ(acc[col], 0);
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the time-shared scheduler: the Table I comparison of
+ * isolation mechanisms under multi-tasking — a periodic
+ * high-priority task preempting a long background task.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hh"
+#include "core/systems.hh"
+#include "sim/logging.hh"
+
+namespace snpu
+{
+namespace
+{
+
+SchedScenario
+scenario()
+{
+    SchedScenario s;
+    s.background = NpuTask::fromModel(ModelId::bert, World::normal, 0);
+    s.background.model = s.background.model.scaled(8);
+    s.periodic =
+        NpuTask::fromModel(ModelId::yololite, World::secure, 10);
+    s.periodic.model = s.periodic.model.scaled(8);
+    s.period = 800000;
+    s.instances = 8;
+    return s;
+}
+
+SchedResult
+runPolicy(SchedPolicy policy, std::uint32_t coarse = 5)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    TimeSharedScheduler sched(*soc, policy, coarse);
+    SchedResult res = sched.run(scenario());
+    EXPECT_TRUE(res.ok) << schedPolicyName(policy) << ": "
+                        << res.error;
+    return res;
+}
+
+TEST(Scheduler, AllPoliciesComplete)
+{
+    for (SchedPolicy policy :
+         {SchedPolicy::flush_fine, SchedPolicy::flush_coarse,
+          SchedPolicy::partition, SchedPolicy::id_based}) {
+        SchedResult res = runPolicy(policy);
+        ASSERT_TRUE(res.ok);
+        EXPECT_GT(res.makespan, 0u);
+        EXPECT_GT(res.background_completion, 0u);
+        EXPECT_GT(res.worst_latency, 0u);
+        EXPECT_GT(res.utilization, 0.0);
+        EXPECT_LE(res.utilization, 1.0);
+    }
+}
+
+TEST(Scheduler, FineFlushPaysOverheadIdBasedDoesNot)
+{
+    SchedResult fine = runPolicy(SchedPolicy::flush_fine);
+    SchedResult idb = runPolicy(SchedPolicy::id_based);
+    EXPECT_GT(fine.flush_overhead, 0u);
+    EXPECT_EQ(idb.flush_overhead, 0u);
+    EXPECT_GT(fine.makespan, idb.makespan);
+}
+
+TEST(Scheduler, CoarseFlushHurtsSlaButCostsLessThanFine)
+{
+    SchedResult coarse = runPolicy(SchedPolicy::flush_coarse, 8);
+    SchedResult fine = runPolicy(SchedPolicy::flush_fine);
+    SchedResult idb = runPolicy(SchedPolicy::id_based);
+
+    // The high-priority task waits behind the amortization window
+    // (Table I: coarse flush = poor SLA)...
+    EXPECT_GT(coarse.worst_latency, idb.worst_latency);
+    EXPECT_GT(coarse.worst_latency, fine.worst_latency);
+    // ...in exchange for fewer flushes than fine-grained switching.
+    EXPECT_LT(coarse.flush_overhead, fine.flush_overhead);
+}
+
+TEST(Scheduler, IdBasedSlaMatchesFineFlushWithoutItsCost)
+{
+    SchedResult fine = runPolicy(SchedPolicy::flush_fine);
+    SchedResult idb = runPolicy(SchedPolicy::id_based);
+    // Both switch eagerly; sNPU just does not pay for it. Allow a
+    // few percent of scheduling-alignment jitter.
+    EXPECT_LE(idb.worst_latency, fine.worst_latency * 105 / 100);
+}
+
+TEST(Scheduler, PartitionSlowerThanIdBasedForCapacitySensitiveNets)
+{
+    // The BERT background is scratchpad-capacity sensitive: half
+    // the rows means more weight reloads (the Fig 15 effect).
+    SchedResult part = runPolicy(SchedPolicy::partition);
+    SchedResult idb = runPolicy(SchedPolicy::id_based);
+    EXPECT_GT(part.background_completion, idb.background_completion);
+    EXPECT_LT(part.utilization, idb.utilization + 1e-9);
+}
+
+TEST(Scheduler, UtilizationOrdering)
+{
+    // sNPU keeps the core doing useful MACs the largest fraction of
+    // the time among the secure policies.
+    SchedResult fine = runPolicy(SchedPolicy::flush_fine);
+    SchedResult part = runPolicy(SchedPolicy::partition);
+    SchedResult idb = runPolicy(SchedPolicy::id_based);
+    EXPECT_GE(idb.utilization, fine.utilization);
+    EXPECT_GE(idb.utilization, part.utilization);
+}
+
+TEST(Scheduler, ZeroCoarseIntervalIsFatal)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    EXPECT_THROW(
+        TimeSharedScheduler(*soc, SchedPolicy::flush_coarse, 0),
+        FatalError);
+}
+
+} // namespace
+} // namespace snpu

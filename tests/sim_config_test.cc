@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for the configuration store.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/logging.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Config, TypedRoundTrips)
+{
+    Config cfg;
+    cfg.setInt("tiles", 10);
+    cfg.setDouble("bw", 16.5);
+    cfg.setBool("secure", true);
+    cfg.set("name", "snpu");
+
+    EXPECT_EQ(cfg.getInt("tiles"), 10);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("bw"), 16.5);
+    EXPECT_TRUE(cfg.getBool("secure"));
+    EXPECT_EQ(cfg.getString("name"), "snpu");
+}
+
+TEST(Config, DefaultsWhenAbsent)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.getInt("missing", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.getDouble("missing", 1.5), 1.5);
+    EXPECT_FALSE(cfg.getBool("missing", false));
+    EXPECT_EQ(cfg.getString("missing", "x"), "x");
+    EXPECT_FALSE(cfg.has("missing"));
+}
+
+TEST(Config, ParseArg)
+{
+    Config cfg;
+    cfg.parseArg("model=bert");
+    cfg.parseArg("iotlb=16");
+    EXPECT_EQ(cfg.getString("model"), "bert");
+    EXPECT_EQ(cfg.getInt("iotlb"), 16);
+}
+
+TEST(Config, ParseArgRejectsMalformed)
+{
+    Config cfg;
+    EXPECT_THROW(cfg.parseArg("novalue"), FatalError);
+    EXPECT_THROW(cfg.parseArg("=x"), FatalError);
+}
+
+TEST(Config, MalformedNumbersAreFatal)
+{
+    Config cfg;
+    cfg.set("n", "abc");
+    EXPECT_THROW(cfg.getInt("n"), FatalError);
+    EXPECT_THROW(cfg.getDouble("n"), FatalError);
+    cfg.set("b", "maybe");
+    EXPECT_THROW(cfg.getBool("b"), FatalError);
+}
+
+TEST(Config, HexIntegersParse)
+{
+    Config cfg;
+    cfg.set("addr", "0x1000");
+    EXPECT_EQ(cfg.getInt("addr"), 0x1000);
+}
+
+TEST(Config, BoolSpellings)
+{
+    Config cfg;
+    cfg.set("a", "1");
+    cfg.set("b", "yes");
+    cfg.set("c", "0");
+    cfg.set("d", "no");
+    EXPECT_TRUE(cfg.getBool("a"));
+    EXPECT_TRUE(cfg.getBool("b"));
+    EXPECT_FALSE(cfg.getBool("c"));
+    EXPECT_FALSE(cfg.getBool("d"));
+}
+
+} // namespace
+} // namespace snpu

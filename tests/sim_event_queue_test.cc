@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, priorities,
+ * bounded runs, and misuse detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+    EXPECT_EQ(eq.executed(), 3u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenSequence)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); }, prio_default);
+    eq.schedule(5, [&] { order.push_back(2); }, prio_default);
+    eq.schedule(5, [&] { order.push_back(0); }, prio_first);
+    eq.schedule(5, [&] { order.push_back(3); }, prio_last);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(100, [&] {
+        eq.scheduleIn(5, [&] { seen = eq.now(); });
+    });
+    eq.run();
+    EXPECT_EQ(seen, 105u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    eq.runUntil(20);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runUntil(50);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, ResetDropsPendingEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.reset();
+    eq.run();
+    EXPECT_EQ(count, 0);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 5)
+            eq.scheduleIn(1, recurse);
+    };
+    eq.schedule(0, recurse);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(SimObject, KeepsName)
+{
+    SimObject obj("soc.npu.core0");
+    EXPECT_EQ(obj.name(), "soc.npu.core0");
+}
+
+} // namespace
+} // namespace snpu

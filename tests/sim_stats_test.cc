@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit tests for the statistics package.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Stats, ScalarAccumulates)
+{
+    stats::Group group("g");
+    stats::Scalar s(group, "s", "a scalar");
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 7;
+    EXPECT_DOUBLE_EQ(s.value(), 7);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Group group("g");
+    stats::Average a(group, "a", "an average");
+    a.sample(10);
+    a.sample(20);
+    a.sample(0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 10.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 20.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsSamples)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "a histogram", 0, 100, 10);
+    h.sample(5);    // bucket 0
+    h.sample(15);   // bucket 1
+    h.sample(95);   // bucket 9
+    h.sample(-1);   // underflow
+    h.sample(100);  // overflow (hi is exclusive)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(9), 1u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Stats, HistogramRejectsBadGeometry)
+{
+    stats::Group group("g");
+    EXPECT_THROW(stats::Histogram(group, "h", "bad", 10, 10, 4),
+                 PanicError);
+    EXPECT_THROW(stats::Histogram(group, "h", "bad", 0, 10, 0),
+                 PanicError);
+}
+
+TEST(Stats, GroupDumpAndFind)
+{
+    stats::Group group("soc");
+    stats::Scalar s(group, "cycles", "total cycles");
+    s = 42;
+    EXPECT_NE(group.find("cycles"), nullptr);
+    EXPECT_EQ(group.find("nonexistent"), nullptr);
+
+    std::ostringstream os;
+    group.dump(os);
+    EXPECT_NE(os.str().find("soc.cycles = 42"), std::string::npos);
+    EXPECT_NE(os.str().find("total cycles"), std::string::npos);
+}
+
+TEST(Stats, GroupResetAll)
+{
+    stats::Group group("g");
+    stats::Scalar s(group, "s", "scalar");
+    stats::Average a(group, "a", "avg");
+    s = 5;
+    a.sample(3);
+    group.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0);
+    EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(Stats, RenderIntegersWithoutDecimals)
+{
+    stats::Group group("g");
+    stats::Scalar s(group, "s", "scalar");
+    s = 1234567;
+    EXPECT_EQ(s.render(), "1234567");
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integration tests for the task runner: end-to-end model execution
+ * on each comparative system and the key cross-system relations the
+ * paper's evaluation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/systems.hh"
+#include "core/task_runner.hh"
+
+namespace snpu
+{
+namespace
+{
+
+SystemOverrides
+fastOverrides()
+{
+    SystemOverrides o;
+    o.model_scale = 8; // shrink M dims for quick tests
+    return o;
+}
+
+TEST(TaskRunner, RunsOnAllSystems)
+{
+    for (SystemKind kind :
+         {SystemKind::normal_npu, SystemKind::trustzone_npu,
+          SystemKind::snpu}) {
+        RunResult res = measureModel(kind, ModelId::yololite,
+                                     fastOverrides());
+        EXPECT_TRUE(res.ok) << systemKindName(kind) << ": "
+                            << res.error;
+        EXPECT_GT(res.cycles, 0u);
+        EXPECT_GT(res.macs, 0u);
+        EXPECT_GT(res.dma_bytes, 0u);
+    }
+}
+
+TEST(TaskRunner, GuarderChecksFarFewerThanIommu)
+{
+    RunResult tz = measureModel(SystemKind::trustzone_npu,
+                                ModelId::mobilenet, fastOverrides());
+    RunResult sn = measureModel(SystemKind::snpu, ModelId::mobilenet,
+                                fastOverrides());
+    ASSERT_TRUE(tz.ok) << tz.error;
+    ASSERT_TRUE(sn.ok) << sn.error;
+    // Fig 13b: request-level checking needs only a few percent of
+    // the packet-level lookups.
+    EXPECT_LT(sn.check_requests * 5, tz.check_requests);
+}
+
+TEST(TaskRunner, SnpuNotSlowerThanNormal)
+{
+    RunResult normal = measureModel(SystemKind::normal_npu,
+                                    ModelId::yololite,
+                                    fastOverrides());
+    RunResult sn = measureModel(SystemKind::snpu, ModelId::yololite,
+                                fastOverrides());
+    ASSERT_TRUE(normal.ok);
+    ASSERT_TRUE(sn.ok);
+    // The Guarder adds (almost) zero runtime cost.
+    EXPECT_LE(sn.cycles, normal.cycles * 101 / 100);
+}
+
+TEST(TaskRunner, IommuSlowsDownSmallTlb)
+{
+    SystemOverrides small = fastOverrides();
+    small.iotlb_entries = 4;
+    SystemOverrides big = fastOverrides();
+    big.iotlb_entries = 32;
+    RunResult slow = measureModel(SystemKind::trustzone_npu,
+                                  ModelId::googlenet, small);
+    RunResult fast = measureModel(SystemKind::trustzone_npu,
+                                  ModelId::googlenet, big);
+    ASSERT_TRUE(slow.ok);
+    ASSERT_TRUE(fast.ok);
+    EXPECT_GT(slow.cycles, fast.cycles);
+}
+
+TEST(TaskRunner, FlushGranularityOrdering)
+{
+    RunResult none = measureModel(SystemKind::trustzone_npu,
+                                  ModelId::yololite, fastOverrides(),
+                                  FlushGranularity::none);
+    RunResult tile = measureModel(SystemKind::trustzone_npu,
+                                  ModelId::yololite, fastOverrides(),
+                                  FlushGranularity::tile);
+    RunResult layer = measureModel(SystemKind::trustzone_npu,
+                                   ModelId::yololite, fastOverrides(),
+                                   FlushGranularity::layer);
+    ASSERT_TRUE(none.ok);
+    ASSERT_TRUE(tile.ok);
+    ASSERT_TRUE(layer.ok);
+    EXPECT_GT(tile.cycles, layer.cycles);
+    EXPECT_GT(layer.cycles, none.cycles);
+    EXPECT_GT(tile.flush_cycles, 0u);
+    EXPECT_EQ(none.flush_cycles, 0u);
+}
+
+TEST(TaskRunner, SecureTaskRunsOnSnpu)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    TaskRunner runner(*soc);
+    NpuTask task = NpuTask::fromModel(ModelId::yololite,
+                                      World::secure);
+    task.model = task.model.scaled(8);
+    RunResult res = runner.run(task);
+    EXPECT_TRUE(res.ok) << res.error;
+}
+
+TEST(TaskRunner, PartitionShrinksEffectiveSpad)
+{
+    SocParams params = makeSystem(SystemKind::trustzone_npu);
+    params.spad_isolation = IsolationMode::partition;
+    params.partition_secure_frac = 0.25;
+    Soc soc(params);
+    TaskRunner runner(soc);
+    EXPECT_EQ(runner.effectiveSpadRows(World::secure),
+              params.spadRows() / 4);
+    EXPECT_EQ(runner.effectiveSpadRows(World::normal),
+              params.spadRows() - params.spadRows() / 4);
+}
+
+TEST(TaskRunner, SpadOverrideChangesCompilation)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    TaskRunner runner(*soc);
+    NpuTask task = NpuTask::fromModel(ModelId::alexnet);
+    task.model = task.model.scaled(8);
+    const NpuProgram full = runner.compile(task);
+    const NpuProgram quarter = runner.compile(task, 4096);
+    EXPECT_GT(quarter.code.size(), full.code.size());
+}
+
+TEST(TaskRunner, UtilizationIsSane)
+{
+    RunResult res = measureModel(SystemKind::normal_npu,
+                                 ModelId::resnet, fastOverrides());
+    ASSERT_TRUE(res.ok);
+    const double util = res.utilization(256);
+    EXPECT_GT(util, 0.01);
+    EXPECT_LT(util, 1.0);
+}
+
+} // namespace
+} // namespace snpu

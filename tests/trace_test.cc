@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests for the execution trace infrastructure and the NPU core's
+ * instrumentation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "mem/mem_system.hh"
+#include "npu/npu_core.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Trace, MemorySinkRecords)
+{
+    MemoryTraceSink sink;
+    Tracer tracer;
+    tracer.attach(&sink);
+    tracer.emit(42, TraceCategory::instr, "core0", "mvin row=", 7);
+    ASSERT_EQ(sink.records.size(), 1u);
+    EXPECT_EQ(sink.records[0].when, 42u);
+    EXPECT_EQ(sink.records[0].who, "core0");
+    EXPECT_EQ(sink.records[0].what, "mvin row=7");
+}
+
+TEST(Trace, DetachedTracerIsSilent)
+{
+    MemoryTraceSink sink;
+    Tracer tracer;
+    tracer.attach(&sink);
+    tracer.detach();
+    tracer.emit(1, TraceCategory::instr, "x", "y");
+    EXPECT_TRUE(sink.records.empty());
+    EXPECT_FALSE(tracer.active());
+}
+
+TEST(Trace, CategoryMaskFilters)
+{
+    MemoryTraceSink sink(traceMask(TraceCategory::security));
+    Tracer tracer;
+    tracer.attach(&sink);
+    tracer.emit(1, TraceCategory::instr, "c", "ignored");
+    tracer.emit(2, TraceCategory::security, "c", "kept");
+    ASSERT_EQ(sink.records.size(), 1u);
+    EXPECT_EQ(sink.records[0].what, "kept");
+}
+
+TEST(Trace, FileSinkWritesLines)
+{
+    const char *path = "trace_test_output.txt";
+    {
+        FileTraceSink sink(path);
+        Tracer tracer;
+        tracer.attach(&sink);
+        tracer.emit(100, TraceCategory::dma, "dma0", "done");
+        EXPECT_EQ(sink.lines(), 1u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "100 dma dma0: done");
+    std::remove(path);
+}
+
+TEST(Trace, FileSinkBadPathIsFatal)
+{
+    EXPECT_THROW(FileTraceSink("/nonexistent/dir/trace.txt"),
+                 FatalError);
+}
+
+TEST(Trace, CoreEmitsInstructionRecords)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    PassThroughControl pass;
+    NpuCoreParams p;
+    p.spad_rows = 256;
+    p.acc_rows = 64;
+    p.timing_only = true;
+    NpuCore core(stats, mem, pass, p);
+
+    MemoryTraceSink sink(traceMask(TraceCategory::instr));
+    core.attachTrace(&sink);
+
+    NpuProgram prog;
+    Instr mvin;
+    mvin.op = Opcode::mvin;
+    mvin.vaddr = mem.map().npuArena(World::normal).base;
+    mvin.rows = 2;
+    prog.code.push_back(mvin);
+    Instr fence;
+    fence.op = Opcode::fence;
+    prog.code.push_back(fence);
+
+    ASSERT_TRUE(core.run(0, prog).ok);
+    ASSERT_EQ(sink.records.size(), 2u);
+    EXPECT_EQ(sink.records[0].who, "core0");
+    EXPECT_NE(sink.records[0].what.find("mvin"), std::string::npos);
+    EXPECT_NE(sink.records[1].what.find("fence"), std::string::npos);
+
+    // Detach stops the stream.
+    core.attachTrace(nullptr);
+    ASSERT_TRUE(core.run(1000, prog).ok);
+    EXPECT_EQ(sink.records.size(), 2u);
+}
+
+TEST(Trace, CoreEmitsSecurityRecordsOnFailure)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    PassThroughControl pass;
+    NpuCoreParams p;
+    p.spad_rows = 256;
+    p.acc_rows = 64;
+    NpuCore core(stats, mem, pass, p);
+
+    MemoryTraceSink sink(traceMask(TraceCategory::security));
+    core.attachTrace(&sink);
+
+    NpuProgram evil;
+    Instr instr;
+    instr.op = Opcode::sec_set_id;
+    instr.world = World::secure;
+    instr.privileged = false;
+    evil.code.push_back(instr);
+    EXPECT_FALSE(core.run(0, evil).ok);
+    ASSERT_FALSE(sink.records.empty());
+    EXPECT_NE(sink.records[0].what.find("sec_set_id"),
+              std::string::npos);
+}
+
+TEST(Trace, CategoryNames)
+{
+    EXPECT_STREQ(traceCategoryName(TraceCategory::instr), "instr");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::dma), "dma");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::security), "sec");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::noc), "noc");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::sched), "sched");
+}
+
+} // namespace
+} // namespace snpu
