@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_access_control.dir/abl_access_control.cc.o"
+  "CMakeFiles/abl_access_control.dir/abl_access_control.cc.o.d"
+  "abl_access_control"
+  "abl_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

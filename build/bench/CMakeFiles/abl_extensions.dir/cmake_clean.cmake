@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_extensions.dir/abl_extensions.cc.o"
+  "CMakeFiles/abl_extensions.dir/abl_extensions.cc.o.d"
+  "abl_extensions"
+  "abl_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

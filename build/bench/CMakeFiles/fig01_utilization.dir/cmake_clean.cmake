@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_utilization.dir/fig01_utilization.cc.o"
+  "CMakeFiles/fig01_utilization.dir/fig01_utilization.cc.o.d"
+  "fig01_utilization"
+  "fig01_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_access_control.dir/fig13_access_control.cc.o"
+  "CMakeFiles/fig13_access_control.dir/fig13_access_control.cc.o.d"
+  "fig13_access_control"
+  "fig13_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_flush_granularity.dir/fig14_flush_granularity.cc.o"
+  "CMakeFiles/fig14_flush_granularity.dir/fig14_flush_granularity.cc.o.d"
+  "fig14_flush_granularity"
+  "fig14_flush_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_flush_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

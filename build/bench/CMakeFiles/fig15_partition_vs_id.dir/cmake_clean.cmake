@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_partition_vs_id.dir/fig15_partition_vs_id.cc.o"
+  "CMakeFiles/fig15_partition_vs_id.dir/fig15_partition_vs_id.cc.o.d"
+  "fig15_partition_vs_id"
+  "fig15_partition_vs_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_partition_vs_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

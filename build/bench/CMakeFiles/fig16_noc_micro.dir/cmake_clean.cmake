@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_noc_micro.dir/fig16_noc_micro.cc.o"
+  "CMakeFiles/fig16_noc_micro.dir/fig16_noc_micro.cc.o.d"
+  "fig16_noc_micro"
+  "fig16_noc_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_noc_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_noc_app.dir/fig17_noc_app.cc.o"
+  "CMakeFiles/fig17_noc_app.dir/fig17_noc_app.cc.o.d"
+  "fig17_noc_app"
+  "fig17_noc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_noc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_hw_cost.dir/fig18_hw_cost.cc.o"
+  "CMakeFiles/fig18_hw_cost.dir/fig18_hw_cost.cc.o.d"
+  "fig18_hw_cost"
+  "fig18_hw_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_hw_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simspeed.dir/simspeed.cc.o"
+  "CMakeFiles/simspeed.dir/simspeed.cc.o.d"
+  "simspeed"
+  "simspeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simspeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_isolation_matrix.dir/tab01_isolation_matrix.cc.o"
+  "CMakeFiles/tab01_isolation_matrix.dir/tab01_isolation_matrix.cc.o.d"
+  "tab01_isolation_matrix"
+  "tab01_isolation_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_isolation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

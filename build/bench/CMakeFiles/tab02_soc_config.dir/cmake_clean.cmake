@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_soc_config.dir/tab02_soc_config.cc.o"
+  "CMakeFiles/tab02_soc_config.dir/tab02_soc_config.cc.o.d"
+  "tab02_soc_config"
+  "tab02_soc_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_soc_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_tcb_size.dir/tab_tcb_size.cc.o"
+  "CMakeFiles/tab_tcb_size.dir/tab_tcb_size.cc.o.d"
+  "tab_tcb_size"
+  "tab_tcb_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_tcb_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

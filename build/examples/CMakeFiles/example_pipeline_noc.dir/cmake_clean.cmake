@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_noc.dir/pipeline_noc.cc.o"
+  "CMakeFiles/example_pipeline_noc.dir/pipeline_noc.cc.o.d"
+  "pipeline_noc"
+  "pipeline_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

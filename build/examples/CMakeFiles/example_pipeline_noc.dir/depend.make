@@ -1,0 +1,2 @@
+# Empty dependencies file for example_pipeline_noc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_snpu_run.dir/snpu_run.cc.o"
+  "CMakeFiles/example_snpu_run.dir/snpu_run.cc.o.d"
+  "snpu_run"
+  "snpu_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_snpu_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_snpu_run.
+# This may be replaced when dependencies are built.

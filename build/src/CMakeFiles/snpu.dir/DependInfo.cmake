@@ -1,0 +1,77 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/area_model.cc" "src/CMakeFiles/snpu.dir/core/area_model.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/area_model.cc.o.d"
+  "/root/repo/src/core/attacks.cc" "src/CMakeFiles/snpu.dir/core/attacks.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/attacks.cc.o.d"
+  "/root/repo/src/core/concurrent.cc" "src/CMakeFiles/snpu.dir/core/concurrent.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/concurrent.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/snpu.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/soc.cc" "src/CMakeFiles/snpu.dir/core/soc.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/soc.cc.o.d"
+  "/root/repo/src/core/soc_config.cc" "src/CMakeFiles/snpu.dir/core/soc_config.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/soc_config.cc.o.d"
+  "/root/repo/src/core/systems.cc" "src/CMakeFiles/snpu.dir/core/systems.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/systems.cc.o.d"
+  "/root/repo/src/core/task.cc" "src/CMakeFiles/snpu.dir/core/task.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/task.cc.o.d"
+  "/root/repo/src/core/task_runner.cc" "src/CMakeFiles/snpu.dir/core/task_runner.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/task_runner.cc.o.d"
+  "/root/repo/src/core/tcb_inventory.cc" "src/CMakeFiles/snpu.dir/core/tcb_inventory.cc.o" "gcc" "src/CMakeFiles/snpu.dir/core/tcb_inventory.cc.o.d"
+  "/root/repo/src/dma/access_control.cc" "src/CMakeFiles/snpu.dir/dma/access_control.cc.o" "gcc" "src/CMakeFiles/snpu.dir/dma/access_control.cc.o.d"
+  "/root/repo/src/dma/dma_engine.cc" "src/CMakeFiles/snpu.dir/dma/dma_engine.cc.o" "gcc" "src/CMakeFiles/snpu.dir/dma/dma_engine.cc.o.d"
+  "/root/repo/src/guarder/guarder.cc" "src/CMakeFiles/snpu.dir/guarder/guarder.cc.o" "gcc" "src/CMakeFiles/snpu.dir/guarder/guarder.cc.o.d"
+  "/root/repo/src/iommu/iommu.cc" "src/CMakeFiles/snpu.dir/iommu/iommu.cc.o" "gcc" "src/CMakeFiles/snpu.dir/iommu/iommu.cc.o.d"
+  "/root/repo/src/iommu/iotlb.cc" "src/CMakeFiles/snpu.dir/iommu/iotlb.cc.o" "gcc" "src/CMakeFiles/snpu.dir/iommu/iotlb.cc.o.d"
+  "/root/repo/src/iommu/page_table.cc" "src/CMakeFiles/snpu.dir/iommu/page_table.cc.o" "gcc" "src/CMakeFiles/snpu.dir/iommu/page_table.cc.o.d"
+  "/root/repo/src/mem/address_map.cc" "src/CMakeFiles/snpu.dir/mem/address_map.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/address_map.cc.o.d"
+  "/root/repo/src/mem/dram_model.cc" "src/CMakeFiles/snpu.dir/mem/dram_model.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/dram_model.cc.o.d"
+  "/root/repo/src/mem/l2_cache.cc" "src/CMakeFiles/snpu.dir/mem/l2_cache.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/l2_cache.cc.o.d"
+  "/root/repo/src/mem/mem_crypto.cc" "src/CMakeFiles/snpu.dir/mem/mem_crypto.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/mem_crypto.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/CMakeFiles/snpu.dir/mem/mem_system.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/mem_system.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/CMakeFiles/snpu.dir/mem/phys_mem.cc.o" "gcc" "src/CMakeFiles/snpu.dir/mem/phys_mem.cc.o.d"
+  "/root/repo/src/noc/detailed_mesh.cc" "src/CMakeFiles/snpu.dir/noc/detailed_mesh.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/detailed_mesh.cc.o.d"
+  "/root/repo/src/noc/flit.cc" "src/CMakeFiles/snpu.dir/noc/flit.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/flit.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/snpu.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/router.cc" "src/CMakeFiles/snpu.dir/noc/router.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/router.cc.o.d"
+  "/root/repo/src/noc/router_controller.cc" "src/CMakeFiles/snpu.dir/noc/router_controller.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/router_controller.cc.o.d"
+  "/root/repo/src/noc/software_noc.cc" "src/CMakeFiles/snpu.dir/noc/software_noc.cc.o" "gcc" "src/CMakeFiles/snpu.dir/noc/software_noc.cc.o.d"
+  "/root/repo/src/npu/isa.cc" "src/CMakeFiles/snpu.dir/npu/isa.cc.o" "gcc" "src/CMakeFiles/snpu.dir/npu/isa.cc.o.d"
+  "/root/repo/src/npu/npu_core.cc" "src/CMakeFiles/snpu.dir/npu/npu_core.cc.o" "gcc" "src/CMakeFiles/snpu.dir/npu/npu_core.cc.o.d"
+  "/root/repo/src/npu/npu_device.cc" "src/CMakeFiles/snpu.dir/npu/npu_device.cc.o" "gcc" "src/CMakeFiles/snpu.dir/npu/npu_device.cc.o.d"
+  "/root/repo/src/npu/systolic_model.cc" "src/CMakeFiles/snpu.dir/npu/systolic_model.cc.o" "gcc" "src/CMakeFiles/snpu.dir/npu/systolic_model.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/snpu.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/snpu.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/snpu.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/snpu.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/snpu.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/snpu.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/snpu.dir/sim/trace.cc.o.d"
+  "/root/repo/src/spad/flush_engine.cc" "src/CMakeFiles/snpu.dir/spad/flush_engine.cc.o" "gcc" "src/CMakeFiles/snpu.dir/spad/flush_engine.cc.o.d"
+  "/root/repo/src/spad/multi_domain.cc" "src/CMakeFiles/snpu.dir/spad/multi_domain.cc.o" "gcc" "src/CMakeFiles/snpu.dir/spad/multi_domain.cc.o.d"
+  "/root/repo/src/spad/scratchpad.cc" "src/CMakeFiles/snpu.dir/spad/scratchpad.cc.o" "gcc" "src/CMakeFiles/snpu.dir/spad/scratchpad.cc.o.d"
+  "/root/repo/src/tee/aes128.cc" "src/CMakeFiles/snpu.dir/tee/aes128.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/aes128.cc.o.d"
+  "/root/repo/src/tee/hmac.cc" "src/CMakeFiles/snpu.dir/tee/hmac.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/hmac.cc.o.d"
+  "/root/repo/src/tee/monitor/code_verifier.cc" "src/CMakeFiles/snpu.dir/tee/monitor/code_verifier.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/code_verifier.cc.o.d"
+  "/root/repo/src/tee/monitor/context_setter.cc" "src/CMakeFiles/snpu.dir/tee/monitor/context_setter.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/context_setter.cc.o.d"
+  "/root/repo/src/tee/monitor/npu_monitor.cc" "src/CMakeFiles/snpu.dir/tee/monitor/npu_monitor.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/npu_monitor.cc.o.d"
+  "/root/repo/src/tee/monitor/secure_loader.cc" "src/CMakeFiles/snpu.dir/tee/monitor/secure_loader.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/secure_loader.cc.o.d"
+  "/root/repo/src/tee/monitor/soft_domains.cc" "src/CMakeFiles/snpu.dir/tee/monitor/soft_domains.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/soft_domains.cc.o.d"
+  "/root/repo/src/tee/monitor/task_queue.cc" "src/CMakeFiles/snpu.dir/tee/monitor/task_queue.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/task_queue.cc.o.d"
+  "/root/repo/src/tee/monitor/trampoline.cc" "src/CMakeFiles/snpu.dir/tee/monitor/trampoline.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/trampoline.cc.o.d"
+  "/root/repo/src/tee/monitor/trusted_allocator.cc" "src/CMakeFiles/snpu.dir/tee/monitor/trusted_allocator.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/monitor/trusted_allocator.cc.o.d"
+  "/root/repo/src/tee/pmp.cc" "src/CMakeFiles/snpu.dir/tee/pmp.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/pmp.cc.o.d"
+  "/root/repo/src/tee/secure_boot.cc" "src/CMakeFiles/snpu.dir/tee/secure_boot.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/secure_boot.cc.o.d"
+  "/root/repo/src/tee/secure_world.cc" "src/CMakeFiles/snpu.dir/tee/secure_world.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/secure_world.cc.o.d"
+  "/root/repo/src/tee/sha256.cc" "src/CMakeFiles/snpu.dir/tee/sha256.cc.o" "gcc" "src/CMakeFiles/snpu.dir/tee/sha256.cc.o.d"
+  "/root/repo/src/workload/compiler.cc" "src/CMakeFiles/snpu.dir/workload/compiler.cc.o" "gcc" "src/CMakeFiles/snpu.dir/workload/compiler.cc.o.d"
+  "/root/repo/src/workload/layer.cc" "src/CMakeFiles/snpu.dir/workload/layer.cc.o" "gcc" "src/CMakeFiles/snpu.dir/workload/layer.cc.o.d"
+  "/root/repo/src/workload/mapping.cc" "src/CMakeFiles/snpu.dir/workload/mapping.cc.o" "gcc" "src/CMakeFiles/snpu.dir/workload/mapping.cc.o.d"
+  "/root/repo/src/workload/model_zoo.cc" "src/CMakeFiles/snpu.dir/workload/model_zoo.cc.o" "gcc" "src/CMakeFiles/snpu.dir/workload/model_zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

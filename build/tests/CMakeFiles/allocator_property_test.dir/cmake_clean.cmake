@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_property_test.dir/allocator_property_test.cc.o"
+  "CMakeFiles/allocator_property_test.dir/allocator_property_test.cc.o.d"
+  "allocator_property_test"
+  "allocator_property_test.pdb"
+  "allocator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_tcb_test.dir/area_tcb_test.cc.o"
+  "CMakeFiles/area_tcb_test.dir/area_tcb_test.cc.o.d"
+  "area_tcb_test"
+  "area_tcb_test.pdb"
+  "area_tcb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_tcb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

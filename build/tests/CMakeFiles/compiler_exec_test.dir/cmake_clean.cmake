@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_exec_test.dir/compiler_exec_test.cc.o"
+  "CMakeFiles/compiler_exec_test.dir/compiler_exec_test.cc.o.d"
+  "compiler_exec_test"
+  "compiler_exec_test.pdb"
+  "compiler_exec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detailed_mesh_test.dir/detailed_mesh_test.cc.o"
+  "CMakeFiles/detailed_mesh_test.dir/detailed_mesh_test.cc.o.d"
+  "detailed_mesh_test"
+  "detailed_mesh_test.pdb"
+  "detailed_mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detailed_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

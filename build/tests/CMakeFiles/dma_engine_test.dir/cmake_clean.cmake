@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dma_engine_test.dir/dma_engine_test.cc.o"
+  "CMakeFiles/dma_engine_test.dir/dma_engine_test.cc.o.d"
+  "dma_engine_test"
+  "dma_engine_test.pdb"
+  "dma_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dma_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

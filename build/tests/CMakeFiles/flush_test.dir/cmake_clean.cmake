@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flush_test.dir/flush_test.cc.o"
+  "CMakeFiles/flush_test.dir/flush_test.cc.o.d"
+  "flush_test"
+  "flush_test.pdb"
+  "flush_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

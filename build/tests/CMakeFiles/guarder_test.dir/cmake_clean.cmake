@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarder_test.dir/guarder_test.cc.o"
+  "CMakeFiles/guarder_test.dir/guarder_test.cc.o.d"
+  "guarder_test"
+  "guarder_test.pdb"
+  "guarder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

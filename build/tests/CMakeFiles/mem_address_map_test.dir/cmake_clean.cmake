@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_address_map_test.dir/mem_address_map_test.cc.o"
+  "CMakeFiles/mem_address_map_test.dir/mem_address_map_test.cc.o.d"
+  "mem_address_map_test"
+  "mem_address_map_test.pdb"
+  "mem_address_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_address_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

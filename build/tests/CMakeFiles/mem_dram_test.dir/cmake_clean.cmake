@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_dram_test.dir/mem_dram_test.cc.o"
+  "CMakeFiles/mem_dram_test.dir/mem_dram_test.cc.o.d"
+  "mem_dram_test"
+  "mem_dram_test.pdb"
+  "mem_dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

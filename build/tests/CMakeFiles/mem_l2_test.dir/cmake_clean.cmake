@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_l2_test.dir/mem_l2_test.cc.o"
+  "CMakeFiles/mem_l2_test.dir/mem_l2_test.cc.o.d"
+  "mem_l2_test"
+  "mem_l2_test.pdb"
+  "mem_l2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_l2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_system_test.dir/mem_system_test.cc.o"
+  "CMakeFiles/mem_system_test.dir/mem_system_test.cc.o.d"
+  "mem_system_test"
+  "mem_system_test.pdb"
+  "mem_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

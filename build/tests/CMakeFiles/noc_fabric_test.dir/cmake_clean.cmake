@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_fabric_test.dir/noc_fabric_test.cc.o"
+  "CMakeFiles/noc_fabric_test.dir/noc_fabric_test.cc.o.d"
+  "noc_fabric_test"
+  "noc_fabric_test.pdb"
+  "noc_fabric_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_fabric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

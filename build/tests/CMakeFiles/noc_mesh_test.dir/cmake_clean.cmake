@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_mesh_test.dir/noc_mesh_test.cc.o"
+  "CMakeFiles/noc_mesh_test.dir/noc_mesh_test.cc.o.d"
+  "noc_mesh_test"
+  "noc_mesh_test.pdb"
+  "noc_mesh_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

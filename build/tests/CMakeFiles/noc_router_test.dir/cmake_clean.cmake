@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noc_router_test.dir/noc_router_test.cc.o"
+  "CMakeFiles/noc_router_test.dir/noc_router_test.cc.o.d"
+  "noc_router_test"
+  "noc_router_test.pdb"
+  "noc_router_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noc_router_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

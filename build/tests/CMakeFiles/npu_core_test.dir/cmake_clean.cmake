@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_core_test.dir/npu_core_test.cc.o"
+  "CMakeFiles/npu_core_test.dir/npu_core_test.cc.o.d"
+  "npu_core_test"
+  "npu_core_test.pdb"
+  "npu_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_device_test.dir/npu_device_test.cc.o"
+  "CMakeFiles/npu_device_test.dir/npu_device_test.cc.o.d"
+  "npu_device_test"
+  "npu_device_test.pdb"
+  "npu_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npu_systolic_test.dir/npu_systolic_test.cc.o"
+  "CMakeFiles/npu_systolic_test.dir/npu_systolic_test.cc.o.d"
+  "npu_systolic_test"
+  "npu_systolic_test.pdb"
+  "npu_systolic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npu_systolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

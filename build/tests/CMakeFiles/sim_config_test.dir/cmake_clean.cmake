@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_config_test.dir/sim_config_test.cc.o"
+  "CMakeFiles/sim_config_test.dir/sim_config_test.cc.o.d"
+  "sim_config_test"
+  "sim_config_test.pdb"
+  "sim_config_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

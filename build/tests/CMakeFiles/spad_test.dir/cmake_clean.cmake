@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spad_test.dir/spad_test.cc.o"
+  "CMakeFiles/spad_test.dir/spad_test.cc.o.d"
+  "spad_test"
+  "spad_test.pdb"
+  "spad_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spad_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_crypto_test.dir/tee_crypto_test.cc.o"
+  "CMakeFiles/tee_crypto_test.dir/tee_crypto_test.cc.o.d"
+  "tee_crypto_test"
+  "tee_crypto_test.pdb"
+  "tee_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

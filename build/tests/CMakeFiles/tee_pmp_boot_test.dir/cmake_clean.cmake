@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_pmp_boot_test.dir/tee_pmp_boot_test.cc.o"
+  "CMakeFiles/tee_pmp_boot_test.dir/tee_pmp_boot_test.cc.o.d"
+  "tee_pmp_boot_test"
+  "tee_pmp_boot_test.pdb"
+  "tee_pmp_boot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_pmp_boot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
