@@ -31,8 +31,8 @@ double
 normalized(SystemKind kind, const SystemOverrides &o, Tick baseline)
 {
     RunResult res = measureModel(kind, ModelId::resnet, o);
-    if (!res.ok) {
-        std::fprintf(stderr, "run failed: %s\n", res.error.c_str());
+    if (!res.ok()) {
+        std::fprintf(stderr, "run failed: %s\n", res.error().c_str());
         std::exit(1);
     }
     return static_cast<double>(baseline) /
@@ -54,7 +54,7 @@ main()
 
     RunResult normal =
         measureModel(SystemKind::normal_npu, ModelId::resnet, base);
-    if (!normal.ok)
+    if (!normal.ok())
         return 1;
 
     Table chan({"DMA channels", "IOTLB-4", "IOTLB-32", "Guarder"});
@@ -70,7 +70,7 @@ main()
         // with one channel), so re-measure it per row.
         RunResult nb = measureModel(SystemKind::normal_npu,
                                     ModelId::resnet, o);
-        if (!nb.ok)
+        if (!nb.ok())
             return 1;
         chan.row({std::to_string(channels),
                   num(normalized(SystemKind::trustzone_npu, o4,

@@ -51,7 +51,7 @@ main()
     for (ModelId id : allModels()) {
         RunResult base = measureModel(SystemKind::snpu, id, plain);
         RunResult with = measureModel(SystemKind::snpu, id, crypt);
-        if (!base.ok || !with.ok) {
+        if (!base.ok() || !with.ok()) {
             std::printf("ERROR %s\n", modelName(id));
             return 1;
         }

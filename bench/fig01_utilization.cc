@@ -28,9 +28,9 @@ main()
     for (ModelId id : allModels()) {
         RunResult res = measureModel(SystemKind::normal_npu, id,
                                      overrides);
-        if (!res.ok) {
+        if (!res.ok()) {
             std::printf("ERROR %s: %s\n", modelName(id),
-                        res.error.c_str());
+                        res.error().c_str());
             return 1;
         }
         const double util = res.utilization(256) * 100.0;

@@ -42,9 +42,9 @@ main()
     for (ModelId id : allModels()) {
         RunResult normal =
             measureModel(SystemKind::normal_npu, id, base);
-        if (!normal.ok) {
+        if (!normal.ok()) {
             std::printf("ERROR baseline %s: %s\n", modelName(id),
-                        normal.error.c_str());
+                        normal.error().c_str());
             return 1;
         }
 
@@ -55,9 +55,9 @@ main()
             o.iotlb_entries = entries;
             RunResult res =
                 measureModel(SystemKind::trustzone_npu, id, o);
-            if (!res.ok) {
+            if (!res.ok()) {
                 std::printf("ERROR iommu %s: %s\n", modelName(id),
-                            res.error.c_str());
+                            res.error().c_str());
                 return 1;
             }
             row.push_back(num(static_cast<double>(normal.cycles) /
@@ -67,9 +67,9 @@ main()
         }
 
         RunResult guarder = measureModel(SystemKind::snpu, id, base);
-        if (!guarder.ok) {
+        if (!guarder.ok()) {
             std::printf("ERROR guarder %s: %s\n", modelName(id),
-                        guarder.error.c_str());
+                        guarder.error().c_str());
             return 1;
         }
         row.push_back(num(static_cast<double>(normal.cycles) /

@@ -40,7 +40,7 @@ main()
         RunResult tile = measureModel(SystemKind::trustzone_npu, id,
                                       overrides,
                                       FlushGranularity::tile);
-        if (!none.ok || !l5.ok || !layer.ok || !tile.ok) {
+        if (!none.ok() || !l5.ok() || !layer.ok() || !tile.ok()) {
             std::printf("ERROR %s\n", modelName(id));
             return 1;
         }

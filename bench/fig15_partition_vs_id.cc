@@ -47,8 +47,8 @@ runWithRows(ModelId id, std::uint32_t rows, double gbps,
     RunOptions opts;
     opts.spad_rows_override = rows;
     RunResult res = runner.run(task, opts);
-    if (!res.ok) {
-        std::fprintf(stderr, "run failed: %s\n", res.error.c_str());
+    if (!res.ok()) {
+        std::fprintf(stderr, "run failed: %s\n", res.error().c_str());
         std::exit(1);
     }
     return res.cycles;

@@ -29,10 +29,10 @@ pipelineCycles(ModelId id, NocMode mode, std::uint32_t scale)
     PipelineResult res = runner.runPipeline(
         task, {0, 1, 2, 3}, mode,
         static_cast<std::uint32_t>(task.model.layers.size()));
-    if (!res.ok) {
+    if (!res.ok()) {
         std::fprintf(stderr, "pipeline failed for %s (%s): %s\n",
                      modelName(id), nocModeName(mode),
-                     res.error.c_str());
+                     res.error().c_str());
         std::exit(1);
     }
     return res.cycles;

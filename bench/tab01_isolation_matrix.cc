@@ -65,8 +65,8 @@ main()
         auto soc = buildSoc(SystemKind::snpu);
         TimeSharedScheduler sched(*soc, SchedPolicy::id_based);
         SchedResult res = sched.run(scenario());
-        if (!res.ok) {
-            std::printf("ERROR: %s\n", res.error.c_str());
+        if (!res.ok()) {
+            std::printf("ERROR: %s\n", res.error().c_str());
             return 1;
         }
         ref_completion = res.background_completion;
@@ -79,9 +79,9 @@ main()
         auto soc = buildSoc(SystemKind::snpu);
         TimeSharedScheduler sched(*soc, row.policy, 8);
         SchedResult res = sched.run(scenario());
-        if (!res.ok) {
+        if (!res.ok()) {
             std::printf("ERROR %s: %s\n", row.name,
-                        res.error.c_str());
+                        res.error().c_str());
             return 1;
         }
         table.row({row.name, row.temporal, row.spatial,

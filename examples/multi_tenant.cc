@@ -46,9 +46,9 @@ main()
         auto soc = buildSoc(SystemKind::snpu);
         TimeSharedScheduler sched(*soc, policy, 8);
         SchedResult res = sched.run(scenario);
-        if (!res.ok) {
+        if (!res.ok()) {
             std::printf("%s failed: %s\n", schedPolicyName(policy),
-                        res.error.c_str());
+                        res.error().c_str());
             return 1;
         }
         std::printf("%-24s %12llu %14llu %16llu %12llu\n",

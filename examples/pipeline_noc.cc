@@ -44,9 +44,9 @@ main()
         TaskRunner runner(*soc);
         PipelineResult res =
             runner.runPipeline(task, {0, 1, 5, 6}, mode, stages);
-        if (!res.ok) {
+        if (!res.ok()) {
             std::printf("%s failed: %s\n", nocModeName(mode),
-                        res.error.c_str());
+                        res.error().c_str());
             return 1;
         }
         if (mode == NocMode::unauthorized)
@@ -77,14 +77,14 @@ main()
     soc.monitor().submit(secure);
     LaunchResult good = soc.monitor().launchNext();
     std::printf("route check, 2x2 block {0,1,5,6}: %s\n",
-                good.ok ? "accepted" : good.reason.c_str());
-    if (good.ok)
+                good.ok() ? "accepted" : good.reason().c_str());
+    if (good.ok())
         soc.monitor().finish(good.task_id);
 
     secure.proposed_cores = {0, 1, 2, 3};
     soc.monitor().submit(secure);
     LaunchResult bad = soc.monitor().launchNext();
     std::printf("route check, 1x4 strip {0,1,2,3}: %s\n",
-                bad.ok ? "accepted (BAD)" : bad.reason.c_str());
-    return bad.ok ? 1 : 0;
+                bad.ok() ? "accepted (BAD)" : bad.reason().c_str());
+    return bad.ok() ? 1 : 0;
 }

@@ -66,8 +66,8 @@ main()
                 static_cast<unsigned long long>(id));
 
     LaunchResult launch = soc.monitor().launchNext();
-    if (!launch.ok) {
-        std::printf("launch rejected: %s\n", launch.reason.c_str());
+    if (!launch.ok()) {
+        std::printf("launch rejected: %s\n", launch.reason().c_str());
         return 1;
     }
     std::printf("launched on core %u; model decrypted to secure PA "
@@ -80,8 +80,8 @@ main()
     RunOptions opts;
     opts.core = launch.cores[0];
     RunResult run = runner.run(task, opts);
-    if (!run.ok) {
-        std::printf("execution failed: %s\n", run.error.c_str());
+    if (!run.ok()) {
+        std::printf("execution failed: %s\n", run.error().c_str());
         return 1;
     }
     std::printf("inference done: %llu cycles, %.1f%% FLOPS "

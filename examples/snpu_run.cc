@@ -181,9 +181,9 @@ main(int argc, char **argv)
         PipelineResult res = runner.runPipeline(
             task, ids, noc,
             static_cast<std::uint32_t>(task.model.layers.size()));
-        if (!res.ok) {
+        if (!res.ok()) {
             std::fprintf(stderr, "pipeline failed: %s\n",
-                         res.error.c_str());
+                         res.error().c_str());
             return 1;
         }
         std::printf("pipeline(%u cores, %s): %llu cycles, %llu NoC "
@@ -196,9 +196,9 @@ main(int argc, char **argv)
         RunOptions opts;
         opts.flush = flush;
         RunResult res = runner.run(task, opts);
-        if (!res.ok) {
+        if (!res.ok()) {
             std::fprintf(stderr, "run failed: %s\n",
-                         res.error.c_str());
+                         res.error().c_str());
             return 1;
         }
         std::printf("cycles=%llu (%.3f ms at 1 GHz)  "

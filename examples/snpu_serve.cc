@@ -1,0 +1,199 @@
+/**
+ * @file
+ * snpu_serve — command-line driver for the multi-tenant serving
+ * engine. Spins up N tenants with open-loop Poisson arrivals at a
+ * chosen offered load and serves them across M tiles under one of
+ * the Table I isolation policies, reporting per-tenant tail latency
+ * and throughput. Fully deterministic for a fixed seed.
+ *
+ * Usage:
+ *   snpu_serve [key=value ...]
+ *
+ * Keys (defaults in parentheses):
+ *   tenants=<n>                       (4)
+ *   models=<name,name,...>  tenant t runs models[t % k]
+ *                                     (the whole zoo, in order)
+ *   cores=<n>                         (2)
+ *   load=<fraction of ideal capacity> (0.7)
+ *   isolation=fine|coarse|partition|id (id)
+ *   requests=<per tenant>             (16)
+ *   secure=<first k tenants secure>   (tenants/2)
+ *   capacity=<admission queue depth>  (8)
+ *   scale=<divisor for M dims>        (16)
+ *   seed=<rng seed>                   (1)
+ *   coarse_interval=<segments>        (5)
+ *   stats=0|1  dump the full stat group (0)
+ *
+ * Examples:
+ *   snpu_serve tenants=4 cores=4 load=0.7 isolation=id
+ *   snpu_serve tenants=2 cores=1 load=0.3 isolation=partition
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/systems.hh"
+#include "serve/arrivals.hh"
+#include "serve/server.hh"
+#include "sim/config.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workload/model_zoo.hh"
+
+using namespace snpu;
+
+namespace
+{
+
+SchedPolicy
+policyByName(const std::string &name)
+{
+    if (name == "fine" || name == "flush_fine")
+        return SchedPolicy::flush_fine;
+    if (name == "coarse" || name == "flush_coarse")
+        return SchedPolicy::flush_coarse;
+    if (name == "partition" || name == "part")
+        return SchedPolicy::partition;
+    if (name == "id" || name == "id_based")
+        return SchedPolicy::id_based;
+    fatal("unknown isolation policy '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            cfg.parseArg(argv[i]);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\nsee the header comment for "
+                                 "usage\n",
+                         e.what());
+            return 2;
+        }
+    }
+
+    const auto ntenants =
+        static_cast<std::uint32_t>(cfg.getInt("tenants", 4));
+    const auto ncores =
+        static_cast<std::uint32_t>(cfg.getInt("cores", 2));
+    const double load = cfg.getDouble("load", 0.7);
+    const std::string isolation = cfg.getString("isolation", "id");
+    const auto requests =
+        static_cast<std::uint32_t>(cfg.getInt("requests", 16));
+    const auto secure = static_cast<std::uint32_t>(
+        cfg.getInt("secure", ntenants / 2));
+    const auto capacity =
+        static_cast<std::uint32_t>(cfg.getInt("capacity", 8));
+    const auto scale =
+        static_cast<std::uint32_t>(cfg.getInt("scale", 16));
+    const auto seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+
+    ServerConfig server_cfg;
+    server_cfg.policy = policyByName(isolation);
+    server_cfg.num_cores = ncores;
+    server_cfg.coarse_interval = static_cast<std::uint32_t>(
+        cfg.getInt("coarse_interval", 5));
+
+    Soc soc(makeSystem(SystemKind::snpu));
+
+    // Tenants cycle through the model zoo; the first `secure` of
+    // them run confidential models through the NPU Monitor. The
+    // offered load is calibrated against the mean ideal service
+    // time across the tenant mix.
+    std::vector<ModelId> zoo;
+    std::string names = cfg.getString("models", "");
+    while (!names.empty()) {
+        const std::size_t comma = names.find(',');
+        zoo.push_back(modelByName(names.substr(0, comma)));
+        names = comma == std::string::npos
+                    ? std::string()
+                    : names.substr(comma + 1);
+    }
+    if (zoo.empty())
+        zoo = allModels();
+    std::vector<TenantSpec> tenants(ntenants);
+    std::vector<double> service(ntenants);
+    double max_service = 0.0;
+    for (std::uint32_t t = 0; t < ntenants; ++t) {
+        TenantSpec &spec = tenants[t];
+        const ModelId model = zoo[t % zoo.size()];
+        const World world =
+            t < secure ? World::secure : World::normal;
+        spec.name = std::string(modelName(model)) + "_" +
+                    std::to_string(t);
+        spec.task = NpuTask::fromModel(model, world);
+        spec.task.model = spec.task.model.scaled(scale);
+        spec.queue_capacity = capacity;
+        service[t] = SnpuServer::profiledServiceCycles(soc.params(),
+                                                       spec.task);
+        max_service = std::max(max_service, service[t]);
+    }
+    // Size the latency histogram to the slowest tenant's service
+    // time so the tail percentiles resolve at sane loads and
+    // saturate readably past the knee.
+    server_cfg.latency_hist_max = 32.0 * max_service;
+
+    // Each tenant offers an equal 1/N share of the target load
+    // against its own measured service time, so a heterogeneous mix
+    // (alexnet is ~20x mobilenet at the same scale) loads every
+    // tenant proportionally instead of drowning the slow models.
+    for (std::uint32_t t = 0; t < ntenants; ++t) {
+        const double gap =
+            meanGapForLoad(load, ntenants, ncores, service[t]);
+        Rng rng(seed * 0x9e3779b97f4a7c15ULL + t);
+        tenants[t].arrivals = poissonArrivals(rng, gap, requests);
+    }
+
+    std::printf("serving %u tenants (%u secure) on %u tiles, "
+                "policy=%s, offered load=%.2f, %u req/tenant, "
+                "seed=%llu\n",
+                ntenants, secure, ncores,
+                schedPolicyName(server_cfg.policy), load, requests,
+                static_cast<unsigned long long>(seed));
+
+    SnpuServer server(soc, server_cfg);
+    ServeResult res = server.serve(tenants);
+    if (!res.ok()) {
+        std::fprintf(stderr, "serving failed: %s\n",
+                     res.error().c_str());
+        return 1;
+    }
+
+    std::printf("%-14s %5s %4s %9s %9s %9s %9s %9s %8s %5s\n",
+                "tenant", "done", "rej", "thru/Mcy", "p50", "p95",
+                "p99", "worst", "monitor", "depth");
+    for (const TenantReport &rep : res.tenants) {
+        std::printf("%-14s %5u %4u %9.3f %9llu %9llu %9llu %9llu "
+                    "%8llu %5u\n",
+                    rep.name.c_str(), rep.completed, rep.rejected,
+                    rep.throughput,
+                    static_cast<unsigned long long>(rep.p50),
+                    static_cast<unsigned long long>(rep.p95),
+                    static_cast<unsigned long long>(rep.p99),
+                    static_cast<unsigned long long>(
+                        rep.worst_latency),
+                    static_cast<unsigned long long>(
+                        rep.monitor_cycles),
+                    rep.peak_queue_depth);
+    }
+    std::printf("makespan %llu cycles, utilization %.1f%%, flush "
+                "overhead %llu, monitor overhead %llu\n",
+                static_cast<unsigned long long>(res.makespan),
+                res.utilization * 100.0,
+                static_cast<unsigned long long>(res.flush_overhead),
+                static_cast<unsigned long long>(
+                    res.monitor_overhead));
+
+    if (cfg.getBool("stats", false)) {
+        std::ostringstream os;
+        soc.stats().dump(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    return 0;
+}

@@ -209,7 +209,7 @@ secInstructionAttack(Soc &soc)
     ExecResult exec = core.run(0, evil, ExecOptions{});
 
     const bool escalated =
-        exec.ok && core.idState() == World::secure;
+        exec.ok() && core.idState() == World::secure;
     result.blocked = !escalated;
     result.detail = escalated
                         ? "core entered the secure world from "
@@ -252,9 +252,9 @@ topologyAttack(Soc &soc)
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
 
-    result.blocked = !launch.ok;
-    result.detail = launch.ok ? "monitor accepted a wrong topology"
-                              : launch.reason;
+    result.blocked = !launch.ok();
+    result.detail = launch.ok() ? "monitor accepted a wrong topology"
+                              : launch.reason();
     return result;
 }
 
@@ -297,9 +297,9 @@ tamperedCodeAttack(Soc &soc)
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
 
-    result.blocked = !launch.ok;
-    result.detail = launch.ok ? "monitor accepted tampered code"
-                              : launch.reason;
+    result.blocked = !launch.ok();
+    result.detail = launch.ok() ? "monitor accepted tampered code"
+                              : launch.reason();
     return result;
 }
 

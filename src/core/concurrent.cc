@@ -132,18 +132,19 @@ runConcurrentPair(Soc &soc, const NpuTask &task_a, std::uint32_t rows_a,
         ExecResult exec = soc.npu().core(turn->core).run(
             turn->cursor, turn->segments[turn->next], ExecOptions{},
             &turn->state);
-        if (!exec.ok) {
-            result.error = exec.error;
+        if (!exec.ok()) {
+            result.status = exec.status;
             return result;
         }
         turn->cursor = exec.end;
         ++turn->next;
     }
 
-    result.ok = true;
+    result.status = Status::ok();
     result.completion_a = a.cursor;
     result.completion_b = b.cursor;
     result.makespan = std::max(a.cursor, b.cursor);
+    result.cycles = result.makespan;
     return result;
 }
 

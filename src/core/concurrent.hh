@@ -25,12 +25,11 @@ namespace snpu
 {
 
 /** Outcome of a concurrent two-task run. */
-struct ConcurrentResult
+struct ConcurrentResult : ExecOutcome
 {
-    bool ok = false;
-    std::string error;
     Tick completion_a = 0;
     Tick completion_b = 0;
+    /** Later of the two completions (also mirrored into cycles). */
     Tick makespan = 0;
 };
 

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "serve/core_scheduler.hh"
 #include "sim/logging.hh"
-#include "workload/compiler.hh"
 
 namespace snpu
 {
@@ -32,208 +32,43 @@ TimeSharedScheduler::TimeSharedScheduler(Soc &soc, SchedPolicy policy,
         fatal("coarse interval must be positive");
 }
 
-namespace
-{
-
-/** Compiled per-layer segments of one task plus its arena. */
-struct CompiledTask
-{
-    std::vector<NpuProgram> segments;
-    std::uint32_t live_rows = 0;
-    Addr va_base = 0;
-    Addr va_bytes = 0;
-    World world = World::normal;
-};
-
-CompiledTask
-compileSegments(Soc &soc, const NpuTask &task, std::uint32_t rows,
-                std::uint32_t row_base, Addr &cursor)
-{
-    NpuCore &core = soc.npu().core(0);
-    CompilerParams cp;
-    cp.dim = soc.params().systolic_dim;
-    cp.spad_rows = rows;
-    cp.spad_row_base = row_base;
-    cp.acc_rows = core.coreParams().acc_rows;
-    TilingCompiler compiler(cp);
-
-    CompiledTask out;
-    out.world = task.world;
-    out.va_base = cursor;
-    for (const LayerSpec &layer : task.model.layers) {
-        ModelSpec single;
-        single.name = layer.name;
-        single.layers = {layer};
-        Addr footprint = 0;
-        out.segments.push_back(
-            compiler.compileModel(single, cursor, &footprint));
-        cursor += (footprint + 0xfffff) & ~Addr(0xfffff);
-        out.live_rows = std::max(out.live_rows,
-                                 out.segments.back().spad_rows_used);
-    }
-    out.va_bytes = cursor - out.va_base;
-    return out;
-}
-
-} // namespace
-
 SchedResult
 TimeSharedScheduler::run(const SchedScenario &scenario,
                          std::uint32_t core_id)
 {
+    // Express the Table I scenario as two request streams and hand
+    // it to the generalized scheduler, pinned to one core.
+    ExecStream background;
+    background.task = scenario.background;
+    background.arrivals = {0};
+    background.pinned_core = static_cast<std::int32_t>(core_id);
+
+    ExecStream periodic;
+    periodic.task = scenario.periodic;
+    // The periodic task preempts the background task whenever it is
+    // ready, whatever the caller set as nominal priorities.
+    periodic.task.priority = std::max(scenario.periodic.priority,
+                                      scenario.background.priority + 1);
+    for (std::uint32_t i = 0; i < scenario.instances; ++i)
+        periodic.arrivals.push_back(static_cast<Tick>(i) *
+                                    scenario.period);
+    periodic.pinned_core = static_cast<std::int32_t>(core_id);
+
+    NCoreScheduler sched(soc, policy, core_id + 1, coarse_interval);
+    NSchedResult nres = sched.run({background, periodic});
+
     SchedResult result;
-    NpuCore &core = soc.npu().core(core_id);
-    const std::uint32_t full_rows = core.scratchpad().rows();
+    result.status = nres.status;
+    if (!nres.ok())
+        return result;
 
-    // Capacity per task under the policy.
-    std::uint32_t bg_rows = full_rows;
-    std::uint32_t bg_base = 0;
-    std::uint32_t hi_rows = full_rows;
-    std::uint32_t hi_base = 0;
-    if (policy == SchedPolicy::partition) {
-        bg_rows = full_rows / 2;
-        hi_rows = full_rows - bg_rows;
-        hi_base = bg_rows;
-    }
-
-    const AddrRange &arena = soc.mem().map().npuArena(World::normal);
-    Addr cursor = arena.base + (32u << 20);
-    CompiledTask bg = compileSegments(soc, scenario.background,
-                                      bg_rows, bg_base, cursor);
-    CompiledTask hi = compileSegments(soc, scenario.periodic, hi_rows,
-                                      hi_base, cursor);
-    const Addr save_area = arena.base + (16u << 20);
-
-    auto provision = [&](const CompiledTask &task) {
-        if (soc.hasGuarder()) {
-            NpuGuarder &guard = soc.guarder(core_id);
-            guard.clearAll(true);
-            guard.setCheckingRegister(
-                0, AddrRange{task.va_base, task.va_bytes + (1u << 20)},
-                GuardPerm::rw(), task.world, true);
-            guard.setTranslationRegister(
-                0, task.va_base, task.va_base,
-                task.va_bytes + (1u << 20), true);
-        } else if (soc.hasIommu()) {
-            soc.pageTable().mapRange(
-                task.va_base, task.va_base,
-                (task.va_bytes + (1u << 20) + page_bytes - 1) &
-                    ~Addr(page_bytes - 1),
-                true, task.world == World::secure);
-            soc.iommu(core_id).flushTlb();
-        }
-    };
-
-    // Scheduling state.
-    Tick now = 0;
-    std::uint64_t useful_macs = 0;
-    Tick flush_overhead = 0;
-    std::size_t bg_next = 0;
-    std::uint32_t hi_instance = 0;       // next instance to finish
-    std::size_t hi_next = 0;             // segment within instance
-    std::uint64_t latency_sum = 0;
-
-    // -1 = background, +1 = periodic, 0 = none yet.
-    int running = 0;
-    std::uint32_t segs_since_switch = 0;
-
-    auto hi_pending = [&] {
-        return hi_instance < scenario.instances;
-    };
-    auto hi_arrival = [&] {
-        return static_cast<Tick>(hi_instance) * scenario.period;
-    };
-    auto bg_pending = [&] { return bg_next < bg.segments.size(); };
-
-    auto context_switch = [&](int to) {
-        if (running == to)
-            return;
-        if (running != 0 &&
-            (policy == SchedPolicy::flush_fine ||
-             policy == SchedPolicy::flush_coarse)) {
-            const CompiledTask &prev = running < 0 ? bg : hi;
-            constexpr Tick resume_penalty = 200;
-            const Tick t0 = now;
-            now = core.flusher().flush(now, prev.live_rows, save_area,
-                                       World::normal);
-            core.flusher().restoreFunctional(prev.live_rows,
-                                             save_area);
-            now += resume_penalty;
-            flush_overhead += now - t0;
-        }
-        running = to;
-        segs_since_switch = 0;
-        const CompiledTask &next = to < 0 ? bg : hi;
-        soc.npu().setCoreWorld(core_id, next.world, true);
-        provision(next);
-    };
-
-    while (bg_pending() || hi_pending()) {
-        // Is a periodic instance ready?
-        const bool hi_ready = hi_pending() && hi_arrival() <= now;
-
-        int pick;
-        if (hi_ready && bg_pending()) {
-            if (policy == SchedPolicy::flush_coarse && running == -1 &&
-                segs_since_switch < coarse_interval) {
-                pick = -1; // amortizing: stick with the background
-            } else {
-                pick = +1;
-            }
-        } else if (hi_ready) {
-            pick = +1;
-        } else if (bg_pending()) {
-            pick = -1;
-        } else {
-            // Idle until the next periodic arrival.
-            now = std::max(now, hi_arrival());
-            continue;
-        }
-
-        context_switch(pick);
-
-        ExecOptions eo;
-        eo.noc = NocMode::unauthorized;
-        const CompiledTask &task = pick < 0 ? bg : hi;
-        const std::size_t seg = pick < 0 ? bg_next : hi_next;
-        ExecResult exec = core.run(now, task.segments[seg], eo);
-        if (!exec.ok) {
-            result.error = exec.error;
-            return result;
-        }
-        now = exec.end;
-        useful_macs += task.segments[seg].ideal_macs;
-        ++segs_since_switch;
-
-        if (pick < 0) {
-            ++bg_next;
-            if (!bg_pending())
-                result.background_completion = now;
-        } else {
-            ++hi_next;
-            if (hi_next == hi.segments.size()) {
-                const Tick latency = now - hi_arrival();
-                result.worst_latency =
-                    std::max(result.worst_latency, latency);
-                latency_sum += latency;
-                ++hi_instance;
-                hi_next = 0;
-            }
-        }
-    }
-
-    result.ok = true;
-    result.makespan = now;
-    const double peak = 256.0; // dim^2 MACs per cycle
-    result.utilization =
-        now ? static_cast<double>(useful_macs) /
-                  (peak * static_cast<double>(now))
-            : 0.0;
-    result.flush_overhead = flush_overhead;
-    result.mean_latency =
-        scenario.instances
-            ? static_cast<double>(latency_sum) / scenario.instances
-            : 0.0;
+    result.makespan = nres.makespan;
+    result.cycles = nres.makespan;
+    result.utilization = nres.utilization;
+    result.flush_overhead = nres.flush_overhead;
+    result.background_completion = nres.streams[0].completion;
+    result.worst_latency = nres.streams[1].worst_latency;
+    result.mean_latency = nres.streams[1].mean_latency;
     return result;
 }
 

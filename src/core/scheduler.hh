@@ -57,11 +57,9 @@ struct SchedScenario
 };
 
 /** Whole-schedule outcome. */
-struct SchedResult
+struct SchedResult : ExecOutcome
 {
-    bool ok = false;
-    std::string error;
-    /** Completion of everything. */
+    /** Completion of everything (also mirrored into cycles). */
     Tick makespan = 0;
     /** MAC utilization: systolic busy cycles over the makespan. */
     double utilization = 0.0;
@@ -77,7 +75,9 @@ struct SchedResult
 
 /**
  * The time-shared scheduler. Runs the scenario to completion on one
- * core under the given policy.
+ * core under the given policy. Kept as the Table I entry point; the
+ * actual scheduling is delegated to the generalized N-core
+ * scheduler in serve/core_scheduler.hh with N = 1.
  */
 class TimeSharedScheduler
 {

@@ -12,12 +12,34 @@
 #include <string>
 
 #include "npu/isa.hh"
+#include "sim/status.hh"
 #include "sim/types.hh"
 #include "workload/layer.hh"
 #include "workload/model_zoo.hh"
 
 namespace snpu
 {
+
+/**
+ * Shared base of every end-to-end execution outcome (single run,
+ * schedule, concurrent pair, pipeline, serving window). Gives all of
+ * them one shape — a Status plus the total simulated cycles — so
+ * layered tooling can report any of them uniformly.
+ *
+ * The default status is an error: an outcome is only meaningful once
+ * the producing code explicitly marked it ok, so early returns that
+ * fill in nothing but a failure status stay correct.
+ */
+struct ExecOutcome
+{
+    Status status = Status::internal("not run");
+    /** Total simulated cycles of the whole operation. */
+    Tick cycles = 0;
+
+    bool ok() const { return status.isOk(); }
+    StatusCode code() const { return status.code(); }
+    const std::string &error() const { return status.message(); }
+};
 
 /** One inference task. */
 struct NpuTask

@@ -72,13 +72,13 @@ TaskRunner::compile(const NpuTask &task,
     return compiler.compileModel(task.model, va_base);
 }
 
-bool
+Status
 TaskRunner::provision(const NpuTask &task, std::uint32_t core,
                       Addr va_base, Addr bytes, Addr pa_base)
 {
     switch (soc.params().access_control) {
       case AccessControlKind::pass_through:
-        return true;
+        return Status::ok();
       case AccessControlKind::iommu: {
         // The driver maps the task's pages; pages of secure tasks
         // carry the TrustZone S bit.
@@ -91,7 +91,7 @@ TaskRunner::provision(const NpuTask &task, std::uint32_t core,
             // same buffers; treat remap of identical range as fine.
         }
         soc.iommu(core).flushTlb();
-        return true;
+        return Status::ok();
     }
       case AccessControlKind::guarder: {
         // The monitor's context-setter path: one window covering the
@@ -102,13 +102,18 @@ TaskRunner::provision(const NpuTask &task, std::uint32_t core,
         if (!guard.setCheckingRegister(
                 0, AddrRange{pa_base, bytes}, GuardPerm::rw(),
                 task.world, from_secure)) {
-            return false;
+            return Status::provisionFailed(
+                "guarder checking register rejected");
         }
-        return guard.setTranslationRegister(0, va_base, pa_base, bytes,
-                                            from_secure);
+        if (!guard.setTranslationRegister(0, va_base, pa_base, bytes,
+                                          from_secure)) {
+            return Status::provisionFailed(
+                "guarder translation register rejected");
+        }
+        return Status::ok();
     }
     }
-    return false;
+    return Status::internal("unknown access-control kind");
 }
 
 RunResult
@@ -142,15 +147,18 @@ TaskRunner::run(const NpuTask &task, const RunOptions &opts)
         }
     }
 
-    if (!provision(task, opts.core, va_base, footprint, va_base)) {
-        result.error = "provisioning failed";
+    if (Status st = provision(task, opts.core, va_base, footprint,
+                              va_base);
+        !st) {
+        result.status = st;
         return result;
     }
 
     // Put the core in the task's world through the secure path (the
     // runner stands in for the monitor here).
     if (!soc.npu().setCoreWorld(opts.core, task.world, true)) {
-        result.error = "could not set core world";
+        result.status =
+            Status::privilegeDenied("could not set core world");
         return result;
     }
 
@@ -169,8 +177,7 @@ TaskRunner::run(const NpuTask &task, const RunOptions &opts)
 
     ExecResult exec = core.run(opts.start, program, eo);
 
-    result.ok = exec.ok;
-    result.error = exec.error;
+    result.status = exec.status;
     result.cycles = exec.cycles();
     result.end = exec.end;
     result.macs = exec.macs ? exec.macs : program.ideal_macs;
@@ -179,7 +186,7 @@ TaskRunner::run(const NpuTask &task, const RunOptions &opts)
     result.check_requests =
         core.dma().controller().checkCount() - checks_before;
     result.dma_bytes = core.dma().totalBytes() - bytes_before;
-    if (exec.ok && exec.macs == 0) {
+    if (exec.ok() && exec.macs == 0) {
         // Timing-only mode skips functional MACs; account the ideal
         // count for utilization reporting.
         result.macs = program.ideal_macs;
@@ -194,7 +201,7 @@ TaskRunner::runPipeline(const NpuTask &task,
 {
     PipelineResult result;
     if (cores.empty()) {
-        result.error = "no cores";
+        result.status = Status::invalidArgument("no cores");
         return result;
     }
 
@@ -219,7 +226,8 @@ TaskRunner::runPipeline(const NpuTask &task,
     // ID state, so it must be set before the first handoff arrives.
     for (std::uint32_t core_id : cores) {
         if (!soc.npu().setCoreWorld(core_id, task.world, true)) {
-            result.error = "could not set core world";
+            result.status =
+                Status::privilegeDenied("could not set core world");
             return result;
         }
     }
@@ -255,11 +263,12 @@ TaskRunner::runPipeline(const NpuTask &task,
         // The stage's window spans the whole pipeline arena so far:
         // under the software NoC its input buffer belongs to the
         // previous stage's allocation.
-        if (!provision(task, core_id, pipeline_base,
-                       (cursor - pipeline_base) + footprint +
-                           (1u << 20),
-                       pipeline_base)) {
-            result.error = "provisioning failed";
+        if (Status st = provision(task, core_id, pipeline_base,
+                                  (cursor - pipeline_base) +
+                                      footprint + (1u << 20),
+                                  pipeline_base);
+            !st) {
+            result.status = st;
             return result;
         }
         cursor += (footprint + 0xfffff) & ~Addr(0xfffff);
@@ -274,8 +283,8 @@ TaskRunner::runPipeline(const NpuTask &task,
         ExecOptions eo;
         eo.noc = direct ? noc : NocMode::unauthorized;
         ExecResult exec = core.run(t, program, eo);
-        if (!exec.ok) {
-            result.error = exec.error;
+        if (!exec.ok()) {
+            result.status = exec.status;
             return result;
         }
         t = exec.end;
@@ -306,8 +315,8 @@ TaskRunner::runPipeline(const NpuTask &task,
                         t, core_id, cores[(s + 1) % cores.size()], 0,
                         0, rows);
                     if (!nres.ok) {
-                        result.error =
-                            "NoC transfer rejected between stages";
+                        result.status = Status::execFailed(
+                            "NoC transfer rejected between stages");
                         return result;
                     }
                     t = nres.done;
@@ -329,7 +338,7 @@ TaskRunner::runPipeline(const NpuTask &task,
     }
 
     (void)noc_bytes_before;
-    result.ok = true;
+    result.status = Status::ok();
     result.cycles = t;
     return result;
 }

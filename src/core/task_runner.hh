@@ -38,11 +38,8 @@ struct RunOptions
 };
 
 /** Result of one run. */
-struct RunResult
+struct RunResult : ExecOutcome
 {
-    bool ok = false;
-    std::string error;
-    Tick cycles = 0;
     std::uint64_t macs = 0;
     std::uint64_t mac_busy = 0;
     std::uint64_t flush_cycles = 0;
@@ -63,11 +60,8 @@ struct RunResult
 };
 
 /** Multi-core pipeline run result (Fig 17). */
-struct PipelineResult
+struct PipelineResult : ExecOutcome
 {
-    bool ok = false;
-    std::string error;
-    Tick cycles = 0;
     std::uint64_t noc_bytes = 0;
     std::uint64_t transfers = 0;
 };
@@ -119,8 +113,8 @@ class TaskRunner
 
   private:
     /** Install translations/windows for [va, va+bytes) -> pa. */
-    bool provision(const NpuTask &task, std::uint32_t core,
-                   Addr va_base, Addr bytes, Addr pa_base);
+    Status provision(const NpuTask &task, std::uint32_t core,
+                     Addr va_base, Addr bytes, Addr pa_base);
 
     Soc &soc;
 };

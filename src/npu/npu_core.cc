@@ -75,8 +75,7 @@ NpuCore::attachNoc(NocFabric *fabric, SoftwareNoc *swnoc)
 void
 NpuCore::fail(ExecResult &res, const std::string &why)
 {
-    res.ok = false;
-    res.error = why;
+    res.status = Status::execFailed(why);
     ++res.violations;
     ++sec_violations;
     tracer.emit(0, TraceCategory::security, trace_name, why);

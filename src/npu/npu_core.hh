@@ -24,6 +24,7 @@
 #include "noc/router_controller.hh"
 #include "noc/software_noc.hh"
 #include "npu/isa.hh"
+#include "sim/status.hh"
 #include "npu/systolic_model.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
@@ -80,8 +81,7 @@ struct ExecResult
 {
     Tick start = 0;
     Tick end = 0;
-    bool ok = true;
-    std::string error;
+    Status status = Status::ok();
     /** Cycles the systolic array was busy. */
     std::uint64_t mac_busy = 0;
     /** MAC operations actually performed. */
@@ -92,6 +92,9 @@ struct ExecResult
     std::uint64_t flush_cycles = 0;
 
     Tick cycles() const { return end - start; }
+
+    bool ok() const { return status.isOk(); }
+    const std::string &error() const { return status.message(); }
 };
 
 /** One NPU tile. */

@@ -1,0 +1,49 @@
+#include "serve/arrivals.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+std::vector<Tick>
+poissonArrivals(Rng &rng, double mean_gap, std::uint32_t count,
+                Tick start)
+{
+    if (mean_gap <= 0.0)
+        fatal("poisson mean gap must be positive");
+    std::vector<Tick> arrivals;
+    arrivals.reserve(count);
+    double t = static_cast<double>(start);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        // Inverse-CDF sample; uniform() is in [0, 1) so the log
+        // argument stays strictly positive.
+        t += -std::log(1.0 - rng.uniform()) * mean_gap;
+        arrivals.push_back(static_cast<Tick>(t));
+    }
+    return arrivals;
+}
+
+std::vector<Tick>
+periodicArrivals(Tick period, std::uint32_t count, Tick start)
+{
+    std::vector<Tick> arrivals;
+    arrivals.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        arrivals.push_back(start + static_cast<Tick>(i) * period);
+    return arrivals;
+}
+
+double
+meanGapForLoad(double load, std::uint32_t tenants,
+               std::uint32_t cores, double service_cycles)
+{
+    if (load <= 0.0 || tenants == 0 || cores == 0)
+        fatal("offered load, tenants and cores must be positive");
+    // Aggregate arrival rate tenants/gap must equal load*cores/service.
+    return static_cast<double>(tenants) * service_cycles /
+           (load * static_cast<double>(cores));
+}
+
+} // namespace snpu

@@ -1,0 +1,397 @@
+#include "serve/core_scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+#include "workload/compiler.hh"
+
+namespace snpu
+{
+
+namespace
+{
+
+constexpr Tick no_tick = std::numeric_limits<Tick>::max();
+
+/** Compiled per-layer segments of one stream plus its arena. */
+struct CompiledStream
+{
+    std::vector<NpuProgram> segments;
+    std::uint32_t live_rows = 0;
+    Addr va_base = 0;
+    Addr va_bytes = 0;
+    World world = World::normal;
+    int priority = 0;
+    std::int32_t pinned_core = -1;
+};
+
+CompiledStream
+compileSegments(Soc &soc, const NpuTask &task, std::uint32_t rows,
+                std::uint32_t row_base, Addr &cursor)
+{
+    NpuCore &core = soc.npu().core(0);
+    CompilerParams cp;
+    cp.dim = soc.params().systolic_dim;
+    cp.spad_rows = rows;
+    cp.spad_row_base = row_base;
+    cp.acc_rows = core.coreParams().acc_rows;
+    TilingCompiler compiler(cp);
+
+    CompiledStream out;
+    out.world = task.world;
+    out.priority = task.priority;
+    out.va_base = cursor;
+    for (const LayerSpec &layer : task.model.layers) {
+        ModelSpec single;
+        single.name = layer.name;
+        single.layers = {layer};
+        Addr footprint = 0;
+        out.segments.push_back(
+            compiler.compileModel(single, cursor, &footprint));
+        cursor += (footprint + 0xfffff) & ~Addr(0xfffff);
+        out.live_rows = std::max(out.live_rows,
+                                 out.segments.back().spad_rows_used);
+    }
+    out.va_bytes = cursor - out.va_base;
+    return out;
+}
+
+/** One request instance's scheduling state. */
+struct Request
+{
+    std::uint32_t stream = 0;
+    std::uint32_t instance = 0;
+    Tick arrival = 0;
+    std::size_t next_seg = 0;
+    std::int32_t core = -1; //!< tile it was dispatched to; -1 = none
+};
+
+} // namespace
+
+NCoreScheduler::NCoreScheduler(Soc &soc, SchedPolicy policy,
+                               std::uint32_t num_cores,
+                               std::uint32_t coarse_interval)
+    : soc(soc), policy(policy), num_cores(num_cores),
+      coarse_interval(coarse_interval)
+{
+    if (coarse_interval == 0)
+        fatal("coarse interval must be positive");
+    if (num_cores == 0)
+        fatal("need at least one core");
+    if (num_cores > soc.npu().tiles())
+        fatal("more scheduler cores than NPU tiles");
+}
+
+NSchedResult
+NCoreScheduler::run(const std::vector<ExecStream> &streams,
+                    const SchedHooks &hooks)
+{
+    NSchedResult result;
+    result.streams.resize(streams.size());
+    if (streams.empty()) {
+        result.status = Status::invalidArgument("no streams");
+        return result;
+    }
+
+    const std::uint32_t full_rows =
+        soc.npu().core(0).scratchpad().rows();
+    const auto nstreams = static_cast<std::uint32_t>(streams.size());
+
+    // Capacity per stream under the policy: a static partition
+    // hands every stream an equal 1/K slice; everything else sees
+    // the full scratchpad.
+    const AddrRange &arena = soc.mem().map().npuArena(World::normal);
+    Addr cursor = arena.base + (32u << 20);
+    std::vector<CompiledStream> compiled;
+    compiled.reserve(streams.size());
+    for (std::uint32_t s = 0; s < nstreams; ++s) {
+        std::uint32_t rows = full_rows;
+        std::uint32_t base = 0;
+        if (policy == SchedPolicy::partition) {
+            const std::uint32_t slice = full_rows / nstreams;
+            if (slice == 0) {
+                result.status = Status::resourceExhausted(
+                    "partition slice smaller than one row");
+                return result;
+            }
+            base = s * slice;
+            rows = s + 1 == nstreams ? full_rows - base : slice;
+        }
+        compiled.push_back(compileSegments(soc, streams[s].task, rows,
+                                           base, cursor));
+        compiled.back().pinned_core = streams[s].pinned_core;
+        if (streams[s].pinned_core >= 0 &&
+            static_cast<std::uint32_t>(streams[s].pinned_core) >=
+                num_cores) {
+            result.status = Status::invalidArgument(
+                "stream pinned to a core outside the schedule");
+            return result;
+        }
+        result.streams[s].completions.assign(
+            streams[s].arrivals.size(), 0);
+    }
+
+    auto provision = [&](const CompiledStream &st, std::uint32_t core) {
+        if (soc.hasGuarder()) {
+            NpuGuarder &guard = soc.guarder(core);
+            guard.clearAll(true);
+            guard.setCheckingRegister(
+                0, AddrRange{st.va_base, st.va_bytes + (1u << 20)},
+                GuardPerm::rw(), st.world, true);
+            guard.setTranslationRegister(
+                0, st.va_base, st.va_base, st.va_bytes + (1u << 20),
+                true);
+        } else if (soc.hasIommu()) {
+            soc.pageTable().mapRange(
+                st.va_base, st.va_base,
+                (st.va_bytes + (1u << 20) + page_bytes - 1) &
+                    ~Addr(page_bytes - 1),
+                true, st.world == World::secure);
+            soc.iommu(core).flushTlb();
+        }
+    };
+
+    // All request instances, in global admission (arrival) order.
+    std::vector<Request> requests;
+    for (std::uint32_t s = 0; s < nstreams; ++s) {
+        for (std::uint32_t i = 0;
+             i < streams[s].arrivals.size(); ++i) {
+            requests.push_back(
+                Request{s, i, streams[s].arrivals[i], 0, -1});
+        }
+    }
+    std::stable_sort(requests.begin(), requests.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    // Per-tile state.
+    std::vector<Tick> clock(num_cores, 0);
+    std::vector<bool> active(num_cores, true);
+    std::vector<int> running(num_cores, -1); //!< stream identity
+    std::vector<std::uint32_t> segs_since_switch(num_cores, 0);
+    std::vector<std::vector<std::size_t>> inprog(num_cores);
+    std::vector<bool> executed(num_cores, false);
+
+    std::size_t admit_idx = 0;          // next request to admit
+    std::vector<std::size_t> waiting;   // admitted, not dispatched
+    std::size_t open = requests.size(); // not yet completed/rejected
+
+    std::uint64_t useful_macs = 0;
+    std::vector<std::uint64_t> latency_sum(nstreams, 0);
+
+    const Addr save_base = arena.base + (16u << 20);
+    const double peak =
+        static_cast<double>(soc.params().systolic_dim) *
+        static_cast<double>(soc.params().systolic_dim);
+
+    auto admitUpTo = [&](Tick now) {
+        while (admit_idx < requests.size() &&
+               requests[admit_idx].arrival <= now) {
+            Request &req = requests[admit_idx];
+            const bool take =
+                !hooks.admit ||
+                hooks.admit(req.stream, req.instance, req.arrival);
+            if (take) {
+                waiting.push_back(admit_idx);
+            } else {
+                ++result.streams[req.stream].rejected;
+                --open;
+            }
+            ++admit_idx;
+        }
+    };
+
+    auto contextSwitch = [&](std::uint32_t core, std::uint32_t to) {
+        if (running[core] == static_cast<int>(to))
+            return;
+        if (running[core] >= 0 &&
+            (policy == SchedPolicy::flush_fine ||
+             policy == SchedPolicy::flush_coarse)) {
+            const CompiledStream &prev =
+                compiled[static_cast<std::size_t>(running[core])];
+            constexpr Tick resume_penalty = 200;
+            const Addr save_area =
+                save_base + static_cast<Addr>(core) * (1u << 20);
+            const Tick t0 = clock[core];
+            NpuCore &tile = soc.npu().core(core);
+            clock[core] = tile.flusher().flush(
+                clock[core], prev.live_rows, save_area,
+                World::normal);
+            // The displaced context streams back from DRAM on the
+            // same path, and the switch waits for it: save and
+            // restore both sit on the preempting request's critical
+            // path.
+            clock[core] = tile.flusher().restore(
+                clock[core], prev.live_rows, save_area,
+                World::normal);
+            clock[core] += resume_penalty;
+            result.flush_overhead += clock[core] - t0;
+        }
+        running[core] = static_cast<int>(to);
+        segs_since_switch[core] = 0;
+        const CompiledStream &next = compiled[to];
+        soc.npu().setCoreWorld(core, next.world, true);
+        provision(next, core);
+    };
+
+    while (open > 0) {
+        // The tile furthest behind in simulated time acts next, so
+        // the shared memory system advances roughly in time order.
+        std::uint32_t core = 0;
+        Tick best = no_tick;
+        for (std::uint32_t c = 0; c < num_cores; ++c) {
+            if (active[c] && clock[c] < best) {
+                best = clock[c];
+                core = c;
+            }
+        }
+        if (best == no_tick) {
+            result.status = Status::internal(
+                "all tiles idle with requests outstanding");
+            return result;
+        }
+
+        admitUpTo(clock[core]);
+
+        // Candidates: this tile's in-flight requests plus any
+        // waiting request it may take.
+        std::vector<std::size_t> cands = inprog[core];
+        for (std::size_t w : waiting) {
+            const std::int32_t pin =
+                compiled[requests[w].stream].pinned_core;
+            if (pin < 0 || static_cast<std::uint32_t>(pin) == core)
+                cands.push_back(w);
+        }
+
+        if (cands.empty()) {
+            // Idle until the next arrival this tile could serve.
+            Tick next_arrival = no_tick;
+            for (std::size_t i = admit_idx; i < requests.size();
+                 ++i) {
+                const std::int32_t pin =
+                    compiled[requests[i].stream].pinned_core;
+                if (pin < 0 ||
+                    static_cast<std::uint32_t>(pin) == core) {
+                    next_arrival = requests[i].arrival;
+                    break;
+                }
+            }
+            if (next_arrival == no_tick) {
+                active[core] = false;
+            } else {
+                clock[core] = std::max(clock[core], next_arrival);
+            }
+            continue;
+        }
+
+        // Coarse flushing amortizes switches: stick with the
+        // running tenant while it still has runnable work and the
+        // amortization window is open.
+        if (policy == SchedPolicy::flush_coarse &&
+            running[core] >= 0 &&
+            segs_since_switch[core] < coarse_interval) {
+            std::vector<std::size_t> same;
+            for (std::size_t c : cands) {
+                if (static_cast<int>(requests[c].stream) ==
+                    running[core])
+                    same.push_back(c);
+            }
+            if (!same.empty())
+                cands = std::move(same);
+        }
+
+        // Priority-aware pick: highest stream priority first, then
+        // requests already in flight on this tile, then earliest
+        // arrival, then submission order.
+        std::size_t pick = cands.front();
+        for (std::size_t c : cands) {
+            if (c == pick)
+                continue;
+            const Request &a = requests[c];
+            const Request &b = requests[pick];
+            const int pa = compiled[a.stream].priority;
+            const int pb = compiled[b.stream].priority;
+            const bool fa = a.core == static_cast<int>(core);
+            const bool fb = b.core == static_cast<int>(core);
+            if (pa != pb ? pa > pb
+                         : (fa != fb ? fa : a.arrival < b.arrival))
+                pick = c;
+        }
+
+        Request &req = requests[pick];
+        if (req.core < 0) {
+            // Dispatch: bind to this tile, pay the monitor path.
+            req.core = static_cast<int>(core);
+            waiting.erase(std::find(waiting.begin(), waiting.end(),
+                                    pick));
+            inprog[core].push_back(pick);
+            if (hooks.dispatch) {
+                const Tick extra =
+                    hooks.dispatch(req.stream, req.instance,
+                                   clock[core]);
+                clock[core] += extra;
+                result.dispatch_overhead += extra;
+            }
+        }
+
+        contextSwitch(core, req.stream);
+
+        const CompiledStream &st = compiled[req.stream];
+        ExecOptions eo;
+        eo.noc = NocMode::unauthorized;
+        ExecResult exec = soc.npu().core(core).run(
+            clock[core], st.segments[req.next_seg], eo);
+        if (!exec.ok()) {
+            result.status = exec.status;
+            return result;
+        }
+        clock[core] = exec.end;
+        executed[core] = true;
+        useful_macs += st.segments[req.next_seg].ideal_macs;
+        ++segs_since_switch[core];
+        ++req.next_seg;
+
+        if (req.next_seg == st.segments.size()) {
+            inprog[core].erase(std::find(inprog[core].begin(),
+                                         inprog[core].end(), pick));
+            StreamOutcome &out = result.streams[req.stream];
+            out.completions[req.instance] = clock[core];
+            out.completion = std::max(out.completion, clock[core]);
+            const Tick latency = clock[core] - req.arrival;
+            out.worst_latency = std::max(out.worst_latency, latency);
+            latency_sum[req.stream] += latency;
+            ++out.completed;
+            result.makespan = std::max(result.makespan, clock[core]);
+            if (hooks.complete)
+                hooks.complete(req.stream, req.instance,
+                               clock[core]);
+            --open;
+        }
+    }
+
+    std::uint32_t used_cores = 0;
+    for (std::uint32_t c = 0; c < num_cores; ++c)
+        used_cores += executed[c] ? 1 : 0;
+
+    for (std::uint32_t s = 0; s < nstreams; ++s) {
+        StreamOutcome &out = result.streams[s];
+        out.mean_latency =
+            out.completed ? static_cast<double>(latency_sum[s]) /
+                                out.completed
+                          : 0.0;
+    }
+
+    result.status = Status::ok();
+    result.cycles = result.makespan;
+    result.utilization =
+        result.makespan && used_cores
+            ? static_cast<double>(useful_macs) /
+                  (peak * static_cast<double>(used_cores) *
+                   static_cast<double>(result.makespan))
+            : 0.0;
+    return result;
+}
+
+} // namespace snpu

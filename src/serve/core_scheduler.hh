@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Generalized N-core, N-stream NPU scheduler. This supersedes the
+ * 1-core / 2-task TimeSharedScheduler (which now delegates here):
+ * any number of request streams — each an NpuTask plus an explicit
+ * list of arrival ticks — are served across an arbitrary set of
+ * tiles under one of the four isolation policies of Table I.
+ *
+ * Scheduling happens at op-kernel (layer-segment) boundaries. What
+ * changes across policies is the context-switch cost and the
+ * scratchpad capacity each stream compiles against:
+ *
+ *  - flush_fine:   switch to the highest-priority ready request at
+ *                  every segment boundary, paying a scratchpad
+ *                  context save/restore per tenant switch;
+ *  - flush_coarse: amortize flushes by sticking with the running
+ *                  tenant for N segments while work remains;
+ *  - partition:    no switch cost, but each stream compiles against
+ *                  a static 1/K slice of the scratchpad;
+ *  - id_based:     sNPU — no switch cost, full scratchpad.
+ *
+ * Requests are non-migratory: once dispatched to a tile they stay
+ * there, but every tile picks new work from the shared backlog, so
+ * load balances at request granularity. Tiles interleave in
+ * earliest-clock-first order so DRAM/L2 contention between them
+ * emerges from the shared memory model (same approach as the
+ * concurrent pair runner).
+ *
+ * The serving engine (serve/server.hh) layers admission control and
+ * NPU-Monitor costs on top through the hook interface.
+ */
+
+#ifndef SNPU_SERVE_CORE_SCHEDULER_HH
+#define SNPU_SERVE_CORE_SCHEDULER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/scheduler.hh"
+#include "core/soc.hh"
+#include "core/task.hh"
+
+namespace snpu
+{
+
+/** One request stream: a task plus the ticks requests arrive at. */
+struct ExecStream
+{
+    NpuTask task;
+    /** Arrival tick of each request instance (ascending). */
+    std::vector<Tick> arrivals;
+    /** Tile the stream is pinned to; -1 = any tile. */
+    std::int32_t pinned_core = -1;
+};
+
+/**
+ * Scheduling lifecycle hooks (all optional). The serving engine uses
+ * them to bound admission queues, route secure requests through the
+ * NPU Monitor's task queue, and observe completions.
+ */
+struct SchedHooks
+{
+    /** Called at a request's arrival; return false to reject it. */
+    std::function<bool(std::uint32_t stream, std::uint32_t instance,
+                       Tick now)>
+        admit;
+    /**
+     * Called when a request is dispatched to a tile; the returned
+     * cycle count (e.g. monitor verification + context programming)
+     * is charged to the tile before the request runs.
+     */
+    std::function<Tick(std::uint32_t stream, std::uint32_t instance,
+                       Tick now)>
+        dispatch;
+    /** Called when a request completes. */
+    std::function<void(std::uint32_t stream, std::uint32_t instance,
+                       Tick now)>
+        complete;
+};
+
+/** Per-stream schedule outcome. */
+struct StreamOutcome
+{
+    /** Completion tick per instance; 0 = rejected or never ran. */
+    std::vector<Tick> completions;
+    /** Completion tick of the stream's last finished instance. */
+    Tick completion = 0;
+    Tick worst_latency = 0;
+    double mean_latency = 0.0;
+    std::uint32_t completed = 0;
+    std::uint32_t rejected = 0;
+};
+
+/** Whole-schedule outcome across all streams and tiles. */
+struct NSchedResult : ExecOutcome
+{
+    /** Last completion tick (also mirrored into cycles). */
+    Tick makespan = 0;
+    /** Useful MACs over peak across the tiles that executed. */
+    double utilization = 0.0;
+    /** Cycles spent on context save/restore. */
+    Tick flush_overhead = 0;
+    /** Cycles charged through the dispatch hook (monitor path). */
+    Tick dispatch_overhead = 0;
+    std::vector<StreamOutcome> streams;
+};
+
+/** The generalized scheduler. */
+class NCoreScheduler
+{
+  public:
+    NCoreScheduler(Soc &soc, SchedPolicy policy,
+                   std::uint32_t num_cores = 1,
+                   std::uint32_t coarse_interval = 5);
+
+    /** Serve every stream to completion (or rejection). */
+    NSchedResult run(const std::vector<ExecStream> &streams,
+                     const SchedHooks &hooks = {});
+
+  private:
+    Soc &soc;
+    SchedPolicy policy;
+    std::uint32_t num_cores;
+    std::uint32_t coarse_interval;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SERVE_CORE_SCHEDULER_HH

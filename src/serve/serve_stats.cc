@@ -1,0 +1,30 @@
+#include "serve/serve_stats.hh"
+
+namespace snpu
+{
+
+TenantStats::TenantStats(stats::Group &group,
+                         const std::string &tenant, double latency_hi,
+                         std::size_t latency_buckets)
+    : completed(group, "serve_" + tenant + "_completed",
+                "requests served to completion"),
+      rejected(group, "serve_" + tenant + "_rejected",
+               "requests dropped at admission"),
+      monitor_cycles(group, "serve_" + tenant + "_monitor_cycles",
+                     "modeled NPU-Monitor cycles"),
+      queue_depth(group, "serve_" + tenant + "_queue_depth",
+                  "admission-queue depth at arrival"),
+      latency(group, "serve_" + tenant + "_latency",
+              "request latency (cycles)", 0.0, latency_hi,
+              latency_buckets)
+{}
+
+TenantStats &
+ServeStats::add(const std::string &tenant, double latency_hi,
+                std::size_t latency_buckets)
+{
+    tenants_.emplace_back(group, tenant, latency_hi, latency_buckets);
+    return tenants_.back();
+}
+
+} // namespace snpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Per-tenant observability for the serving engine, built on the
+ * simulator's stat package so serving counters appear in the same
+ * dump as the memory-system and NPU counters. Each tenant gets a
+ * named family of stats (serve_<tenant>_*); latency is a histogram
+ * so tail percentiles (p50/p95/p99) come from
+ * stats::Histogram::percentile().
+ */
+
+#ifndef SNPU_SERVE_SERVE_STATS_HH
+#define SNPU_SERVE_SERVE_STATS_HH
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+#include "sim/stats.hh"
+
+namespace snpu
+{
+
+/** The stat family of one tenant. */
+struct TenantStats
+{
+    TenantStats(stats::Group &group, const std::string &tenant,
+                double latency_hi, std::size_t latency_buckets);
+
+    stats::Scalar completed;
+    stats::Scalar rejected;
+    /** Modeled NPU-Monitor cycles charged to this tenant. */
+    stats::Scalar monitor_cycles;
+    /** Admission-queue depth, sampled at each arrival. */
+    stats::Average queue_depth;
+    /** Request latency (completion - arrival), in cycles. */
+    stats::Histogram latency;
+};
+
+/**
+ * Registry of per-tenant stat families. Elements live in a deque so
+ * their addresses stay stable for the stats::Group that holds
+ * pointers to them; the registry must outlive any dump of that
+ * group.
+ */
+class ServeStats
+{
+  public:
+    explicit ServeStats(stats::Group &group) : group(group) {}
+
+    /** Create the stat family for a new tenant. */
+    TenantStats &add(const std::string &tenant, double latency_hi,
+                     std::size_t latency_buckets);
+
+    TenantStats &tenant(std::size_t i) { return tenants_.at(i); }
+    const TenantStats &tenant(std::size_t i) const
+    {
+        return tenants_.at(i);
+    }
+    std::size_t size() const { return tenants_.size(); }
+
+  private:
+    stats::Group &group;
+    std::deque<TenantStats> tenants_;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SERVE_SERVE_STATS_HH

@@ -1,0 +1,241 @@
+#include "serve/server.hh"
+
+#include <map>
+#include <utility>
+
+#include "core/task_runner.hh"
+#include "sim/logging.hh"
+#include "tee/monitor/npu_monitor.hh"
+
+namespace snpu
+{
+
+namespace
+{
+
+/**
+ * Modeled NPU-Monitor launch cost for one secure dispatch: the
+ * trampoline round trip, one measurement pass over the program, the
+ * HMAC check + decryption pass over the ciphertext, and the context
+ * setter programming guarder windows and core ID state.
+ */
+Tick
+monitorLaunchCost(const SecureTask &task)
+{
+    constexpr Tick trampoline_cycles = 100;
+    constexpr Tick context_setter_cycles = 250;
+    const Tick measure_cycles =
+        static_cast<Tick>(task.program.code.size()) * 2;
+    const Tick crypto_cycles =
+        static_cast<Tick>(task.encrypted_model.size()) / 4;
+    return trampoline_cycles + measure_cycles + crypto_cycles +
+           context_setter_cycles;
+}
+
+} // namespace
+
+SnpuServer::SnpuServer(Soc &soc, ServerConfig cfg)
+    : soc(soc), cfg(cfg), stats_(soc.stats())
+{}
+
+double
+SnpuServer::idealServiceCycles(const NpuTask &task, std::uint32_t dim)
+{
+    if (dim == 0)
+        fatal("systolic dimension must be positive");
+    return static_cast<double>(task.model.macs()) /
+           (static_cast<double>(dim) * static_cast<double>(dim));
+}
+
+double
+SnpuServer::profiledServiceCycles(const SocParams &params,
+                                  const NpuTask &task)
+{
+    // One request, one tile, id-based (full scratchpad, no switch
+    // cost): the same per-layer segment path the serving scheduler
+    // executes, so isolation and contention are the only deltas
+    // between this baseline and in-situ service time.
+    Soc probe(params);
+    NCoreScheduler sched(probe, SchedPolicy::id_based, 1);
+    ExecStream stream;
+    stream.task = task;
+    stream.arrivals = {0};
+    NSchedResult res = sched.run({stream});
+    if (!res.ok())
+        fatal("service-time probe failed: ", res.error());
+    return static_cast<double>(res.makespan);
+}
+
+ServeResult
+SnpuServer::serve(const std::vector<TenantSpec> &tenants)
+{
+    ServeResult result;
+    if (tenants.empty()) {
+        result.status = Status::invalidArgument("no tenants");
+        return result;
+    }
+    if (served) {
+        result.status = Status::invalidArgument(
+            "a server instance runs one serving window");
+        return result;
+    }
+    served = true;
+
+    bool any_secure = false;
+    for (const TenantSpec &t : tenants) {
+        if (t.arrivals.empty()) {
+            result.status = Status::invalidArgument(
+                "tenant " + t.name + " has no arrivals");
+            return result;
+        }
+        any_secure |= t.task.world == World::secure;
+    }
+    if (any_secure && !soc.hasMonitor()) {
+        result.status = Status::invalidArgument(
+            "secure tenants require a system with the NPU Monitor");
+        return result;
+    }
+
+    const auto ntenants = static_cast<std::uint32_t>(tenants.size());
+    for (const TenantSpec &t : tenants)
+        stats_.add(t.name, cfg.latency_hist_max,
+                   cfg.latency_hist_buckets);
+
+    // One validated SecureTask template per secure tenant: the
+    // program the verifier would measure and a ciphertext sized like
+    // the tenant's weights. Each admitted secure request submits a
+    // copy into the monitor's queue.
+    std::vector<SecureTask> templates(ntenants);
+    if (any_secure) {
+        TaskRunner runner(soc);
+        for (std::uint32_t s = 0; s < ntenants; ++s) {
+            if (tenants[s].task.world != World::secure)
+                continue;
+            SecureTask &tpl = templates[s];
+            tpl.program = runner.compile(tenants[s].task);
+            tpl.expected_measurement =
+                CodeVerifier::measure(tpl.program);
+            tpl.topology = NocTopology{1, 1};
+            tpl.proposed_cores = {0};
+
+            std::vector<std::uint8_t> weights(
+                std::min<std::uint64_t>(
+                    tenants[s].task.model.weightBytes(), 64u << 10));
+            for (std::size_t i = 0; i < weights.size(); ++i)
+                weights[i] = static_cast<std::uint8_t>(i * 131 + s);
+            AesBlock iv{};
+            iv[0] = static_cast<std::uint8_t>(s + 1);
+            Digest mac{};
+            tpl.encrypted_model =
+                soc.monitor().verifier().encryptModel(weights, iv,
+                                                      mac);
+            tpl.model_mac = mac;
+            tpl.model_iv = iv;
+        }
+    }
+
+    std::vector<ExecStream> streams;
+    streams.reserve(ntenants);
+    for (const TenantSpec &t : tenants) {
+        ExecStream stream;
+        stream.task = t.task;
+        stream.arrivals = t.arrivals;
+        streams.push_back(std::move(stream));
+    }
+
+    std::vector<std::uint32_t> depth(ntenants, 0);
+    std::vector<std::uint32_t> peak(ntenants, 0);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+        queued; // (tenant, instance) -> monitor task id
+
+    SchedHooks hooks;
+    hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick) {
+        TenantStats &ts = stats_.tenant(s);
+        ts.queue_depth.sample(depth[s]);
+        if (depth[s] >= tenants[s].queue_capacity) {
+            ++ts.rejected;
+            return false;
+        }
+        if (tenants[s].task.world == World::secure) {
+            const std::uint64_t id =
+                soc.monitor().submit(templates[s]);
+            if (id == 0) { // monitor queue overflow
+                ++ts.rejected;
+                return false;
+            }
+            queued[{s, i}] = id;
+        }
+        ++depth[s];
+        peak[s] = std::max(peak[s], depth[s]);
+        return true;
+    };
+    hooks.dispatch = [&](std::uint32_t s, std::uint32_t i,
+                         Tick) -> Tick {
+        const auto it = queued.find({s, i});
+        if (it == queued.end())
+            return 0; // normal world: no monitor on the path
+        SecureTask *task = soc.monitor().queue().find(it->second);
+        if (task != nullptr)
+            task->state = SecureTaskState::loaded;
+        const Tick cost = monitorLaunchCost(templates[s]);
+        stats_.tenant(s).monitor_cycles += static_cast<double>(cost);
+        return cost;
+    };
+    hooks.complete = [&](std::uint32_t s, std::uint32_t i, Tick now) {
+        TenantStats &ts = stats_.tenant(s);
+        ++ts.completed;
+        ts.latency.sample(static_cast<double>(
+            now - tenants[s].arrivals[i]));
+        if (depth[s] > 0)
+            --depth[s];
+        const auto it = queued.find({s, i});
+        if (it != queued.end()) {
+            SecureTask *task =
+                soc.monitor().queue().find(it->second);
+            if (task != nullptr)
+                task->state = SecureTaskState::completed;
+            soc.monitor().queue().retire();
+            queued.erase(it);
+        }
+    };
+
+    NCoreScheduler sched(soc, cfg.policy, cfg.num_cores,
+                         cfg.coarse_interval);
+    NSchedResult nres = sched.run(streams, hooks);
+
+    result.status = nres.status;
+    if (!nres.ok())
+        return result;
+
+    result.makespan = nres.makespan;
+    result.cycles = nres.makespan;
+    result.utilization = nres.utilization;
+    result.flush_overhead = nres.flush_overhead;
+    result.monitor_overhead = nres.dispatch_overhead;
+
+    result.tenants.resize(ntenants);
+    for (std::uint32_t s = 0; s < ntenants; ++s) {
+        const StreamOutcome &out = nres.streams[s];
+        const TenantStats &ts = stats_.tenant(s);
+        TenantReport &rep = result.tenants[s];
+        rep.name = tenants[s].name;
+        rep.completed = out.completed;
+        rep.rejected = out.rejected;
+        rep.throughput =
+            result.makespan
+                ? static_cast<double>(out.completed) * 1.0e6 /
+                      static_cast<double>(result.makespan)
+                : 0.0;
+        rep.p50 = static_cast<Tick>(ts.latency.percentile(0.50));
+        rep.p95 = static_cast<Tick>(ts.latency.percentile(0.95));
+        rep.p99 = static_cast<Tick>(ts.latency.percentile(0.99));
+        rep.worst_latency = out.worst_latency;
+        rep.mean_latency = out.mean_latency;
+        rep.monitor_cycles =
+            static_cast<Tick>(ts.monitor_cycles.value());
+        rep.peak_queue_depth = peak[s];
+    }
+    return result;
+}
+
+} // namespace snpu

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * SnpuServer — the multi-tenant serving engine. It ties the pieces
+ * of the serving stack together behind one call:
+ *
+ *  - open-loop arrival streams per tenant (serve/arrivals.hh);
+ *  - bounded per-tenant admission queues; secure-world tenants are
+ *    additionally wired through the NPU Monitor's secure task queue,
+ *    so a full monitor queue drops requests just like a full tenant
+ *    queue;
+ *  - the generalized N-core scheduler (serve/core_scheduler.hh)
+ *    under any of the four Table I isolation policies;
+ *  - a modeled NPU-Monitor charge on every secure dispatch (code
+ *    verifier measurement + model HMAC/decrypt + context-setter
+ *    programming), paid on the dispatching tile's clock. Normal-
+ *    world tenants bypass the monitor and pay nothing;
+ *  - per-tenant stats on the SoC's stats::Group (serve_<tenant>_*),
+ *    with tail latency from stats::Histogram::percentile().
+ *
+ * The monitor charge is a cost model, not a functional launch: the
+ * scheduler provisions guarder windows itself at context-switch
+ * time, so a functional launchNext() here would clobber tiles that
+ * are mid-stream. The *queue* wiring is functional (real submit /
+ * retire against SecureTaskQueue); the *cycles* are derived from the
+ * verifier's actual inputs (program length, ciphertext size).
+ */
+
+#ifndef SNPU_SERVE_SERVER_HH
+#define SNPU_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/soc.hh"
+#include "core/task.hh"
+#include "serve/core_scheduler.hh"
+#include "serve/serve_stats.hh"
+
+namespace snpu
+{
+
+/** One tenant of the serving engine. */
+struct TenantSpec
+{
+    std::string name;
+    /** The model + world + priority this tenant runs. */
+    NpuTask task;
+    /** Arrival tick of each request (see serve/arrivals.hh). */
+    std::vector<Tick> arrivals;
+    /** Max requests admitted but not yet completed. */
+    std::uint32_t queue_capacity = 8;
+};
+
+/** Per-tenant serving outcome, extracted from the tenant's stats. */
+struct TenantReport
+{
+    std::string name;
+    std::uint32_t completed = 0;
+    std::uint32_t rejected = 0;
+    /** Completions per million cycles of the serving window. */
+    double throughput = 0.0;
+    Tick p50 = 0;
+    Tick p95 = 0;
+    Tick p99 = 0;
+    Tick worst_latency = 0;
+    double mean_latency = 0.0;
+    /** Modeled NPU-Monitor cycles charged to this tenant. */
+    Tick monitor_cycles = 0;
+    std::uint32_t peak_queue_depth = 0;
+};
+
+/** Whole-window serving outcome. */
+struct ServeResult : ExecOutcome
+{
+    /** Last completion tick (also mirrored into cycles). */
+    Tick makespan = 0;
+    double utilization = 0.0;
+    Tick flush_overhead = 0;
+    /** Total modeled NPU-Monitor cycles across secure tenants. */
+    Tick monitor_overhead = 0;
+    std::vector<TenantReport> tenants;
+};
+
+/** Serving-engine configuration. */
+struct ServerConfig
+{
+    SchedPolicy policy = SchedPolicy::id_based;
+    std::uint32_t num_cores = 1;
+    /** Segments between switches under flush_coarse. */
+    std::uint32_t coarse_interval = 5;
+    /** Latency histogram range/resolution (cycles). */
+    double latency_hist_max = 4.0e6;
+    std::size_t latency_hist_buckets = 256;
+};
+
+/** The serving engine. */
+class SnpuServer
+{
+  public:
+    SnpuServer(Soc &soc, ServerConfig cfg = {});
+
+    /**
+     * Serve every tenant's request stream to completion or
+     * rejection. One serving window per server instance: the
+     * per-tenant stats register on the SoC's group under names
+     * derived from the tenant names, so reuse would double-register.
+     */
+    ServeResult serve(const std::vector<TenantSpec> &tenants);
+
+    /** The per-tenant stat families (valid after serve()). */
+    const ServeStats &tenantStats() const { return stats_; }
+
+    /**
+     * Ideal service cycles of one request of @p task on a
+     * @p dim x @p dim systolic array — a compute-bound lower bound.
+     */
+    static double idealServiceCycles(const NpuTask &task,
+                                     std::uint32_t dim);
+
+    /**
+     * Measured service cycles of one request of @p task, run alone
+     * on a throwaway probe SoC built from @p params. This is the
+     * load-calibration unit for meanGapForLoad(): unlike the ideal
+     * bound it includes the memory system, so offered load = 1.0
+     * genuinely saturates the tiles.
+     */
+    static double profiledServiceCycles(const SocParams &params,
+                                        const NpuTask &task);
+
+  private:
+    Soc &soc;
+    ServerConfig cfg;
+    ServeStats stats_;
+    bool served = false;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SERVE_SERVER_HH

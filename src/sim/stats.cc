@@ -98,6 +98,33 @@ Histogram::sample(double v)
     }
 }
 
+double
+Histogram::percentile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank in (0, count]: the sample the quantile falls on.
+    const double rank = std::max(1.0, q * static_cast<double>(_count));
+
+    double cum = static_cast<double>(_underflow);
+    if (rank <= cum)
+        return lo;
+
+    const double width =
+        (hi - lo) / static_cast<double>(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c > 0 && rank <= cum + c) {
+            // Linear interpolation inside the bucket.
+            const double frac = (rank - cum) / c;
+            return lo + (static_cast<double>(i) + frac) * width;
+        }
+        cum += c;
+    }
+    return hi;
+}
+
 std::string
 Histogram::render() const
 {

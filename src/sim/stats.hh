@@ -102,6 +102,15 @@ class Histogram : public StatBase
     std::uint64_t overflow() const { return _overflow; }
     double mean() const { return _count ? _sum / _count : 0.0; }
 
+    /**
+     * Interpolated quantile @p q in [0, 1] over all samples,
+     * assuming a uniform spread within each bucket. Samples in the
+     * underflow bucket are treated as sitting at @c lo and samples
+     * in the overflow bucket at @c hi (the histogram retains no
+     * detail beyond its range). Returns 0 with no samples.
+     */
+    double percentile(double q) const;
+
     std::string render() const override;
     void reset() override;
 

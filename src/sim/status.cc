@@ -1,0 +1,45 @@
+#include "sim/status.hh"
+
+namespace snpu
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::ok:
+        return "ok";
+      case StatusCode::invalid_argument:
+        return "invalid_argument";
+      case StatusCode::compile_failed:
+        return "compile_failed";
+      case StatusCode::provision_failed:
+        return "provision_failed";
+      case StatusCode::privilege_denied:
+        return "privilege_denied";
+      case StatusCode::verification_failed:
+        return "verification_failed";
+      case StatusCode::resource_exhausted:
+        return "resource_exhausted";
+      case StatusCode::exec_failed:
+        return "exec_failed";
+      case StatusCode::internal:
+        return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = statusCodeName(_code);
+    if (!_message.empty()) {
+        out += ": ";
+        out += _message;
+    }
+    return out;
+}
+
+} // namespace snpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Machine-readable operation outcomes. Status replaces the ad-hoc
+ * `bool ok + std::string error` pairs that used to be copy-pasted
+ * into every result struct: callers branch on the code, humans read
+ * the message. A default-constructed Status is success.
+ */
+
+#ifndef SNPU_SIM_STATUS_HH
+#define SNPU_SIM_STATUS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace snpu
+{
+
+/** Why an operation failed (or that it didn't). */
+enum class StatusCode : std::uint8_t
+{
+    ok = 0,
+    invalid_argument,     //!< malformed caller input
+    compile_failed,       //!< lowering the model failed
+    provision_failed,     //!< page table / guarder setup failed
+    privilege_denied,     //!< secure path rejected the caller
+    verification_failed,  //!< measurement / MAC / route check failed
+    resource_exhausted,   //!< queue full, no rows, no buffer
+    exec_failed,          //!< the NPU pipeline reported an error
+    internal,             //!< invariant broke; result unusable
+};
+
+const char *statusCodeName(StatusCode code);
+
+/** A code plus a human-readable message. */
+class Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Success factory, for symmetry with the error factories. */
+    static Status ok() { return Status(); }
+
+    static Status
+    error(StatusCode code, std::string message)
+    {
+        Status s;
+        s._code = code == StatusCode::ok ? StatusCode::internal : code;
+        s._message = std::move(message);
+        return s;
+    }
+
+    static Status invalidArgument(std::string m)
+    { return error(StatusCode::invalid_argument, std::move(m)); }
+    static Status compileFailed(std::string m)
+    { return error(StatusCode::compile_failed, std::move(m)); }
+    static Status provisionFailed(std::string m)
+    { return error(StatusCode::provision_failed, std::move(m)); }
+    static Status privilegeDenied(std::string m)
+    { return error(StatusCode::privilege_denied, std::move(m)); }
+    static Status verificationFailed(std::string m)
+    { return error(StatusCode::verification_failed, std::move(m)); }
+    static Status resourceExhausted(std::string m)
+    { return error(StatusCode::resource_exhausted, std::move(m)); }
+    static Status execFailed(std::string m)
+    { return error(StatusCode::exec_failed, std::move(m)); }
+    static Status internal(std::string m)
+    { return error(StatusCode::internal, std::move(m)); }
+
+    StatusCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+    bool isOk() const { return _code == StatusCode::ok; }
+    explicit operator bool() const { return isOk(); }
+
+    /** "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    StatusCode _code = StatusCode::ok;
+    std::string _message;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SIM_STATUS_HH

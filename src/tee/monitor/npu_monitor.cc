@@ -58,12 +58,12 @@ NpuMonitor::submit(SecureTask task)
 }
 
 LaunchResult
-NpuMonitor::reject(SecureTask &task, const std::string &why)
+NpuMonitor::reject(SecureTask &task, Status why)
 {
     ++rejected;
     task.state = SecureTaskState::rejected;
     LaunchResult result;
-    result.reason = why;
+    result.status = std::move(why);
     result.task_id = task.id;
     return result;
 }
@@ -75,14 +75,15 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     SecureTask *task = task_queue.front();
     if (!task) {
         LaunchResult result;
-        result.reason = "no task queued";
+        result.status = Status::invalidArgument("no task queued");
         return result;
     }
 
     // 1. Code measurement.
     if (!code_verifier.verifyCode(task->program,
                                   task->expected_measurement)) {
-        return reject(*task, "code measurement mismatch");
+        return reject(*task, Status::verificationFailed(
+                                 "code measurement mismatch"));
     }
 
     // 2. Model authentication + decryption into secure memory.
@@ -92,11 +93,15 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
         if (!code_verifier.decryptModel(task->encrypted_model,
                                         task->model_mac, task->model_iv,
                                         plaintext)) {
-            return reject(*task, "model authentication failed");
+            return reject(*task,
+                          Status::verificationFailed(
+                              "model authentication failed"));
         }
         model_paddr = trusted_alloc.alloc(plaintext.size());
-        if (model_paddr == 0)
-            return reject(*task, "secure memory exhausted");
+        if (model_paddr == 0) {
+            return reject(*task, Status::resourceExhausted(
+                                     "secure memory exhausted"));
+        }
         mem.data().write(model_paddr, plaintext.data(),
                          plaintext.size());
         task->model_paddr = model_paddr;
@@ -109,8 +114,10 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     if (route != RouteCheckError::ok) {
         if (model_paddr)
             trusted_alloc.free(model_paddr);
-        return reject(*task, std::string("route integrity: ") +
-                                 routeCheckErrorName(route));
+        return reject(*task,
+                      Status::verificationFailed(
+                          std::string("route integrity: ") +
+                          routeCheckErrorName(route)));
     }
 
     // 4. Scratchpad reservations (no overlap across secure tasks).
@@ -120,7 +127,9 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
             trusted_alloc.releaseSpad(task->id);
             if (model_paddr)
                 trusted_alloc.free(model_paddr);
-            return reject(*task, "scratchpad reservation overlap");
+            return reject(*task,
+                          Status::resourceExhausted(
+                              "scratchpad reservation overlap"));
         }
     }
     task->spad_rows_reserved = task->program.spad_rows_used;
@@ -141,7 +150,8 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
             trusted_alloc.releaseSpad(task->id);
             if (model_paddr)
                 trusted_alloc.free(model_paddr);
-            return reject(*task, "context setup failed");
+            return reject(*task, Status::provisionFailed(
+                                     "context setup failed"));
         }
     }
 
@@ -154,12 +164,14 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
             trusted_alloc.releaseSpad(task->id);
             if (model_paddr)
                 trusted_alloc.free(model_paddr);
-            return reject(*task, "loader rejected the program");
+            return reject(*task,
+                          Status::verificationFailed(
+                              "loader rejected the program"));
         }
     }
 
     task->state = SecureTaskState::loaded;
-    result.ok = true;
+    result.status = Status::ok();
     result.task_id = task->id;
     result.cores = task->proposed_cores;
     result.model_paddr = model_paddr;

@@ -29,6 +29,7 @@
 #include "mem/mem_system.hh"
 #include "npu/npu_device.hh"
 #include "sim/stats.hh"
+#include "sim/status.hh"
 #include "tee/monitor/code_verifier.hh"
 #include "tee/monitor/context_setter.hh"
 #include "tee/monitor/secure_loader.hh"
@@ -43,8 +44,7 @@ namespace snpu
 /** Outcome of a launch attempt. */
 struct LaunchResult
 {
-    bool ok = false;
-    std::string reason;
+    Status status = Status::internal("not attempted");
     std::uint64_t task_id = 0;
     /** Per-core loadable programs (privileged wrappers installed). */
     std::vector<NpuProgram> loadable;
@@ -52,6 +52,10 @@ struct LaunchResult
     std::vector<std::uint32_t> cores;
     /** Secure-memory address of the decrypted model. */
     Addr model_paddr = 0;
+
+    bool ok() const { return status.isOk(); }
+    /** Human-readable rejection reason (empty on success). */
+    const std::string &reason() const { return status.message(); }
 };
 
 /** The NPU Monitor. */
@@ -91,7 +95,7 @@ class NpuMonitor
     }
 
   private:
-    LaunchResult reject(SecureTask &task, const std::string &why);
+    LaunchResult reject(SecureTask &task, Status why);
 
     MemSystem &mem;
     NpuDevice &device;

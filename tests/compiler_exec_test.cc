@@ -110,7 +110,7 @@ TEST_F(ExecFixture, CompiledLayerComputesCorrectGemm)
     const Addr c_base = w_base + w_bytes_aligned;
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(res.macs,
               static_cast<std::uint64_t>(layer.m) * 3 * 16 * 2 * 16);
 
@@ -156,7 +156,7 @@ TEST_F(ExecFixture, MeasuredDmaVolumeMatchesPlan)
     NpuProgram prog = compiler.compileModel(model, base);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     const std::uint64_t moved = core->dma().totalBytes();
     // The plan's prediction should match the engine's accounting
     // within 20% (rounding of partial tiles).
@@ -183,7 +183,7 @@ TEST_F(ExecFixture, TwoLayerModelChainsBuffers)
     TilingCompiler compiler(cp);
     NpuProgram prog = compiler.compileModel(model, base);
     ExecResult res = core->run(0, prog, ExecOptions{});
-    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(res.macs, l1.macs() + l2.macs());
 }
 

@@ -30,7 +30,7 @@ TEST(Concurrent, BothTenantsComplete)
     ConcurrentResult res = runConcurrentPair(
         *soc, smallTask(ModelId::yololite, World::secure), 8192,
         smallTask(ModelId::mobilenet, World::normal), 8192);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_GT(res.completion_a, 0u);
     EXPECT_GT(res.completion_b, 0u);
     EXPECT_EQ(res.makespan,
@@ -47,7 +47,7 @@ TEST(Concurrent, ContentionSlowsBothVersusSolo)
         RunOptions opts;
         opts.spad_rows_override = 8192;
         RunResult res = runner.run(task, opts);
-        EXPECT_TRUE(res.ok) << res.error;
+        EXPECT_TRUE(res.ok()) << res.error();
         return res.cycles;
     };
     const Tick solo_a = solo(ModelId::googlenet);
@@ -57,7 +57,7 @@ TEST(Concurrent, ContentionSlowsBothVersusSolo)
     ConcurrentResult res = runConcurrentPair(
         *soc, smallTask(ModelId::googlenet, World::normal), 8192,
         smallTask(ModelId::resnet, World::normal), 8192);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
 
     // Shared DRAM: both finish later than alone.
     EXPECT_GT(res.completion_a, solo_a);
@@ -84,7 +84,7 @@ TEST(Concurrent, ContentionBracketsTheHalvedBandwidthModel)
         RunOptions opts;
         opts.spad_rows_override = rows;
         RunResult res = runner.run(task, opts);
-        EXPECT_TRUE(res.ok) << res.error;
+        EXPECT_TRUE(res.ok()) << res.error();
         return res.cycles;
     };
     const Tick full_bw = with_bw(16.0);
@@ -94,7 +94,7 @@ TEST(Concurrent, ContentionBracketsTheHalvedBandwidthModel)
     ConcurrentResult res = runConcurrentPair(
         *soc, smallTask(ModelId::resnet, World::normal), rows,
         smallTask(ModelId::resnet, World::normal), rows);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     const Tick contended =
         std::max(res.completion_a, res.completion_b);
 
@@ -110,7 +110,7 @@ TEST(Concurrent, CrossWorldTenantsTriggerNoViolations)
     ConcurrentResult res = runConcurrentPair(
         *soc, smallTask(ModelId::bert, World::secure), 8192,
         smallTask(ModelId::yololite, World::normal), 8192);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(soc->mem().partitionViolations(), 0u);
     EXPECT_EQ(soc->guarder(0).denyCount(), 0u);
     EXPECT_EQ(soc->guarder(1).denyCount(), 0u);

@@ -45,7 +45,7 @@ TEST(EndToEnd, MonitorLaunchedProgramExecutes)
 
     ASSERT_NE(soc.monitor().submit(secure), 0u);
     LaunchResult launch = soc.monitor().launchNext();
-    ASSERT_TRUE(launch.ok) << launch.reason;
+    ASSERT_TRUE(launch.ok()) << launch.reason();
     ASSERT_EQ(launch.cores[0], 2u);
     EXPECT_EQ(soc.npu().core(2).idState(), World::secure);
 
@@ -54,14 +54,14 @@ TEST(EndToEnd, MonitorLaunchedProgramExecutes)
     RunOptions opts;
     opts.core = 2;
     RunResult run = runner.run(task, opts);
-    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_TRUE(run.ok()) << run.error();
     EXPECT_GT(run.cycles, 0u);
     EXPECT_GT(run.macs, 0u);
 
     // Wrapped program itself also runs cleanly (prologue/epilogue).
     ExecResult wrapped =
         soc.npu().core(2).run(run.end, launch.loadable[0]);
-    EXPECT_TRUE(wrapped.ok) << wrapped.error;
+    EXPECT_TRUE(wrapped.ok()) << wrapped.error();
 
     // Teardown releases the core and scrubs the scratchpad.
     ASSERT_TRUE(soc.monitor().finish(launch.task_id));
@@ -88,16 +88,16 @@ TEST(EndToEnd, ConcurrentWorldsStayIsolated)
     RunOptions secure_opts;
     secure_opts.core = 0;
     RunResult secure_res = runner.run(secure_task, secure_opts);
-    ASSERT_TRUE(secure_res.ok) << secure_res.error;
+    ASSERT_TRUE(secure_res.ok()) << secure_res.error();
 
     RunOptions normal_opts;
     normal_opts.core = 1;
     RunResult normal_res = runner.run(normal_task, normal_opts);
-    ASSERT_TRUE(normal_res.ok) << normal_res.error;
+    ASSERT_TRUE(normal_res.ok()) << normal_res.error();
 
     // Neither run tripped a violation, and the memory partition saw
     // no rejected accesses.
-    EXPECT_EQ(secure_res.error, "");
+    EXPECT_EQ(secure_res.error(), "");
     EXPECT_EQ(soc.mem().partitionViolations(), 0u);
 
     // The normal tenant cannot read the secure tenant's scratchpad.
@@ -120,7 +120,7 @@ TEST(EndToEnd, GuarderWindowsSurviveRealWorkload)
     NpuTask task = NpuTask::fromModel(ModelId::googlenet);
     task.model = task.model.scaled(8);
     RunResult res = runner.run(task);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(soc.guarder(0).denyCount(), 0u);
     EXPECT_GT(soc.guarder(0).checkCount(), 0u);
 }
@@ -132,7 +132,7 @@ TEST(EndToEnd, TrustzoneIommuMapsSurviveRealWorkload)
     NpuTask task = NpuTask::fromModel(ModelId::mobilenet);
     task.model = task.model.scaled(8);
     RunResult res = runner.run(task);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(soc.iommu(0).denyCount(), 0u);
     EXPECT_GT(soc.iommu(0).walks(), 0u);
     EXPECT_GT(soc.iommu(0).tlb().hits(), soc.iommu(0).walks());
@@ -144,7 +144,7 @@ TEST(EndToEnd, StatsDumpContainsAllSubsystems)
     TaskRunner runner(soc);
     NpuTask task = NpuTask::fromModel(ModelId::yololite);
     task.model = task.model.scaled(32);
-    ASSERT_TRUE(runner.run(task).ok);
+    ASSERT_TRUE(runner.run(task).ok());
 
     std::ostringstream os;
     soc.stats().dump(os);

@@ -284,8 +284,8 @@ TEST(MemCrypto, EndToEndOverheadIsModest)
                                   plain);
     RunResult with = measureModel(SystemKind::snpu, ModelId::resnet,
                                   enc);
-    ASSERT_TRUE(base.ok);
-    ASSERT_TRUE(with.ok);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(with.ok());
     EXPECT_GT(with.cycles, base.cycles);
     // TNPU-class engines stay in single-digit percentages.
     EXPECT_LT(static_cast<double>(with.cycles),

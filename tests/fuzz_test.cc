@@ -82,8 +82,8 @@ TEST_P(ProgramFuzz, RandomProgramsNeverCrashOrEscalate)
         opts.flush_save_area = arena.base + (8u << 20);
         // Must not throw; may fail cleanly with an error string.
         ExecResult res = core.run(0, prog, opts);
-        if (!res.ok) {
-            EXPECT_FALSE(res.error.empty());
+        if (!res.ok()) {
+            EXPECT_FALSE(res.error().empty());
         }
         // A program that contained only unprivileged instructions
         // must not have moved the core into the secure world.

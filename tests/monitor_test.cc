@@ -43,7 +43,7 @@ TEST_F(MonitorFixture, LaunchPipelineHappyPath)
 {
     soc.monitor().submit(benignTask());
     LaunchResult launch = soc.monitor().launchNext();
-    ASSERT_TRUE(launch.ok) << launch.reason;
+    ASSERT_TRUE(launch.ok()) << launch.reason();
     ASSERT_EQ(launch.loadable.size(), 1u);
     // Privileged prologue + user code + privileged epilogue.
     EXPECT_EQ(launch.loadable[0].code.size(), 3u);
@@ -71,7 +71,7 @@ TEST_F(MonitorFixture, UserCodeNeverKeepsPrivilege)
 
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    ASSERT_TRUE(launch.ok) << launch.reason;
+    ASSERT_TRUE(launch.ok()) << launch.reason();
     // The loader stripped the privilege bit from user instructions.
     EXPECT_FALSE(launch.loadable[0].code[2].privileged);
 }
@@ -82,8 +82,8 @@ TEST_F(MonitorFixture, MeasurementMismatchRejected)
     task.expected_measurement[0] ^= 0xff;
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    EXPECT_FALSE(launch.ok);
-    EXPECT_NE(launch.reason.find("measurement"), std::string::npos);
+    EXPECT_FALSE(launch.ok());
+    EXPECT_NE(launch.reason().find("measurement"), std::string::npos);
     EXPECT_EQ(soc.monitor().rejectedLaunches(), 1u);
 }
 
@@ -104,7 +104,7 @@ TEST_F(MonitorFixture, ModelDecryptionRoundTrip)
 
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    ASSERT_TRUE(launch.ok) << launch.reason;
+    ASSERT_TRUE(launch.ok()) << launch.reason();
     ASSERT_NE(launch.model_paddr, 0u);
     // The plaintext landed in secure memory.
     std::vector<std::uint8_t> out(model.size());
@@ -128,8 +128,8 @@ TEST_F(MonitorFixture, TamperedModelRejected)
 
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    EXPECT_FALSE(launch.ok);
-    EXPECT_NE(launch.reason.find("authentication"),
+    EXPECT_FALSE(launch.ok());
+    EXPECT_NE(launch.reason().find("authentication"),
               std::string::npos);
 }
 
@@ -140,7 +140,7 @@ TEST_F(MonitorFixture, RouteIntegrityAcceptsSubMesh)
     task.topology = NocTopology{2, 2};
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    EXPECT_TRUE(launch.ok) << launch.reason;
+    EXPECT_TRUE(launch.ok()) << launch.reason();
     soc.monitor().finish(launch.task_id);
 }
 
@@ -150,8 +150,8 @@ TEST_F(MonitorFixture, RouteIntegrityRejectsStrip)
     task.topology = NocTopology{2, 2};
     soc.monitor().submit(task);
     LaunchResult launch = soc.monitor().launchNext();
-    EXPECT_FALSE(launch.ok);
-    EXPECT_NE(launch.reason.find("route"), std::string::npos);
+    EXPECT_FALSE(launch.ok());
+    EXPECT_NE(launch.reason().find("route"), std::string::npos);
 }
 
 TEST_F(MonitorFixture, ScratchpadOverlapAcrossTasksRejected)
@@ -159,21 +159,21 @@ TEST_F(MonitorFixture, ScratchpadOverlapAcrossTasksRejected)
     SecureTask first = benignTask({0});
     soc.monitor().submit(first);
     LaunchResult l1 = soc.monitor().launchNext();
-    ASSERT_TRUE(l1.ok) << l1.reason;
+    ASSERT_TRUE(l1.ok()) << l1.reason();
 
     // A second secure task on the same core would overlap rows.
     SecureTask second = benignTask({0});
     soc.monitor().submit(second);
     LaunchResult l2 = soc.monitor().launchNext();
-    EXPECT_FALSE(l2.ok);
-    EXPECT_NE(l2.reason.find("overlap"), std::string::npos);
+    EXPECT_FALSE(l2.ok());
+    EXPECT_NE(l2.reason().find("overlap"), std::string::npos);
 
     // After the first finishes, the core frees up.
     ASSERT_TRUE(soc.monitor().finish(l1.task_id));
     SecureTask third = benignTask({0});
     soc.monitor().submit(third);
     LaunchResult l3 = soc.monitor().launchNext();
-    EXPECT_TRUE(l3.ok) << l3.reason;
+    EXPECT_TRUE(l3.ok()) << l3.reason();
 }
 
 TEST_F(MonitorFixture, TrampolineRejectsUnknownFunction)

@@ -57,7 +57,7 @@ TEST_F(CoreFixture, MvinLoadsScratchpadRows)
     prog.code.push_back(mvin);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     std::uint8_t row[16];
     ASSERT_EQ(core->scratchpad().read(World::normal, 10, row),
               SpadStatus::ok);
@@ -125,7 +125,7 @@ TEST_F(CoreFixture, SmallGemmMatchesReference)
     prog.code.push_back(st);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(res.macs, 8u * 16 * 16);
 
     // Reference computation.
@@ -192,7 +192,7 @@ TEST_F(CoreFixture, AccumulationAcrossKTiles)
     prog.code.push_back(st);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     // Each output: 2 * (1*1 * 16) = 32; >>8 = 0. Check accumulator
     // directly instead.
     std::uint8_t acc_row[64];
@@ -212,7 +212,7 @@ TEST_F(CoreFixture, UnprivilegedSecSetIdFails)
     prog.code.push_back(instr);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.ok());
     EXPECT_EQ(core->idState(), World::normal);
     EXPECT_GT(res.violations, 0u);
 }
@@ -227,7 +227,7 @@ TEST_F(CoreFixture, PrivilegedSecSetIdSucceeds)
     prog.code.push_back(instr);
 
     ExecResult res = core->run(0, prog, ExecOptions{});
-    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(core->idState(), World::secure);
 }
 
@@ -241,7 +241,7 @@ TEST_F(CoreFixture, SecResetSpadRequiresPrivilege)
     instr.privileged = false;
     prog.code.push_back(instr);
     ExecResult res = core->run(0, prog, ExecOptions{});
-    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.ok());
 }
 
 TEST_F(CoreFixture, DmaDenialAbortsProgram)
@@ -255,7 +255,7 @@ TEST_F(CoreFixture, DmaDenialAbortsProgram)
     mvin.rows = 1;
     prog.code.push_back(mvin);
     ExecResult res = core->run(0, prog, ExecOptions{});
-    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.ok());
     EXPECT_GT(res.violations, 0u);
 }
 
@@ -296,7 +296,7 @@ TEST_F(CoreFixture, ComputeOverlapsWithNextLoad)
 
     ExecResult overlapped = core->run(0, make_prog(false),
                                       ExecOptions{});
-    ASSERT_TRUE(overlapped.ok);
+    ASSERT_TRUE(overlapped.ok());
 
     stats::Group stats2("g2");
     MemSystem mem2(stats2);
@@ -307,7 +307,7 @@ TEST_F(CoreFixture, ComputeOverlapsWithNextLoad)
     p.timing_only = true;
     NpuCore core2(stats2, mem2, pass2, p);
     ExecResult fenced = core2.run(0, make_prog(true), ExecOptions{});
-    ASSERT_TRUE(fenced.ok);
+    ASSERT_TRUE(fenced.ok());
 
     EXPECT_LT(overlapped.cycles(), fenced.cycles());
 }
@@ -323,7 +323,7 @@ TEST_F(CoreFixture, FlushInstructionAddsTraffic)
     ExecOptions opts;
     opts.flush_save_area = base + 0x100000;
     ExecResult res = core->run(0, prog, opts);
-    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.ok());
     EXPECT_GT(res.flush_cycles, 0u);
 }
 
@@ -346,7 +346,7 @@ TEST_F(CoreFixture, TimingOnlyModeSkipsData)
     mvin.rows = 4;
     prog.code.push_back(mvin);
     ExecResult res = core2.run(0, prog, ExecOptions{});
-    EXPECT_TRUE(res.ok);
+    EXPECT_TRUE(res.ok());
     EXPECT_GT(res.cycles(), 0u);
 }
 

@@ -29,7 +29,7 @@ TEST(Pipeline, RunsOnFourCores)
     TaskRunner runner(*soc);
     PipelineResult res = runner.runPipeline(smallTask(), {0, 1, 2, 3},
                                             NocMode::peephole);
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_GT(res.cycles, 0u);
     EXPECT_GT(res.transfers, 0u);
     EXPECT_GT(res.noc_bytes, 0u);
@@ -40,12 +40,12 @@ TEST(Pipeline, DirectNocFasterThanSoftwareNoc)
     auto soc1 = buildSoc(SystemKind::snpu);
     PipelineResult direct = TaskRunner(*soc1).runPipeline(
         smallTask(), {0, 1, 2, 3}, NocMode::peephole);
-    ASSERT_TRUE(direct.ok) << direct.error;
+    ASSERT_TRUE(direct.ok()) << direct.error();
 
     auto soc2 = buildSoc(SystemKind::snpu);
     PipelineResult software = TaskRunner(*soc2).runPipeline(
         smallTask(), {0, 1, 2, 3}, NocMode::software);
-    ASSERT_TRUE(software.ok) << software.error;
+    ASSERT_TRUE(software.ok()) << software.error();
 
     EXPECT_LT(direct.cycles, software.cycles);
 }
@@ -55,12 +55,12 @@ TEST(Pipeline, PeepholeCostsAlmostNothingOverUnauthorized)
     auto soc1 = buildSoc(SystemKind::snpu);
     PipelineResult peephole = TaskRunner(*soc1).runPipeline(
         smallTask(), {0, 1, 2, 3}, NocMode::peephole);
-    ASSERT_TRUE(peephole.ok) << peephole.error;
+    ASSERT_TRUE(peephole.ok()) << peephole.error();
 
     auto soc2 = buildSoc(SystemKind::snpu);
     PipelineResult unauth = TaskRunner(*soc2).runPipeline(
         smallTask(), {0, 1, 2, 3}, NocMode::unauthorized);
-    ASSERT_TRUE(unauth.ok) << unauth.error;
+    ASSERT_TRUE(unauth.ok()) << unauth.error();
 
     // Within 0.1%: the handshake happens once per channel.
     EXPECT_LE(peephole.cycles, unauth.cycles * 1001 / 1000);
@@ -72,7 +72,7 @@ TEST(Pipeline, WorksWithTwoCores)
     auto soc = buildSoc(SystemKind::snpu);
     PipelineResult res = TaskRunner(*soc).runPipeline(
         smallTask(ModelId::yololite), {0, 1}, NocMode::peephole);
-    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.ok()) << res.error();
 }
 
 TEST(Pipeline, EmptyCoreListRejected)
@@ -80,7 +80,7 @@ TEST(Pipeline, EmptyCoreListRejected)
     auto soc = buildSoc(SystemKind::snpu);
     PipelineResult res =
         TaskRunner(*soc).runPipeline(smallTask(), {}, NocMode::peephole);
-    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.ok());
 }
 
 TEST(Pipeline, SecureTaskPipelinesUnderPeephole)
@@ -90,7 +90,7 @@ TEST(Pipeline, SecureTaskPipelinesUnderPeephole)
     task.world = World::secure;
     PipelineResult res = TaskRunner(*soc).runPipeline(
         task, {0, 1, 2, 3}, NocMode::peephole);
-    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.ok()) << res.error();
 }
 
 } // namespace

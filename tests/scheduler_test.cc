@@ -36,8 +36,8 @@ runPolicy(SchedPolicy policy, std::uint32_t coarse = 5)
     auto soc = buildSoc(SystemKind::snpu);
     TimeSharedScheduler sched(*soc, policy, coarse);
     SchedResult res = sched.run(scenario());
-    EXPECT_TRUE(res.ok) << schedPolicyName(policy) << ": "
-                        << res.error;
+    EXPECT_TRUE(res.ok()) << schedPolicyName(policy) << ": "
+                        << res.error();
     return res;
 }
 
@@ -47,7 +47,7 @@ TEST(Scheduler, AllPoliciesComplete)
          {SchedPolicy::flush_fine, SchedPolicy::flush_coarse,
           SchedPolicy::partition, SchedPolicy::id_based}) {
         SchedResult res = runPolicy(policy);
-        ASSERT_TRUE(res.ok);
+        ASSERT_TRUE(res.ok());
         EXPECT_GT(res.makespan, 0u);
         EXPECT_GT(res.background_completion, 0u);
         EXPECT_GT(res.worst_latency, 0u);

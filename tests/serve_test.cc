@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Tests for the serving stack: the generalized N-core scheduler and
+ * the SnpuServer engine layered on top of it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scheduler.hh"
+#include "core/systems.hh"
+#include "serve/arrivals.hh"
+#include "serve/core_scheduler.hh"
+#include "serve/server.hh"
+#include "sim/random.hh"
+
+namespace snpu
+{
+namespace
+{
+
+NpuTask
+smallTask(ModelId id, World world = World::normal, int priority = 0)
+{
+    NpuTask task = NpuTask::fromModel(id, world, priority);
+    task.model = task.model.scaled(64);
+    return task;
+}
+
+// --- N-core scheduler ----------------------------------------------
+
+/**
+ * With N = 1 the generalized scheduler must reproduce the
+ * TimeSharedScheduler bit for bit under every policy: TSS is now a
+ * thin adapter over it, so the two runs below take the same path —
+ * but through two independently built SoCs, so any hidden state
+ * would break the equality.
+ */
+TEST(NCoreScheduler, SingleCoreReproducesTimeShared)
+{
+    SchedScenario scen;
+    scen.background = smallTask(ModelId::resnet, World::normal, 0);
+    scen.periodic = smallTask(ModelId::mobilenet, World::normal, 5);
+    scen.period = 100000;
+    scen.instances = 4;
+
+    for (SchedPolicy policy :
+         {SchedPolicy::flush_fine, SchedPolicy::flush_coarse,
+          SchedPolicy::partition, SchedPolicy::id_based}) {
+        auto tss_soc = buildSoc(SystemKind::snpu);
+        TimeSharedScheduler tss(*tss_soc, policy, 3);
+        SchedResult ref = tss.run(scen);
+        ASSERT_TRUE(ref.ok()) << ref.error();
+
+        ExecStream background;
+        background.task = scen.background;
+        background.arrivals = {0};
+        background.pinned_core = 0;
+        ExecStream periodic;
+        periodic.task = scen.periodic;
+        for (std::uint32_t i = 0; i < scen.instances; ++i)
+            periodic.arrivals.push_back(static_cast<Tick>(i) *
+                                        scen.period);
+        periodic.pinned_core = 0;
+
+        auto n_soc = buildSoc(SystemKind::snpu);
+        NCoreScheduler sched(*n_soc, policy, 1, 3);
+        NSchedResult res = sched.run({background, periodic});
+        ASSERT_TRUE(res.ok()) << res.error();
+
+        EXPECT_EQ(res.makespan, ref.makespan)
+            << schedPolicyName(policy);
+        EXPECT_EQ(res.flush_overhead, ref.flush_overhead)
+            << schedPolicyName(policy);
+        EXPECT_EQ(res.streams[0].completion, ref.background_completion)
+            << schedPolicyName(policy);
+        EXPECT_EQ(res.streams[1].worst_latency, ref.worst_latency)
+            << schedPolicyName(policy);
+        EXPECT_DOUBLE_EQ(res.streams[1].mean_latency,
+                         ref.mean_latency)
+            << schedPolicyName(policy);
+    }
+}
+
+std::vector<ExecStream>
+mixedPriorityStreams()
+{
+    // Six streams, three priority levels, staggered arrivals.
+    const ModelId models[] = {ModelId::mobilenet, ModelId::yololite,
+                              ModelId::resnet,    ModelId::mobilenet,
+                              ModelId::yololite,  ModelId::resnet};
+    std::vector<ExecStream> streams;
+    for (std::uint32_t s = 0; s < 6; ++s) {
+        ExecStream stream;
+        stream.task = smallTask(models[s], World::normal,
+                                static_cast<int>(s % 3));
+        stream.arrivals = {static_cast<Tick>(s) * 20000,
+                           static_cast<Tick>(s) * 20000 + 400000};
+        streams.push_back(stream);
+    }
+    return streams;
+}
+
+/** More tiles never hurt, and low-priority streams still finish. */
+TEST(NCoreScheduler, FourCoresNoStarvationAndFaster)
+{
+    std::vector<Tick> makespans;
+    for (std::uint32_t cores : {1u, 4u}) {
+        auto soc = buildSoc(SystemKind::snpu);
+        NCoreScheduler sched(*soc, SchedPolicy::id_based, cores);
+        NSchedResult res = sched.run(mixedPriorityStreams());
+        ASSERT_TRUE(res.ok()) << res.error();
+        for (const StreamOutcome &out : res.streams) {
+            EXPECT_EQ(out.completed, 2u); // every request finished
+            EXPECT_EQ(out.rejected, 0u);
+            EXPECT_GT(out.completion, 0u);
+        }
+        EXPECT_GT(res.utilization, 0.0);
+        EXPECT_LE(res.utilization, 1.0);
+        makespans.push_back(res.makespan);
+    }
+    EXPECT_LE(makespans[1], makespans[0]);
+}
+
+/** Same inputs, fresh SoCs: the schedule must be reproducible. */
+TEST(NCoreScheduler, DeterministicAcrossRuns)
+{
+    std::vector<Tick> makespans;
+    for (int rep = 0; rep < 2; ++rep) {
+        auto soc = buildSoc(SystemKind::snpu);
+        NCoreScheduler sched(*soc, SchedPolicy::flush_fine, 4);
+        NSchedResult res = sched.run(mixedPriorityStreams());
+        ASSERT_TRUE(res.ok()) << res.error();
+        makespans.push_back(res.makespan);
+    }
+    EXPECT_EQ(makespans[0], makespans[1]);
+}
+
+// --- serving engine ------------------------------------------------
+
+std::vector<TenantSpec>
+makeTenants(std::uint32_t requests, std::uint32_t capacity,
+            std::uint64_t seed)
+{
+    std::vector<TenantSpec> tenants;
+    const ModelId models[] = {ModelId::mobilenet, ModelId::yololite};
+    const World worlds[] = {World::secure, World::normal};
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        TenantSpec spec;
+        spec.name = std::string(modelName(models[t])) + "_" +
+                    std::to_string(t);
+        spec.task = smallTask(models[t], worlds[t]);
+        spec.queue_capacity = capacity;
+        Rng rng(seed + t);
+        spec.arrivals = poissonArrivals(rng, 200000.0, requests);
+        tenants.push_back(spec);
+    }
+    return tenants;
+}
+
+TEST(SnpuServer, ServesAllTenantsAndReportsTails)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    SnpuServer server(*soc, cfg);
+    ServeResult res = server.serve(makeTenants(6, 8, 1));
+    ASSERT_TRUE(res.ok()) << res.error();
+    ASSERT_EQ(res.tenants.size(), 2u);
+    for (const TenantReport &rep : res.tenants) {
+        EXPECT_EQ(rep.completed, 6u);
+        EXPECT_EQ(rep.rejected, 0u);
+        EXPECT_GT(rep.throughput, 0.0);
+        EXPECT_GT(rep.p50, 0u);
+        EXPECT_LE(rep.p50, rep.p95);
+        EXPECT_LE(rep.p95, rep.p99);
+        EXPECT_LE(rep.p99 / 2, rep.worst_latency); // same order
+        EXPECT_GT(rep.peak_queue_depth, 0u);
+    }
+    EXPECT_GT(res.makespan, 0u);
+    EXPECT_EQ(res.cycles, res.makespan);
+}
+
+TEST(SnpuServer, SecureTenantPaysTheMonitorNormalDoesNot)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    SnpuServer server(*soc);
+    ServeResult res = server.serve(makeTenants(4, 8, 2));
+    ASSERT_TRUE(res.ok()) << res.error();
+    const TenantReport &secure = res.tenants[0];
+    const TenantReport &normal = res.tenants[1];
+    EXPECT_GT(secure.monitor_cycles, 0u);
+    EXPECT_EQ(normal.monitor_cycles, 0u);
+    EXPECT_EQ(res.monitor_overhead, secure.monitor_cycles);
+}
+
+TEST(SnpuServer, DeterministicForFixedSeed)
+{
+    std::vector<std::string> dumps;
+    for (int rep = 0; rep < 2; ++rep) {
+        auto soc = buildSoc(SystemKind::snpu);
+        ServerConfig cfg;
+        cfg.num_cores = 2;
+        SnpuServer server(*soc, cfg);
+        ServeResult res = server.serve(makeTenants(6, 8, 3));
+        ASSERT_TRUE(res.ok()) << res.error();
+        std::ostringstream os;
+        os << res.makespan << " " << res.flush_overhead << " "
+           << res.monitor_overhead << "\n";
+        for (const TenantReport &rep : res.tenants)
+            os << rep.name << " " << rep.completed << " "
+               << rep.rejected << " " << rep.p50 << " " << rep.p95
+               << " " << rep.p99 << " " << rep.worst_latency << " "
+               << rep.monitor_cycles << "\n";
+        dumps.push_back(os.str());
+    }
+    EXPECT_EQ(dumps[0], dumps[1]);
+}
+
+TEST(SnpuServer, BoundedQueueRejectsBursts)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    SnpuServer server(*soc);
+
+    // Every request of a 12-deep burst lands at once against a
+    // single-slot queue: all but the one in service must bounce.
+    std::vector<TenantSpec> tenants = makeTenants(4, 8, 4);
+    tenants[1].queue_capacity = 1;
+    tenants[1].arrivals.assign(12, Tick{0});
+
+    ServeResult res = server.serve(tenants);
+    ASSERT_TRUE(res.ok()) << res.error();
+    const TenantReport &bursty = res.tenants[1];
+    EXPECT_GT(bursty.rejected, 0u);
+    EXPECT_EQ(bursty.completed + bursty.rejected, 12u);
+    EXPECT_EQ(bursty.peak_queue_depth, 1u);
+    // The well-behaved tenant is unaffected by its neighbor's drops.
+    EXPECT_EQ(res.tenants[0].completed, 4u);
+    EXPECT_EQ(res.tenants[0].rejected, 0u);
+}
+
+TEST(SnpuServer, ValidatesItsInputs)
+{
+    {
+        auto soc = buildSoc(SystemKind::snpu);
+        SnpuServer server(*soc);
+        ServeResult res = server.serve({});
+        EXPECT_FALSE(res.ok());
+        EXPECT_EQ(res.code(), StatusCode::invalid_argument);
+    }
+    {
+        // Secure tenants need the NPU Monitor.
+        auto soc = buildSoc(SystemKind::normal_npu);
+        SnpuServer server(*soc);
+        ServeResult res = server.serve(makeTenants(2, 8, 5));
+        EXPECT_FALSE(res.ok());
+        EXPECT_EQ(res.code(), StatusCode::invalid_argument);
+    }
+    {
+        // One serving window per instance.
+        auto soc = buildSoc(SystemKind::snpu);
+        SnpuServer server(*soc);
+        ASSERT_TRUE(server.serve(makeTenants(2, 8, 6)).ok());
+        ServeResult again = server.serve(makeTenants(2, 8, 6));
+        EXPECT_FALSE(again.ok());
+    }
+}
+
+TEST(Arrivals, GeneratorsAreWellFormed)
+{
+    Rng rng(9);
+    const std::vector<Tick> poisson =
+        poissonArrivals(rng, 1000.0, 64, 500);
+    ASSERT_EQ(poisson.size(), 64u);
+    EXPECT_GE(poisson.front(), 500u);
+    for (std::size_t i = 1; i < poisson.size(); ++i)
+        EXPECT_GE(poisson[i], poisson[i - 1]); // ascending
+
+    const std::vector<Tick> periodic = periodicArrivals(250, 4, 100);
+    ASSERT_EQ(periodic.size(), 4u);
+    EXPECT_EQ(periodic[0], 100u);
+    EXPECT_EQ(periodic[3], 850u);
+
+    // load = tenants x service / (gap x cores), inverted.
+    EXPECT_DOUBLE_EQ(meanGapForLoad(0.5, 4, 2, 1000.0), 4000.0);
+}
+
+} // namespace
+} // namespace snpu

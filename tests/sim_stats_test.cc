@@ -61,6 +61,61 @@ TEST(Stats, HistogramBucketsSamples)
     EXPECT_EQ(h.overflow(), 1u);
 }
 
+TEST(Stats, HistogramPercentileInterpolates)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "latency", 0, 100, 10);
+    // One sample per bucket: the quantiles walk the bucket tops.
+    for (int v = 5; v < 100; v += 10)
+        h.sample(v);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+}
+
+TEST(Stats, HistogramPercentileWithinOneBucket)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "latency", 0, 100, 10);
+    for (int i = 0; i < 4; ++i)
+        h.sample(25); // all mass in bucket [20, 30)
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 22.5);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 25.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 30.0);
+}
+
+TEST(Stats, HistogramPercentileClampsOutOfRange)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "latency", 0, 100, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0); // no samples
+    h.sample(-5);
+    h.sample(-5);
+    h.sample(150);
+    h.sample(150);
+    // Underflow pins to lo, overflow to hi: the histogram keeps no
+    // detail beyond its range.
+    EXPECT_DOUBLE_EQ(h.percentile(0.25), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Stats, HistogramTailPercentilesOrdered)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "latency", 0, 100, 10);
+    for (int i = 0; i < 99; ++i)
+        h.sample(5);
+    h.sample(95);
+    const double p50 = h.percentile(0.50);
+    const double p95 = h.percentile(0.95);
+    const double p999 = h.percentile(0.999);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p999);
+    EXPECT_LT(p50, 10.0);   // bulk sits in the first bucket
+    EXPECT_GT(p999, 90.0);  // the straggler shows up in the tail
+}
+
 TEST(Stats, HistogramRejectsBadGeometry)
 {
     stats::Group group("g");

@@ -30,8 +30,8 @@ TEST(TaskRunner, RunsOnAllSystems)
           SystemKind::snpu}) {
         RunResult res = measureModel(kind, ModelId::yololite,
                                      fastOverrides());
-        EXPECT_TRUE(res.ok) << systemKindName(kind) << ": "
-                            << res.error;
+        EXPECT_TRUE(res.ok()) << systemKindName(kind) << ": "
+                            << res.error();
         EXPECT_GT(res.cycles, 0u);
         EXPECT_GT(res.macs, 0u);
         EXPECT_GT(res.dma_bytes, 0u);
@@ -44,8 +44,8 @@ TEST(TaskRunner, GuarderChecksFarFewerThanIommu)
                                 ModelId::mobilenet, fastOverrides());
     RunResult sn = measureModel(SystemKind::snpu, ModelId::mobilenet,
                                 fastOverrides());
-    ASSERT_TRUE(tz.ok) << tz.error;
-    ASSERT_TRUE(sn.ok) << sn.error;
+    ASSERT_TRUE(tz.ok()) << tz.error();
+    ASSERT_TRUE(sn.ok()) << sn.error();
     // Fig 13b: request-level checking needs only a few percent of
     // the packet-level lookups.
     EXPECT_LT(sn.check_requests * 5, tz.check_requests);
@@ -58,8 +58,8 @@ TEST(TaskRunner, SnpuNotSlowerThanNormal)
                                     fastOverrides());
     RunResult sn = measureModel(SystemKind::snpu, ModelId::yololite,
                                 fastOverrides());
-    ASSERT_TRUE(normal.ok);
-    ASSERT_TRUE(sn.ok);
+    ASSERT_TRUE(normal.ok());
+    ASSERT_TRUE(sn.ok());
     // The Guarder adds (almost) zero runtime cost.
     EXPECT_LE(sn.cycles, normal.cycles * 101 / 100);
 }
@@ -74,8 +74,8 @@ TEST(TaskRunner, IommuSlowsDownSmallTlb)
                                   ModelId::googlenet, small);
     RunResult fast = measureModel(SystemKind::trustzone_npu,
                                   ModelId::googlenet, big);
-    ASSERT_TRUE(slow.ok);
-    ASSERT_TRUE(fast.ok);
+    ASSERT_TRUE(slow.ok());
+    ASSERT_TRUE(fast.ok());
     EXPECT_GT(slow.cycles, fast.cycles);
 }
 
@@ -90,9 +90,9 @@ TEST(TaskRunner, FlushGranularityOrdering)
     RunResult layer = measureModel(SystemKind::trustzone_npu,
                                    ModelId::yololite, fastOverrides(),
                                    FlushGranularity::layer);
-    ASSERT_TRUE(none.ok);
-    ASSERT_TRUE(tile.ok);
-    ASSERT_TRUE(layer.ok);
+    ASSERT_TRUE(none.ok());
+    ASSERT_TRUE(tile.ok());
+    ASSERT_TRUE(layer.ok());
     EXPECT_GT(tile.cycles, layer.cycles);
     EXPECT_GT(layer.cycles, none.cycles);
     EXPECT_GT(tile.flush_cycles, 0u);
@@ -107,7 +107,7 @@ TEST(TaskRunner, SecureTaskRunsOnSnpu)
                                       World::secure);
     task.model = task.model.scaled(8);
     RunResult res = runner.run(task);
-    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_TRUE(res.ok()) << res.error();
 }
 
 TEST(TaskRunner, PartitionShrinksEffectiveSpad)
@@ -138,7 +138,7 @@ TEST(TaskRunner, UtilizationIsSane)
 {
     RunResult res = measureModel(SystemKind::normal_npu,
                                  ModelId::resnet, fastOverrides());
-    ASSERT_TRUE(res.ok);
+    ASSERT_TRUE(res.ok());
     const double util = res.utilization(256);
     EXPECT_GT(util, 0.01);
     EXPECT_LT(util, 1.0);

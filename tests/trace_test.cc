@@ -101,7 +101,7 @@ TEST(Trace, CoreEmitsInstructionRecords)
     fence.op = Opcode::fence;
     prog.code.push_back(fence);
 
-    ASSERT_TRUE(core.run(0, prog).ok);
+    ASSERT_TRUE(core.run(0, prog).ok());
     ASSERT_EQ(sink.records.size(), 2u);
     EXPECT_EQ(sink.records[0].who, "core0");
     EXPECT_NE(sink.records[0].what.find("mvin"), std::string::npos);
@@ -109,7 +109,7 @@ TEST(Trace, CoreEmitsInstructionRecords)
 
     // Detach stops the stream.
     core.attachTrace(nullptr);
-    ASSERT_TRUE(core.run(1000, prog).ok);
+    ASSERT_TRUE(core.run(1000, prog).ok());
     EXPECT_EQ(sink.records.size(), 2u);
 }
 
@@ -132,7 +132,7 @@ TEST(Trace, CoreEmitsSecurityRecordsOnFailure)
     instr.world = World::secure;
     instr.privileged = false;
     evil.code.push_back(instr);
-    EXPECT_FALSE(core.run(0, evil).ok);
+    EXPECT_FALSE(core.run(0, evil).ok());
     ASSERT_FALSE(sink.records.empty());
     EXPECT_NE(sink.records[0].what.find("sec_set_id"),
               std::string::npos);
