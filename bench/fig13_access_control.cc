@@ -11,9 +11,11 @@
  */
 
 #include <cstdio>
+#include <functional>
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
@@ -39,9 +41,45 @@ main()
     Table checks({"workload", "IOMMU lookups", "Guarder checks",
                   "ratio"});
 
-    for (ModelId id : allModels()) {
-        RunResult normal =
-            measureModel(SystemKind::normal_npu, id, base);
+    // Every (model, system) measurement builds its own SoC, so the
+    // whole grid fans out across host cores; results come back in
+    // submission order and the tables print identically for any
+    // thread count. Per model: baseline, 4 IOTLB sizes, Guarder.
+    const auto models = allModels();
+    constexpr std::size_t variants = 6;
+    std::vector<std::function<RunResult(SweepContext &)>> grid;
+    grid.reserve(models.size() * variants);
+    for (ModelId id : models) {
+        grid.push_back([id, base](SweepContext &) {
+            return measureModel(SystemKind::normal_npu, id, base);
+        });
+        for (std::uint32_t entries : tlb_sizes) {
+            SystemOverrides o = base;
+            o.iotlb_entries = entries;
+            grid.push_back([id, o](SweepContext &) {
+                return measureModel(SystemKind::trustzone_npu, id, o);
+            });
+        }
+        grid.push_back([id, base](SweepContext &) {
+            return measureModel(SystemKind::snpu, id, base);
+        });
+    }
+    SweepRunner runner;
+    const auto measured = runner.map<RunResult>(grid);
+    auto get = [&](std::size_t model_idx,
+                   std::size_t variant) -> const RunResult & {
+        const auto &outcome = measured[model_idx * variants + variant];
+        if (!outcome.ok()) {
+            std::fprintf(stderr, "sweep job failed: %s\n",
+                         outcome.status.toString().c_str());
+            std::exit(1);
+        }
+        return outcome.value;
+    };
+
+    for (std::size_t m = 0; m < models.size(); ++m) {
+        const ModelId id = models[m];
+        const RunResult &normal = get(m, 0);
         if (!normal.ok()) {
             std::printf("ERROR baseline %s: %s\n", modelName(id),
                         normal.error().c_str());
@@ -50,11 +88,8 @@ main()
 
         std::vector<std::string> row{modelName(id)};
         std::uint64_t iommu32_checks = 0;
-        for (std::uint32_t entries : tlb_sizes) {
-            SystemOverrides o = base;
-            o.iotlb_entries = entries;
-            RunResult res =
-                measureModel(SystemKind::trustzone_npu, id, o);
+        for (std::size_t e = 0; e < 4; ++e) {
+            const RunResult &res = get(m, 1 + e);
             if (!res.ok()) {
                 std::printf("ERROR iommu %s: %s\n", modelName(id),
                             res.error().c_str());
@@ -62,11 +97,11 @@ main()
             }
             row.push_back(num(static_cast<double>(normal.cycles) /
                               static_cast<double>(res.cycles)));
-            if (entries == 32)
+            if (tlb_sizes[e] == 32)
                 iommu32_checks = res.check_requests;
         }
 
-        RunResult guarder = measureModel(SystemKind::snpu, id, base);
+        const RunResult &guarder = get(m, 5);
         if (!guarder.ok()) {
             std::printf("ERROR guarder %s: %s\n", modelName(id),
                         guarder.error().c_str());

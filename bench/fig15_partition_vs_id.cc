@@ -17,21 +17,19 @@
  */
 
 #include <cstdio>
+#include <functional>
+#include <stdexcept>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "sim/sweep_runner.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 namespace
 {
-
-struct PairResult
-{
-    double secure_norm;
-    double normal_norm;
-};
 
 Tick
 runWithRows(ModelId id, std::uint32_t rows, double gbps,
@@ -47,12 +45,52 @@ runWithRows(ModelId id, std::uint32_t rows, double gbps,
     RunOptions opts;
     opts.spad_rows_override = rows;
     RunResult res = runner.run(task, opts);
-    if (!res.ok()) {
-        std::fprintf(stderr, "run failed: %s\n", res.error().c_str());
-        std::exit(1);
-    }
+    if (!res.ok())
+        throw std::runtime_error("run failed: " + res.error());
     return res.cycles;
 }
+
+/**
+ * Deferred sweep of independent single-task runs: add() enqueues a
+ * (model, rows, gbps) point and returns its index; runAll() fans the
+ * whole batch across host cores; cycles() reads a result back.
+ */
+class RunSweep
+{
+  public:
+    std::size_t
+    add(ModelId id, std::uint32_t rows, double gbps,
+        std::uint32_t scale)
+    {
+        jobs.push_back([id, rows, gbps, scale](SweepContext &) {
+            return runWithRows(id, rows, gbps, scale);
+        });
+        return jobs.size() - 1;
+    }
+
+    void
+    runAll()
+    {
+        SweepRunner runner;
+        results = runner.map<Tick>(jobs);
+    }
+
+    Tick
+    cycles(std::size_t idx) const
+    {
+        const auto &outcome = results.at(idx);
+        if (!outcome.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         outcome.status.toString().c_str());
+            std::exit(1);
+        }
+        return outcome.value;
+    }
+
+  private:
+    std::vector<std::function<Tick(SweepContext &)>> jobs;
+    std::vector<SweepOutcome<Tick>> results;
+};
 
 } // namespace
 
@@ -73,27 +111,58 @@ main()
     Table table({"pair (secure+normal)", "split", "secure norm.",
                  "normal norm."});
 
+    // Enqueue every independent run up front (22 per pair: 2 solo
+    // baselines, 3 static splits x2, 7 dynamic splits x2), fan the
+    // batch across host cores, then read results back in the same
+    // order the serial loop produced them.
+    RunSweep sweep;
+    struct PairPlan
+    {
+        std::size_t solo_sec, solo_norm;
+        std::size_t stat[3][2];  //!< static frac x (sec, norm)
+        std::size_t dyn[7][2];   //!< dynamic split x (sec, norm)
+    };
+    const double static_fracs[3] = {0.75, 0.5, 0.25};
+    std::vector<PairPlan> pair_plans;
     for (const auto &[sec_id, norm_id] : groups) {
+        PairPlan plan;
         // Solo baselines: full scratchpad, full 16 GB/s.
-        const Tick solo_sec =
-            runWithRows(sec_id, total_rows, 16.0, scale);
-        const Tick solo_norm =
-            runWithRows(norm_id, total_rows, 16.0, scale);
+        plan.solo_sec = sweep.add(sec_id, total_rows, 16.0, scale);
+        plan.solo_norm = sweep.add(norm_id, total_rows, 16.0, scale);
+        for (int f = 0; f < 3; ++f) {
+            const auto sec_rows = static_cast<std::uint32_t>(
+                static_fracs[f] * total_rows);
+            plan.stat[f][0] = sweep.add(sec_id, sec_rows, 8.0, scale);
+            plan.stat[f][1] =
+                sweep.add(norm_id, total_rows - sec_rows, 8.0, scale);
+        }
+        for (int i = 1; i <= 7; ++i) {
+            const std::uint32_t sec_rows = total_rows * i / 8;
+            plan.dyn[i - 1][0] =
+                sweep.add(sec_id, sec_rows, 8.0, scale);
+            plan.dyn[i - 1][1] =
+                sweep.add(norm_id, total_rows - sec_rows, 8.0, scale);
+        }
+        pair_plans.push_back(plan);
+    }
+    sweep.runAll();
+
+    for (std::size_t g = 0; g < pair_plans.size(); ++g) {
+        const auto &[sec_id, norm_id] = groups[g];
+        const PairPlan &plan = pair_plans[g];
+        const Tick solo_sec = sweep.cycles(plan.solo_sec);
+        const Tick solo_norm = sweep.cycles(plan.solo_norm);
 
         const std::string pair_name =
             std::string(modelName(sec_id)) + " + " +
             modelName(norm_id);
 
         // Static partitions: secure gets 3/4, 1/2, 1/4.
-        for (double frac : {0.75, 0.5, 0.25}) {
-            const auto sec_rows =
-                static_cast<std::uint32_t>(frac * total_rows);
-            const Tick sec =
-                runWithRows(sec_id, sec_rows, 8.0, scale);
-            const Tick norm_cycles = runWithRows(
-                norm_id, total_rows - sec_rows, 8.0, scale);
+        for (int f = 0; f < 3; ++f) {
+            const Tick sec = sweep.cycles(plan.stat[f][0]);
+            const Tick norm_cycles = sweep.cycles(plan.stat[f][1]);
             table.row({pair_name,
-                       "static " + num(frac, 2),
+                       "static " + num(static_fracs[f], 2),
                        num(static_cast<double>(sec) / solo_sec),
                        num(static_cast<double>(norm_cycles) /
                            solo_norm)});
@@ -107,10 +176,8 @@ main()
         std::uint32_t best_rows = 0;
         for (int i = 1; i <= 7; ++i) {
             const std::uint32_t sec_rows = total_rows * i / 8;
-            const Tick sec =
-                runWithRows(sec_id, sec_rows, 8.0, scale);
-            const Tick norm_cycles = runWithRows(
-                norm_id, total_rows - sec_rows, 8.0, scale);
+            const Tick sec = sweep.cycles(plan.dyn[i - 1][0]);
+            const Tick norm_cycles = sweep.cycles(plan.dyn[i - 1][1]);
             const double metric = std::max(
                 static_cast<double>(sec) / solo_sec,
                 static_cast<double>(norm_cycles) / solo_norm);

@@ -23,6 +23,8 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "serve/arrivals.hh"
 #include "serve/server.hh"
 #include "sim/random.hh"
+#include "sim/sweep_runner.hh"
 #include "workload/model_zoo.hh"
 
 using namespace snpu;
@@ -83,22 +86,52 @@ makeTenants(const std::vector<double> &service, double load)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
+    }
+
     const SocParams params = makeSystem(SystemKind::snpu);
+
+    // Every sweep point is an independent simulation (own SoC, own
+    // arrival Rng), so the grid fans out across host cores. Results
+    // are collected in submission order and printed afterwards:
+    // stdout is byte-identical for any thread count. The thread
+    // count goes to stderr so it cannot perturb the sweep output.
+    SweepRunner runner(SweepOptions{jobs});
+    std::fprintf(stderr, "serve_throughput: %u host threads "
+                         "(--jobs=N or SNPU_JOBS to override)\n",
+                 runner.threads());
 
     // Unloaded service time per tenant, through the same per-layer
     // segment path the scheduler runs.
+    std::vector<std::function<double(SweepContext &)>> profile_jobs;
+    profile_jobs.reserve(plans.size());
+    for (const TenantPlan &plan : plans) {
+        profile_jobs.push_back([&params, plan](SweepContext &) {
+            NpuTask task = NpuTask::fromModel(plan.model, plan.world);
+            task.model = task.model.scaled(model_scale);
+            return SnpuServer::profiledServiceCycles(params, task);
+        });
+    }
+    const auto profiled = runner.map<double>(profile_jobs);
+
     std::vector<double> service;
     double max_service = 0.0;
     double service_sum = 0.0;
-    for (const TenantPlan &plan : plans) {
-        NpuTask task = NpuTask::fromModel(plan.model, plan.world);
-        task.model = task.model.scaled(model_scale);
-        service.push_back(
-            SnpuServer::profiledServiceCycles(params, task));
-        max_service = std::max(max_service, service.back());
-        service_sum += service.back();
+    for (const auto &outcome : profiled) {
+        if (!outcome.ok()) {
+            std::fprintf(stderr, "profiling failed: %s\n",
+                         outcome.status.toString().c_str());
+            return 1;
+        }
+        service.push_back(outcome.value);
+        max_service = std::max(max_service, outcome.value);
+        service_sum += outcome.value;
     }
 
     const std::vector<SchedPolicy> policies = {
@@ -106,6 +139,26 @@ main()
         SchedPolicy::partition, SchedPolicy::id_based};
     const std::vector<double> loads = {0.2, 0.3, 0.4,
                                        0.5, 0.6, 0.7};
+
+    // Phase 2: the full policy x load grid, one job per point.
+    std::vector<std::function<ServeResult(SweepContext &)>> point_jobs;
+    point_jobs.reserve(policies.size() * loads.size());
+    for (SchedPolicy policy : policies) {
+        for (double load : loads) {
+            point_jobs.push_back([&params, &service, max_service,
+                                  policy, load](SweepContext &) {
+                Soc soc(params);
+                ServerConfig cfg;
+                cfg.policy = policy;
+                cfg.num_cores = n_cores;
+                cfg.latency_hist_max = 32.0 * max_service;
+                cfg.latency_hist_buckets = 2048;
+                SnpuServer server(soc, cfg);
+                return server.serve(makeTenants(service, load));
+            });
+        }
+    }
+    const auto points = runner.map<ServeResult>(point_jobs);
 
     std::printf("serve_throughput: %zu tenants (2 secure) on %u "
                 "tiles, %u req/tenant, scale=%u\n"
@@ -120,16 +173,16 @@ main()
     std::vector<double> sustained(policies.size(), 0.0);
     for (std::size_t p = 0; p < policies.size(); ++p) {
         bool kneed = false;
-        for (double load : loads) {
-            Soc soc(params);
-            ServerConfig cfg;
-            cfg.policy = policies[p];
-            cfg.num_cores = n_cores;
-            cfg.latency_hist_max = 32.0 * max_service;
-            cfg.latency_hist_buckets = 2048;
-            SnpuServer server(soc, cfg);
-            ServeResult res =
-                server.serve(makeTenants(service, load));
+        for (std::size_t li = 0; li < loads.size(); ++li) {
+            const double load = loads[li];
+            const auto &point = points[p * loads.size() + li];
+            if (!point.ok()) {
+                std::fprintf(stderr, "%s at load %.2f failed: %s\n",
+                             schedPolicyName(policies[p]), load,
+                             point.status.toString().c_str());
+                return 1;
+            }
+            const ServeResult &res = point.value;
             if (!res.ok()) {
                 std::fprintf(stderr, "%s at load %.2f failed: %s\n",
                              schedPolicyName(policies[p]), load,

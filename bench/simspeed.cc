@@ -4,14 +4,29 @@
  * how fast the model itself runs (host-side), useful when scaling
  * experiments up. These are not paper figures; they bound the cost
  * of the reproduction harness.
+ *
+ * Besides the console table, every run emits a machine-readable
+ * summary (ns/op, ops/sec, and items/sec where an "item" is an event
+ * / byte) so the perf trajectory is tracked across PRs:
+ *
+ *   simspeed [--json=PATH] [--label=NAME] [google-benchmark flags]
+ *
+ * defaults to writing BENCH_simspeed.json in the working directory.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dma/dma_engine.hh"
 #include "guarder/guarder.hh"
 #include "iommu/iommu.hh"
 #include "mem/mem_system.hh"
+#include "mem/phys_mem.hh"
 #include "noc/mesh.hh"
+#include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
 #include "spad/scratchpad.hh"
@@ -21,6 +36,181 @@ namespace
 {
 
 using namespace snpu;
+
+// ---------------------------------------------------------------
+// Simulation kernel
+// ---------------------------------------------------------------
+
+/**
+ * The event-queue microbenchmark: schedule a burst of events with
+ * scattered ticks, then drain it. The callbacks capture 32 bytes —
+ * the realistic size for a model callback (object pointer plus
+ * arguments) — which exceeds std::function's small-buffer
+ * optimization, so any per-event copy inside the queue shows up as
+ * an allocation. One "item" is one executed event.
+ */
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    std::uint64_t ticks = 0;
+    for (auto _ : state) {
+        const Tick base = eq.now();
+        for (std::int64_t i = 0; i < n; ++i) {
+            const Tick when = base + 1 + (i * 7919) % 4096;
+            eq.schedule(when, [&sink, &ticks, i, when] {
+                sink += static_cast<std::uint64_t>(i);
+                ticks += when;
+            });
+        }
+        eq.run();
+    }
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(4096);
+
+/**
+ * Steady-state churn at constant queue depth: every executed event
+ * is replaced by a newly scheduled one, the pattern a running
+ * simulation produces. One "item" is one executed event.
+ */
+void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    constexpr std::int64_t depth = 1024;
+    EventQueue eq;
+    std::uint64_t sink = 0;
+    std::uint64_t ticks = 0;
+    for (std::int64_t i = 0; i < depth; ++i) {
+        eq.schedule(static_cast<Tick>(i + 1), [&sink, &ticks, i] {
+            sink += static_cast<std::uint64_t>(i);
+            ++ticks;
+        });
+    }
+    std::int64_t i = depth;
+    for (auto _ : state) {
+        eq.scheduleIn(depth, [&sink, &ticks, i] {
+            sink += static_cast<std::uint64_t>(i);
+            ++ticks;
+        });
+        ++i;
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    benchmark::DoNotOptimize(ticks);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn);
+
+// ---------------------------------------------------------------
+// Memory path
+// ---------------------------------------------------------------
+
+/**
+ * Sequential 64-byte reads, the functional access pattern of a
+ * streaming DMA: consecutive packets land on the same 4 KiB page.
+ */
+void
+BM_PhysMemStreamRead(benchmark::State &state)
+{
+    PhysMem pm;
+    constexpr std::size_t span = 8u << 20;
+    pm.fill(0, span, 0xab);
+    std::uint8_t buf[64];
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        pm.read(off % span, buf, sizeof(buf));
+        off += sizeof(buf);
+        benchmark::DoNotOptimize(buf);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PhysMemStreamRead);
+
+/** Sequential 64-byte writes (DMA store stream). */
+void
+BM_PhysMemStreamWrite(benchmark::State &state)
+{
+    PhysMem pm;
+    constexpr std::size_t span = 8u << 20;
+    std::uint8_t buf[64] = {0x5a};
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        pm.write(off % span, buf, sizeof(buf));
+        off += sizeof(buf);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PhysMemStreamWrite);
+
+/**
+ * Full 16 KiB DMA transfer under the request-granular Guarder: one
+ * check up front, then the batched packet loop. One "item" is one
+ * transferred byte.
+ */
+void
+BM_DmaTransferGuarder(benchmark::State &state)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    NpuGuarder guard(stats);
+    const Addr pa = mem.map().dram().base;
+    constexpr std::uint32_t bytes = 16384;
+    guard.setTranslationRegister(0, 0x1000, pa, 1 << 20, true);
+    guard.setCheckingRegister(0, AddrRange{pa, 1 << 20},
+                              GuardPerm::rw(), World::normal, true);
+    DmaEngine dma(stats, mem, guard);
+    std::vector<std::uint8_t> buf;
+    Tick t = 0;
+    for (auto _ : state) {
+        DmaRequest req{0x1000, bytes, MemOp::read, World::normal};
+        DmaResult res = dma.transfer(t, req, &buf);
+        benchmark::DoNotOptimize(res);
+        t = res.done;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_DmaTransferGuarder);
+
+/**
+ * The same 16 KiB transfer under the packet-granular IOMMU
+ * (IOTLB-hit regime) — the generic per-packet loop, watched for
+ * regressions.
+ */
+void
+BM_DmaTransferIommu(benchmark::State &state)
+{
+    stats::Group stats("g");
+    MemSystem mem(stats);
+    PageTable table(mem, AddrRange{mem.map().dram().base, 8u << 20});
+    constexpr std::uint32_t bytes = 16384;
+    table.mapRange(0x100000, mem.map().dram().base + (64u << 20),
+                   16 * page_bytes, true, false);
+    Iommu iommu(stats, table);
+    DmaEngine dma(stats, mem, iommu);
+    std::vector<std::uint8_t> buf;
+    Tick t = 0;
+    for (auto _ : state) {
+        DmaRequest req{0x100000, bytes, MemOp::read, World::normal};
+        DmaResult res = dma.transfer(t, req, &buf);
+        benchmark::DoNotOptimize(res);
+        t = res.done;
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) * bytes);
+}
+BENCHMARK(BM_DmaTransferIommu);
+
+// ---------------------------------------------------------------
+// Component hot paths (pre-existing coverage)
+// ---------------------------------------------------------------
 
 void
 BM_ScratchpadAccess(benchmark::State &state)
@@ -120,6 +310,120 @@ BM_Sha256PerKiB(benchmark::State &state)
 }
 BENCHMARK(BM_Sha256PerKiB);
 
+// ---------------------------------------------------------------
+// JSON emission
+// ---------------------------------------------------------------
+
+/**
+ * Console output plus a collected machine-readable summary. Only
+ * per-iteration runs are recorded (no aggregates), one entry per
+ * benchmark.
+ */
+class JsonTeeReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        std::uint64_t iterations;
+        double ns_per_op;
+        double ops_per_sec;
+        double items_per_sec; //!< 0 when the bench sets no counter
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            Entry e;
+            e.name = r.benchmark_name();
+            e.iterations = static_cast<std::uint64_t>(r.iterations);
+            const double spi =
+                r.iterations
+                    ? r.real_accumulated_time /
+                          static_cast<double>(r.iterations)
+                    : 0.0;
+            e.ns_per_op = spi * 1e9;
+            e.ops_per_sec = spi > 0.0 ? 1.0 / spi : 0.0;
+            e.items_per_sec = 0.0;
+            auto items = r.counters.find("items_per_second");
+            auto bytes = r.counters.find("bytes_per_second");
+            if (items != r.counters.end())
+                e.items_per_sec = items->second;
+            else if (bytes != r.counters.end())
+                e.items_per_sec = bytes->second;
+            entries.push_back(std::move(e));
+        }
+        benchmark::ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Write `{"runs": [{label, benchmarks: [...]}]}` to @p path. */
+    bool
+    writeJson(const std::string &path, const std::string &label) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "simspeed: cannot write %s\n",
+                         path.c_str());
+            return false;
+        }
+        std::fprintf(f, "{\n  \"runs\": [\n    {\n");
+        std::fprintf(f, "      \"label\": \"%s\",\n", label.c_str());
+        std::fprintf(f, "      \"benchmarks\": [\n");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            const Entry &e = entries[i];
+            std::fprintf(f,
+                         "        {\"name\": \"%s\", "
+                         "\"iterations\": %llu, "
+                         "\"ns_per_op\": %.3f, "
+                         "\"ops_per_sec\": %.1f, "
+                         "\"items_per_sec\": %.1f}%s\n",
+                         e.name.c_str(),
+                         static_cast<unsigned long long>(e.iterations),
+                         e.ns_per_op, e.ops_per_sec, e.items_per_sec,
+                         i + 1 < entries.size() ? "," : "");
+        }
+        std::fprintf(f, "      ]\n    }\n  ]\n}\n");
+        std::fclose(f);
+        return true;
+    }
+
+  private:
+    std::vector<Entry> entries;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::string json_path = "BENCH_simspeed.json";
+    std::string label = "current";
+    std::vector<char *> keep;
+    keep.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a.rfind("--json=", 0) == 0)
+            json_path = a.substr(7);
+        else if (a.rfind("--label=", 0) == 0)
+            label = a.substr(8);
+        else
+            keep.push_back(argv[i]);
+    }
+    int kargc = static_cast<int>(keep.size());
+    benchmark::Initialize(&kargc, keep.data());
+    if (benchmark::ReportUnrecognizedArguments(kargc, keep.data()))
+        return 1;
+
+    JsonTeeReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!reporter.writeJson(json_path, label))
+        return 1;
+    std::printf("wrote %s (label=%s)\n", json_path.c_str(),
+                label.c_str());
+    return 0;
+}

@@ -94,6 +94,15 @@ class DmaEngine
     }
 
   private:
+    /**
+     * Fast path for request-granular controllers: one up-front
+     * check, a branch-free packet timing loop, one contiguous
+     * functional copy, batched stat updates. Timing-identical to the
+     * generic per-packet loop.
+     */
+    DmaResult transferPerRequest(Tick when, const DmaRequest &req,
+                                 std::vector<std::uint8_t> *buffer);
+
     MemSystem &mem;
     AccessControl *control;
     DmaParams params;

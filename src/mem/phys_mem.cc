@@ -8,18 +8,29 @@ namespace snpu
 PhysMem::Page &
 PhysMem::pageFor(Addr addr)
 {
-    auto key = addr / page_size;
+    const auto key = addr / page_size;
+    if (key == cached_key)
+        return *cached_page;
     auto it = pages.find(key);
     if (it == pages.end())
         it = pages.emplace(key, Page{}).first;
+    cached_key = key;
+    cached_page = &it->second;
     return it->second;
 }
 
 const PhysMem::Page *
 PhysMem::pageIfPresent(Addr addr) const
 {
-    auto it = pages.find(addr / page_size);
-    return it == pages.end() ? nullptr : &it->second;
+    const auto key = addr / page_size;
+    if (key == cached_key)
+        return cached_page;
+    auto it = pages.find(key);
+    if (it == pages.end())
+        return nullptr;
+    cached_key = key;
+    cached_page = const_cast<Page *>(&it->second);
+    return cached_page;
 }
 
 void

@@ -21,6 +21,12 @@ namespace snpu
 /**
  * Byte-addressable sparse memory. Pages materialize zero-filled on
  * first touch; reads of untouched memory return zeros.
+ *
+ * A one-entry page cache short-circuits the hash lookup: DMA streams
+ * are overwhelmingly sequential, so consecutive accesses land on the
+ * same 4 KiB page. The cache makes even const reads non-reentrant
+ * across host threads — consistent with the simulator-wide rule that
+ * one simulation instance is driven by one host thread.
  */
 class PhysMem
 {
@@ -52,6 +58,12 @@ class PhysMem
     const Page *pageIfPresent(Addr addr) const;
 
     std::unordered_map<std::uint64_t, Page> pages;
+
+    // Last-page cache. Values in unordered_map are reference-stable
+    // (no erase anywhere in this class), so the pointer never dangles.
+    static constexpr std::uint64_t no_page = ~std::uint64_t{0};
+    mutable std::uint64_t cached_key = no_page;
+    mutable Page *cached_page = nullptr;
 };
 
 } // namespace snpu

@@ -8,42 +8,90 @@ namespace snpu
 {
 
 void
+EventQueue::siftUp(std::size_t i)
+{
+    Entry e = heap[i];
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!later(heap[parent], e))
+            break;
+        heap[i] = heap[parent];
+        i = parent;
+    }
+    heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Entry e = heap[i];
+    const std::size_t n = heap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && later(heap[child], heap[child + 1]))
+            ++child;
+        if (!later(e, heap[child]))
+            break;
+        heap[i] = heap[child];
+        i = child;
+    }
+    heap[i] = e;
+}
+
+void
 EventQueue::schedule(Tick when, Callback cb, int priority)
 {
     if (when < _now) {
         panic("event scheduled in the past: when=", when, " now=", _now);
     }
-    queue.push(Entry{when, priority, next_seq++, std::move(cb)});
+    std::uint32_t slot;
+    if (free_slots.empty()) {
+        slot = static_cast<std::uint32_t>(slots.size());
+        slots.push_back(std::move(cb));
+    } else {
+        slot = free_slots.back();
+        free_slots.pop_back();
+        slots[slot] = std::move(cb);
+    }
+    heap.push_back(Entry{when, next_seq++, slot,
+                         static_cast<std::int32_t>(priority)});
+    siftUp(heap.size() - 1);
 }
 
 void
-EventQueue::execute(Entry &e)
+EventQueue::executeTop()
 {
+    const Entry e = heap.front();
+    heap.front() = heap.back();
+    heap.pop_back();
+    if (!heap.empty())
+        siftDown(0);
+
+    // Move the callback out and release its slot BEFORE invoking:
+    // the callback may schedule (and thus reuse the slot).
+    Callback cb = std::move(slots[e.slot]);
+    free_slots.push_back(e.slot);
     _now = e.when;
     ++_executed;
-    e.cb();
+    cb();
 }
 
 Tick
 EventQueue::run()
 {
-    while (!queue.empty()) {
-        Entry e = queue.top();
-        queue.pop();
-        execute(e);
-    }
+    while (!heap.empty())
+        executeTop();
     return _now;
 }
 
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!queue.empty() && queue.top().when <= limit) {
-        Entry e = queue.top();
-        queue.pop();
-        execute(e);
-    }
-    if (!queue.empty() && _now < limit)
+    while (!heap.empty() && heap.front().when <= limit)
+        executeTop();
+    if (!heap.empty() && _now < limit)
         _now = limit;
     return _now;
 }
@@ -51,19 +99,27 @@ EventQueue::runUntil(Tick limit)
 bool
 EventQueue::step()
 {
-    if (queue.empty())
+    if (heap.empty())
         return false;
-    Entry e = queue.top();
-    queue.pop();
-    execute(e);
+    executeTop();
     return true;
 }
 
 void
 EventQueue::reset()
 {
-    while (!queue.empty())
-        queue.pop();
+    heap.clear();
+    slots.clear();
+    free_slots.clear();
+}
+
+void
+EventQueue::hardReset()
+{
+    reset();
+    _now = 0;
+    next_seq = 0;
+    _executed = 0;
 }
 
 } // namespace snpu

@@ -4,21 +4,167 @@
  *
  * Events are ordered by (tick, priority, insertion sequence), so two
  * runs of the same configuration produce bit-identical schedules.
+ *
+ * The pending set is a hand-rolled vector-backed binary min-heap
+ * rather than std::priority_queue: priority_queue only exposes a
+ * const top(), which forces a copy of the entry — and copying a
+ * std::function re-allocates its captured state — for every executed
+ * event. The heap here orders 24-byte (tick, priority, seq, slot)
+ * keys and keeps the callbacks themselves in a stable slot arena, so
+ * sifting never moves a callback; entries move in and out, capacity
+ * is reserved up front, and reset() clears without rebalancing.
  */
 
 #ifndef SNPU_SIM_EVENT_QUEUE_HH
 #define SNPU_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace snpu
 {
+
+/**
+ * Move-only callable with inline storage, the queue's callback slot.
+ *
+ * std::function heap-allocates any capture over ~16 bytes, and a
+ * model callback (object pointer + a few arguments) usually is: with
+ * std::function every scheduled event costs an allocation. This type
+ * stores captures up to 40 bytes inline — enough for every callback
+ * in the tree — and only falls back to the heap beyond that, so the
+ * schedule/execute cycle allocates nothing on the hot path.
+ */
+class EventCallback
+{
+  public:
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit from any callable
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            new (storage) Fn(std::forward<F>(f));
+            invoke_fn = &invokeInline<Fn>;
+            manage_fn = &manageInline<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage) =
+                new Fn(std::forward<F>(f));
+            invoke_fn = &invokeHeap<Fn>;
+            manage_fn = &manageHeap<Fn>;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { destroy(); }
+
+    /** @pre *this holds a callable. */
+    void operator()() { invoke_fn(storage); }
+
+    explicit operator bool() const { return invoke_fn != nullptr; }
+
+  private:
+    static constexpr std::size_t inline_bytes = 40;
+
+    enum class Op
+    {
+        move_destroy, //!< move-construct into dst, destroy src
+        destroy,      //!< destroy src
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inline_bytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static void
+    invokeInline(void *s)
+    {
+        (*static_cast<Fn *>(s))();
+    }
+
+    template <typename Fn>
+    static void
+    manageInline(Op op, void *dst, void *src) noexcept
+    {
+        Fn *f = static_cast<Fn *>(src);
+        if (op == Op::move_destroy)
+            new (dst) Fn(std::move(*f));
+        f->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeHeap(void *s)
+    {
+        (**static_cast<Fn **>(s))();
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(Op op, void *dst, void *src) noexcept
+    {
+        Fn **p = static_cast<Fn **>(src);
+        if (op == Op::move_destroy)
+            *static_cast<Fn **>(dst) = *p;
+        else
+            delete *p;
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        invoke_fn = other.invoke_fn;
+        manage_fn = other.manage_fn;
+        if (manage_fn)
+            manage_fn(Op::move_destroy, storage, other.storage);
+        other.invoke_fn = nullptr;
+        other.manage_fn = nullptr;
+    }
+
+    void
+    destroy() noexcept
+    {
+        if (manage_fn) {
+            manage_fn(Op::destroy, nullptr, storage);
+            invoke_fn = nullptr;
+            manage_fn = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage[inline_bytes];
+    void (*invoke_fn)(void *) = nullptr;
+    void (*manage_fn)(Op, void *, void *) noexcept = nullptr;
+};
 
 /**
  * Relative ordering of events scheduled for the same tick. Lower
@@ -35,24 +181,42 @@ enum EventPriority : int
 /**
  * A single-threaded event queue. All timing-mode subsystems schedule
  * callbacks here; the queue drains them in deterministic order.
+ *
+ * Threading contract: one EventQueue is owned and driven by exactly
+ * one host thread. Host-parallel experiments (sim/sweep_runner.hh)
+ * give every simulation its own queue; nothing here is synchronized.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
-    EventQueue() = default;
+    EventQueue()
+    {
+        heap.reserve(initial_capacity);
+        slots.reserve(initial_capacity);
+        free_slots.reserve(initial_capacity);
+    }
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Number of events executed since construction. */
+    /** Number of events executed since construction (or hardReset). */
     std::uint64_t executed() const { return _executed; }
 
     /** Number of events still pending. */
-    std::size_t pending() const { return queue.size(); }
+    std::size_t pending() const { return heap.size(); }
+
+    /** Heap + arena capacity hint for large schedules. */
+    void
+    reserve(std::size_t n)
+    {
+        heap.reserve(n);
+        slots.reserve(n);
+        free_slots.reserve(n);
+    }
 
     /**
      * Schedule @p cb to run at absolute time @p when.
@@ -79,34 +243,62 @@ class EventQueue
     /** Execute exactly one event if any is pending. @return true if so. */
     bool step();
 
-    /** Drop all pending events (used between independent experiments). */
+    /**
+     * Drop all pending events without rebalancing (the backing
+     * vector is cleared, keeping its capacity). The clock (_now), the
+     * insertion-sequence counter, and the executed() total all
+     * SURVIVE: reset() is for abandoning in-flight work inside one
+     * experiment, where time must not run backwards and cumulative
+     * counters must keep counting. Between independent experiments
+     * use hardReset().
+     */
     void reset();
 
+    /**
+     * reset() plus a return to the constructed state: now() == 0,
+     * executed() == 0, and the sequence counter rewound, so a reused
+     * queue schedules exactly like a freshly built one. This is the
+     * right call between independent sweep points.
+     */
+    void hardReset();
+
   private:
+    /**
+     * Heap key. The callback lives in the slot arena at `slot`; the
+     * heap only ever moves these 24 bytes.
+     */
     struct Entry
     {
         Tick when;
-        int priority;
         std::uint64_t seq;
-        Callback cb;
+        std::uint32_t slot;
+        std::int32_t priority;
     };
 
-    struct Later
+    static constexpr std::size_t initial_capacity = 256;
+
+    /** True when @p a must run after @p b (min-heap order violation). */
+    static bool
+    later(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.priority != b.priority)
-                return a.priority > b.priority;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.priority != b.priority)
+            return a.priority > b.priority;
+        return a.seq > b.seq;
+    }
 
-    void execute(Entry &e);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    /** Remove the earliest entry and run it. @pre !heap.empty() */
+    void executeTop();
+
+    std::vector<Entry> heap;
+    /** Callback arena; entries index it, sifting never touches it. */
+    std::vector<Callback> slots;
+    /** Arena indices currently unoccupied. */
+    std::vector<std::uint32_t> free_slots;
     Tick _now = 0;
     std::uint64_t next_seq = 0;
     std::uint64_t _executed = 0;

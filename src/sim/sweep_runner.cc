@@ -1,0 +1,112 @@
+#include "sim/sweep_runner.hh"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace snpu
+{
+
+unsigned
+sweepThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("SNPU_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("ignoring malformed SNPU_JOBS='", env, "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts) : base_seed(opts.seed)
+{
+    const unsigned n = sweepThreadCount(opts.threads);
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    work_cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+Status
+SweepRunner::runOne(const Job &job, std::size_t index) const
+{
+    // Seed depends only on the submission index, never the worker:
+    // the same job sees the same random stream at any thread count.
+    const std::uint64_t seed =
+        base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    SweepContext ctx(index, seed);
+    try {
+        job(ctx);
+        return Status::ok();
+    } catch (const std::exception &e) {
+        return Status::internal("sweep job " + std::to_string(index) +
+                                " threw: " + e.what());
+    } catch (...) {
+        return Status::internal("sweep job " + std::to_string(index) +
+                                " threw a non-std exception");
+    }
+}
+
+std::vector<Status>
+SweepRunner::runAll(const std::vector<Job> &jobs)
+{
+    std::vector<Status> statuses(jobs.size());
+    if (jobs.empty())
+        return statuses;
+
+    Batch b;
+    b.jobs = &jobs;
+    b.statuses = &statuses;
+    b.remaining = jobs.size();
+
+    std::unique_lock<std::mutex> lk(mtx);
+    if (batch)
+        panic("SweepRunner::runAll is not reentrant");
+    batch = &b;
+    work_cv.notify_all();
+    done_cv.wait(lk, [&b] { return b.remaining == 0; });
+    batch = nullptr;
+    return statuses;
+}
+
+void
+SweepRunner::workerLoop()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    for (;;) {
+        work_cv.wait(lk, [this] {
+            return stopping ||
+                   (batch && batch->next < batch->jobs->size());
+        });
+        if (stopping)
+            return;
+
+        Batch *b = batch;
+        const std::size_t idx = b->next++;
+        lk.unlock();
+        Status st = runOne((*b->jobs)[idx], idx);
+        lk.lock();
+        (*b->statuses)[idx] = std::move(st);
+        if (--b->remaining == 0)
+            done_cv.notify_all();
+    }
+}
+
+} // namespace snpu

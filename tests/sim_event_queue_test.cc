@@ -6,10 +6,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 
 namespace snpu
 {
@@ -117,6 +122,169 @@ TEST(EventQueue, EventsCanScheduleMoreEvents)
     eq.run();
     EXPECT_EQ(depth, 5);
     EXPECT_EQ(eq.now(), 4u);
+}
+
+TEST(EventQueue, InsertionSequenceBreaksTiesAtScale)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 200; ++i)
+        eq.schedule(7, [&order, i] { order.push_back(i); });
+    eq.run();
+    ASSERT_EQ(order.size(), 200u);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PriorityBeatsSequenceWithinATick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    // Scrambled priorities at one tick; each priority class must
+    // still run in insertion order.
+    const int prios[] = {90, 10, 50, 10, 90, 50, 0, 100};
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(3, [&order, i] { order.push_back(i); }, prios[i]);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{6, 1, 3, 2, 5, 0, 4, 7}));
+}
+
+TEST(EventQueue, StressMatchesStableSortReference)
+{
+    // 2000 events with colliding ticks and priorities must execute
+    // in exactly (tick, priority, insertion) order.
+    struct Ref
+    {
+        Tick when;
+        int priority;
+        int id;
+    };
+    EventQueue eq;
+    Rng rng(99);
+    std::vector<Ref> refs;
+    std::vector<int> order;
+    for (int i = 0; i < 2000; ++i) {
+        const Tick when = rng.below(64);
+        const int prio = static_cast<int>(rng.below(4)) * 25;
+        refs.push_back(Ref{when, prio, i});
+        eq.schedule(when, [&order, i] { order.push_back(i); }, prio);
+    }
+    eq.run();
+    std::stable_sort(refs.begin(), refs.end(),
+                     [](const Ref &a, const Ref &b) {
+                         if (a.when != b.when)
+                             return a.when < b.when;
+                         return a.priority < b.priority;
+                     });
+    ASSERT_EQ(order.size(), refs.size());
+    for (std::size_t i = 0; i < refs.size(); ++i)
+        EXPECT_EQ(order[i], refs[i].id) << "position " << i;
+}
+
+TEST(EventQueue, RunUntilExecutesEventExactlyAtLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(11, [&] { ++count; });
+    eq.runUntil(10);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilOnDrainedQueueKeepsLastEventTick)
+{
+    EventQueue eq;
+    eq.schedule(30, [] {});
+    eq.runUntil(100);
+    // Queue drained before the limit: now() stays at the last
+    // event's tick, not the limit.
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, ResetKeepsClockSequenceAndExecutedCount)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.run();
+    eq.schedule(50, [&] { ++count; });
+    eq.reset();
+    EXPECT_EQ(eq.pending(), 0u);
+    // Survivors: clock, executed() total, and the no-time-travel
+    // invariant (scheduling before now() still panics).
+    EXPECT_EQ(eq.now(), 10u);
+    EXPECT_EQ(eq.executed(), 1u);
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, HardResetRestoresConstructedState)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(100, [&] { ++count; });
+    eq.schedule(200, [&] { ++count; });
+    eq.run();
+    eq.hardReset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.executed(), 0u);
+    EXPECT_EQ(eq.pending(), 0u);
+    // A reused queue behaves like a fresh one: early ticks are legal
+    // again and ordering starts over.
+    std::vector<int> order;
+    eq.schedule(2, [&order] { order.push_back(2); });
+    eq.schedule(1, [&order] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeap)
+{
+    // A capture bigger than the callback's inline storage must still
+    // work (heap fallback path).
+    EventQueue eq;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    std::uint64_t sum = 0;
+    eq.schedule(1, [payload, &sum] {
+        for (std::uint64_t v : payload)
+            sum += v;
+    });
+    eq.run();
+    EXPECT_EQ(sum, 136u);
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreAccepted)
+{
+    // EventCallback is move-only storage, so move-only captures work
+    // (std::function used to reject these).
+    EventQueue eq;
+    auto value = std::make_unique<int>(41);
+    int seen = 0;
+    eq.schedule(1, [v = std::move(value), &seen] { seen = *v + 1; });
+    eq.run();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, CallbacksSurviveHeapRebalancing)
+{
+    // Heap-fallback callbacks moved through pop/sift cycles must
+    // stay intact (exercises EventCallback's move path).
+    EventQueue eq;
+    std::vector<int> order;
+    std::array<char, 64> big{};
+    for (int i = 63; i >= 0; --i) {
+        big[0] = static_cast<char>(i);
+        eq.schedule(static_cast<Tick>(i), [big, &order] {
+            order.push_back(big[0]);
+        });
+    }
+    eq.run();
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(order[i], i);
 }
 
 TEST(SimObject, KeepsName)
