@@ -1,0 +1,246 @@
+/**
+ * @file
+ * fault_sweep — Monte Carlo fault injection across the four Table I
+ * isolation policies under the multi-tenant serving engine.
+ *
+ * Each sweep point arms a FaultPlan with probability triggers at the
+ * cross-layer sites (DMA transfer errors, Guarder denials, silent
+ * scratchpad bit flips, task hangs) and serves the same tenant mix
+ * with deadlines, bounded retry and the per-tenant circuit breaker
+ * enabled. The plan's Rng seed derives from the job's submission
+ * index only (SweepContext contract), so the whole sweep is
+ * byte-identical at any --jobs thread count.
+ *
+ * What to look for:
+ *  - rate 0: every policy serves exactly its fault-free schedule —
+ *    zero faults observed, zero failures (the injector is armed but
+ *    silent, demonstrating the zero-overhead-when-off contract);
+ *  - rising rates: retries absorb transient faults first; terminal
+ *    failures and timeouts appear as the retry budget saturates, and
+ *    recovery cycles (scrub + window revoke) grow on the critical
+ *    path.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/systems.hh"
+#include "serve/arrivals.hh"
+#include "serve/server.hh"
+#include "sim/fault_injector.hh"
+#include "sim/random.hh"
+#include "sim/sweep_runner.hh"
+#include "workload/model_zoo.hh"
+
+using namespace snpu;
+
+namespace
+{
+
+constexpr std::uint32_t n_cores = 2;
+constexpr std::uint32_t n_requests = 6;
+constexpr std::uint32_t model_scale = 256;
+constexpr std::uint64_t arrival_seed = 11;
+constexpr double offered_load = 0.4;
+
+struct TenantPlan
+{
+    ModelId model;
+    World world;
+};
+
+const std::vector<TenantPlan> plans = {
+    {ModelId::googlenet, World::secure},
+    {ModelId::mobilenet, World::normal},
+    {ModelId::yololite, World::normal},
+    {ModelId::resnet, World::normal},
+};
+
+std::vector<TenantSpec>
+makeTenants(const std::vector<double> &service)
+{
+    std::vector<TenantSpec> tenants(plans.size());
+    for (std::uint32_t t = 0; t < plans.size(); ++t) {
+        TenantSpec &spec = tenants[t];
+        spec.name = std::string(modelName(plans[t].model)) + "_" +
+                    std::to_string(t);
+        spec.task = NpuTask::fromModel(plans[t].model,
+                                       plans[t].world);
+        spec.task.model = spec.task.model.scaled(model_scale);
+        const double gap = meanGapForLoad(
+            offered_load, static_cast<std::uint32_t>(plans.size()),
+            n_cores, service[t]);
+        Rng rng(arrival_seed * 0x9e3779b97f4a7c15ULL + t);
+        spec.arrivals = poissonArrivals(rng, gap, n_requests);
+    }
+    return tenants;
+}
+
+FaultPlan
+makePlan(double rate, std::uint64_t seed)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    const auto arm = [&plan](FaultSite site, double p) {
+        FaultSpec spec;
+        spec.site = site;
+        spec.trigger = FaultTrigger::probability;
+        spec.probability = p;
+        spec.max_fires = 0; // unlimited
+        plan.faults.push_back(spec);
+    };
+    // Per-probe probabilities: the DMA and Guarder sites see
+    // hundreds of probes per request, so headline "rate" is scaled
+    // down per site to keep per-attempt fault odds in a regime
+    // where the retry budget matters (instead of every attempt
+    // dying).
+    arm(FaultSite::dma_transfer, rate);
+    arm(FaultSite::guarder_check, rate / 8.0);
+    arm(FaultSite::spad_bit_flip, rate / 100.0);
+    arm(FaultSite::task_hang, rate / 2.0);
+    return plan;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[i] + 7, nullptr, 10));
+    }
+
+    const SocParams params = makeSystem(SystemKind::snpu);
+
+    SweepRunner runner(SweepOptions{jobs});
+    std::fprintf(stderr, "fault_sweep: %u host threads "
+                         "(--jobs=N or SNPU_JOBS to override)\n",
+                 runner.threads());
+
+    // Unloaded service time per tenant (for the arrival process).
+    std::vector<std::function<double(SweepContext &)>> profile_jobs;
+    profile_jobs.reserve(plans.size());
+    for (const TenantPlan &plan : plans) {
+        profile_jobs.push_back([&params, plan](SweepContext &) {
+            NpuTask task = NpuTask::fromModel(plan.model, plan.world);
+            task.model = task.model.scaled(model_scale);
+            return SnpuServer::profiledServiceCycles(params, task);
+        });
+    }
+    const auto profiled = runner.map<double>(profile_jobs);
+
+    std::vector<double> service;
+    double max_service = 0.0;
+    for (const auto &outcome : profiled) {
+        if (!outcome.ok()) {
+            std::fprintf(stderr, "profiling failed: %s\n",
+                         outcome.status.toString().c_str());
+            return 1;
+        }
+        service.push_back(outcome.value);
+        max_service = std::max(max_service, outcome.value);
+    }
+
+    const std::vector<SchedPolicy> policies = {
+        SchedPolicy::flush_fine, SchedPolicy::flush_coarse,
+        SchedPolicy::partition, SchedPolicy::id_based};
+    const std::vector<double> rates = {0.0, 2.0e-4, 1.0e-3};
+
+    struct Point
+    {
+        ServeResult res;
+        std::uint64_t fires = 0;
+    };
+
+    std::vector<std::function<Point(SweepContext &)>> point_jobs;
+    point_jobs.reserve(policies.size() * rates.size());
+    for (SchedPolicy policy : policies) {
+        for (double rate : rates) {
+            point_jobs.push_back([&params, &service, max_service,
+                                  policy, rate](SweepContext &ctx) {
+                Soc soc(params);
+                ServerConfig cfg;
+                cfg.policy = policy;
+                cfg.num_cores = n_cores;
+                cfg.latency_hist_max = 64.0 * max_service;
+                cfg.latency_hist_buckets = 2048;
+                cfg.fault_injection = true;
+                cfg.fault_plan = makePlan(rate, ctx.seed());
+                cfg.default_deadline = static_cast<Tick>(
+                    48.0 * max_service);
+                cfg.max_retries = 2;
+                cfg.retry_backoff = 500;
+                cfg.quarantine_threshold = 8;
+                SnpuServer server(soc, cfg);
+                Point point;
+                point.res = server.serve(makeTenants(service));
+                point.fires = server.faultInjector()->fireCount();
+                return point;
+            });
+        }
+    }
+    const auto points = runner.map<Point>(point_jobs);
+
+    std::printf("fault_sweep: %zu tenants (1 secure) on %u tiles, "
+                "%u req/tenant, scale=%u, load=%.2f\n"
+                "deadline=48x service, retries=2, backoff=500, "
+                "quarantine after 8 consecutive faults\n\n",
+                plans.size(), n_cores, n_requests, model_scale,
+                offered_load);
+    std::printf("%-13s %7s %6s %5s %5s %5s %5s %4s %5s %10s\n",
+                "policy", "rate", "fires", "done", "fail", "retry",
+                "tmout", "rej", "quar", "recovery");
+
+    bool clean_baseline = true;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+            const auto &point = points[p * rates.size() + ri];
+            if (!point.ok()) {
+                std::fprintf(stderr, "%s at rate %.2f failed: %s\n",
+                             schedPolicyName(policies[p]), rates[ri],
+                             point.status.toString().c_str());
+                return 1;
+            }
+            const ServeResult &res = point.value.res;
+            if (!res.ok()) {
+                std::fprintf(stderr, "%s at rate %.2f failed: %s\n",
+                             schedPolicyName(policies[p]), rates[ri],
+                             res.error().c_str());
+                return 1;
+            }
+            std::uint32_t done = 0, fail = 0, retry = 0, tmout = 0,
+                          rej = 0, quar = 0;
+            for (const TenantReport &rep : res.tenants) {
+                done += rep.completed;
+                fail += rep.failed;
+                retry += rep.retries;
+                tmout += rep.timeouts;
+                rej += rep.rejected;
+                quar += rep.quarantined ? 1 : 0;
+            }
+            if (rates[ri] == 0.0 &&
+                (point.value.fires != 0 || fail != 0))
+                clean_baseline = false;
+            std::printf("%-13s %7.4f %6llu %5u %5u %5u %5u %4u "
+                        "%5u %10llu\n",
+                        schedPolicyName(policies[p]), rates[ri],
+                        static_cast<unsigned long long>(
+                            point.value.fires),
+                        done, fail, retry, tmout, rej, quar,
+                        static_cast<unsigned long long>(
+                            res.recovery_overhead));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("rate-0 baseline %s: armed injector fired nothing "
+                "and nothing failed\n",
+                clean_baseline ? "clean" : "VIOLATED");
+    return clean_baseline ? 0 : 1;
+}

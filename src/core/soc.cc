@@ -137,6 +137,18 @@ Soc::monitor()
     return *npu_monitor;
 }
 
+void
+Soc::armFaults(FaultInjector *inj)
+{
+    for (std::uint32_t i = 0; i < cfg.tiles; ++i)
+        device->core(i).armFaults(inj);
+    for (NpuGuarder *g : guarders)
+        g->armFaults(inj);
+    device->fabric().armFaults(inj);
+    if (npu_monitor)
+        npu_monitor->armFaults(inj);
+}
+
 bool
 Soc::driverSetCoreWorld(std::uint32_t core, World w,
                         const SecureContext &ctx)

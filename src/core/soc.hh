@@ -59,6 +59,14 @@ class Soc
     bool driverSetCoreWorld(std::uint32_t core, World w,
                             const SecureContext &ctx);
 
+    /**
+     * Arm (or disarm with nullptr) a fault injector on every layer:
+     * each core (scratchpads, DMA), each guarder, the NoC fabric,
+     * and the monitor when present. With no injector armed every
+     * hook site is a null-pointer check — zero simulation overhead.
+     */
+    void armFaults(FaultInjector *inj);
+
   private:
     SocParams cfg;
     stats::Group stat_group;

@@ -15,6 +15,8 @@ DmaEngine::DmaEngine(stats::Group &stats, MemSystem &mem,
       bytes_moved(stats, "dma_bytes", "bytes transferred by DMA"),
       denied_requests(stats, "dma_denied",
                       "DMA requests denied by access control"),
+      faulted_requests(stats, "dma_faulted",
+                       "DMA requests failed by injected faults"),
       stall_cycles(stats, "dma_stall",
                    "per-request translation stall cycles")
 {
@@ -28,7 +30,13 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
 {
     ++requests;
     if (req.bytes == 0)
-        return DmaResult{when, true, 0};
+        return DmaResult{when, true, false, 0};
+
+    if (faults &&
+        faults->shouldInject(FaultSite::dma_transfer, when)) {
+        ++faulted_requests;
+        return DmaResult{when, false, true, 0};
+    }
 
     if (buffer && req.op == MemOp::read)
         buffer->assign(req.bytes, 0);
@@ -116,7 +124,7 @@ DmaEngine::transferPerRequest(Tick when, const DmaRequest &req,
                                             req.op, req.world);
     if (!req_xl.ok) {
         ++denied_requests;
-        return DmaResult{when, false, 0};
+        return DmaResult{when, false, false, 0};
     }
 
     DmaResult result;
@@ -172,6 +180,14 @@ DmaEngine::transferBatch(
 
     DmaResult result;
     result.done = when;
+
+    if (faults &&
+        faults->shouldInject(FaultSite::dma_transfer, when)) {
+        ++faulted_requests;
+        result.ok = false;
+        result.fault = true;
+        return result;
+    }
 
     // Per-stream state.
     struct Stream

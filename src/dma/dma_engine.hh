@@ -18,6 +18,7 @@
 
 #include "dma/access_control.hh"
 #include "mem/mem_system.hh"
+#include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -31,6 +32,8 @@ struct DmaResult
     Tick done = 0;
     /** False when the access controller or partition denied it. */
     bool ok = true;
+    /** True when an injected transfer fault (not a denial) failed it. */
+    bool fault = false;
     /** Packets actually issued to memory. */
     std::uint32_t packets = 0;
 };
@@ -84,6 +87,14 @@ class DmaEngine
     void setControl(AccessControl &ctrl) { control = &ctrl; }
     AccessControl &controller() { return *control; }
 
+    /** Arm (or disarm with nullptr) the fault injector. */
+    void armFaults(FaultInjector *inj) { faults = inj; }
+
+    std::uint64_t faultedTransfers() const
+    {
+        return static_cast<std::uint64_t>(faulted_requests.value());
+    }
+
     std::uint64_t totalBytes() const
     {
         return static_cast<std::uint64_t>(bytes_moved.value());
@@ -106,11 +117,13 @@ class DmaEngine
     MemSystem &mem;
     AccessControl *control;
     DmaParams params;
+    FaultInjector *faults = nullptr;
 
     stats::Scalar requests;
     stats::Scalar packets_issued;
     stats::Scalar bytes_moved;
     stats::Scalar denied_requests;
+    stats::Scalar faulted_requests;
     stats::Average stall_cycles;
 };
 

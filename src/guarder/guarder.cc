@@ -59,6 +59,12 @@ NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
     ++checks;
     const Tick ready = when + params.check_latency;
 
+    if (faults &&
+        faults->shouldInject(FaultSite::guarder_check, when)) {
+        ++denials;
+        return Translation{false, 0, ready};
+    }
+
     const TranslationRegister *tr = findTranslation(vaddr, bytes);
     if (!tr) {
         ++denials;

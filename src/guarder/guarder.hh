@@ -29,6 +29,7 @@
 
 #include "dma/access_control.hh"
 #include "mem/address_map.hh"
+#include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 
 namespace snpu
@@ -132,6 +133,13 @@ class NpuGuarder : public AccessControl
         return static_cast<std::uint64_t>(config_violations.value());
     }
 
+    /**
+     * Arm (or disarm with nullptr) the fault injector: an injected
+     * guarder_check fault makes translate() deny the request exactly
+     * like a missing window would.
+     */
+    void armFaults(FaultInjector *inj) { faults = inj; }
+
   private:
     const TranslationRegister *findTranslation(Addr vaddr,
                                                std::uint32_t bytes) const;
@@ -141,6 +149,7 @@ class NpuGuarder : public AccessControl
     GuarderParams params;
     std::vector<CheckingRegister> checking;
     std::vector<TranslationRegister> translation;
+    FaultInjector *faults = nullptr;
 
     stats::Scalar checks;
     stats::Scalar denials;

@@ -32,7 +32,9 @@ NocFabric::NocFabric(stats::Group &stats, Mesh &mesh, NocMode mode)
               "packets rejected by the peephole"),
       handshakes(stats, "noc_auth_handshakes",
                  "peephole authentication round trips"),
-      bytes_moved(stats, "noc_bytes", "payload bytes moved over the NoC")
+      bytes_moved(stats, "noc_bytes", "payload bytes moved over the NoC"),
+      corrupt_drops(stats, "noc_corrupt_drops",
+                    "packets dropped for injected head-flit corruption")
 {
 }
 
@@ -74,11 +76,39 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
     Tick t = when;
     Channel &chan = channels[dst_core];
 
+    // Injected head-flit corruption: the router's CRC on the head
+    // flit fails, so the whole packet is dropped before any body
+    // flit moves. No channel state changes.
+    if (faults &&
+        faults->shouldInject(FaultSite::noc_head_flit, when)) {
+        ++corrupt_drops;
+        result.ok = false;
+        result.corrupted = true;
+        result.done = t;
+        return result;
+    }
+
     if (_mode == NocMode::peephole) {
+        const bool auth_fault =
+            faults &&
+            faults->shouldInject(FaultSite::noc_peephole_auth, when);
         const bool lock_valid =
+            !auth_fault &&
             chan.locked && chan.owner == src_core &&
             chan.identity == identity;
         if (!lock_valid) {
+            if (auth_fault) {
+                // The handshake itself fails: count the round trip,
+                // reject the request at the receive engine.
+                states[src_core] = RouterState::peephole;
+                ++handshakes;
+                ++rejects;
+                states[src_core] = RouterState::idle;
+                result.ok = false;
+                result.auth_failed = true;
+                result.done = mesh.control(t, src_core, dst_core);
+                return result;
+            }
             if (chan.locked) {
                 // Channel held by another source: wait for release is
                 // modeled as an immediate reject — the router refuses

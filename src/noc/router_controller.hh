@@ -18,6 +18,7 @@
 
 #include "noc/flit.hh"
 #include "noc/mesh.hh"
+#include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 #include "spad/scratchpad.hh"
 
@@ -52,6 +53,8 @@ struct NocResult
     bool ok = true;
     /** True when the peephole rejected the request. */
     bool auth_failed = false;
+    /** True when an injected head-flit corruption dropped the packet. */
+    bool corrupted = false;
     std::uint32_t flits = 0;
 };
 
@@ -87,6 +90,19 @@ class NocFabric
     /** Drop all channel locks (between independent tasks). */
     void unlockAll();
 
+    /**
+     * Arm (or disarm with nullptr) the fault injector. Armed sites:
+     * noc_head_flit (packet dropped as corrupt) and
+     * noc_peephole_auth (handshake forced to fail; peephole mode
+     * only).
+     */
+    void armFaults(FaultInjector *inj) { faults = inj; }
+
+    std::uint64_t corruptedPackets() const
+    {
+        return static_cast<std::uint64_t>(corrupt_drops.value());
+    }
+
     RouterState state(std::uint32_t core) const;
 
     std::uint64_t authRejects() const
@@ -111,11 +127,13 @@ class NocFabric
     std::vector<Scratchpad *> spads;
     std::vector<Channel> channels;     //!< per destination core
     std::vector<RouterState> states;
+    FaultInjector *faults = nullptr;
 
     stats::Scalar transfers;
     stats::Scalar rejects;
     stats::Scalar handshakes;
     stats::Scalar bytes_moved;
+    stats::Scalar corrupt_drops;
 };
 
 } // namespace snpu

@@ -73,9 +73,18 @@ NpuCore::attachNoc(NocFabric *fabric, SoftwareNoc *swnoc)
 }
 
 void
-NpuCore::fail(ExecResult &res, const std::string &why)
+NpuCore::armFaults(FaultInjector *inj)
 {
-    res.status = Status::execFailed(why);
+    faults = inj;
+    spad->armFaults(inj);
+    acc->armFaults(inj);
+    dma_engine->armFaults(inj);
+}
+
+void
+NpuCore::fail(ExecResult &res, const std::string &why, StatusCode code)
+{
+    res.status = Status::error(code, why);
     ++res.violations;
     ++sec_violations;
     tracer.emit(0, TraceCategory::security, trace_name, why);
@@ -122,7 +131,13 @@ NpuCore::execLoadBatch(const NpuProgram &program, std::size_t pc,
 
     DmaResult dres = dma_engine->transferBatch(dma_t, reqs, buffers);
     if (!dres.ok) {
-        fail(res, "mvin denied by access control (batched load)");
+        if (dres.fault) {
+            fail(res, "mvin DMA transfer faulted (injected)",
+                 StatusCode::fault_injected);
+        } else {
+            fail(res, "mvin denied by access control (batched load)",
+                 StatusCode::privilege_denied);
+        }
         return 0;
     }
 
@@ -137,7 +152,8 @@ NpuCore::execLoadBatch(const NpuProgram &program, std::size_t pc,
                               params.spad_row_bytes;
             if (spad->write(world, in.spad_row + r, src) !=
                 SpadStatus::ok) {
-                fail(res, "mvin scratchpad write denied");
+                fail(res, "mvin scratchpad write denied",
+                     StatusCode::privilege_denied);
                 return 0;
             }
         }
@@ -170,7 +186,8 @@ NpuCore::execMvout(const Instr &in, Tick &dma_t, Tick mac_t,
             world, in.spad_row + r,
             params.timing_only ? nullptr : acc_row.data());
         if (st != SpadStatus::ok) {
-            fail(res, "mvout accumulator read denied");
+            fail(res, "mvout accumulator read denied",
+                 StatusCode::privilege_denied);
             return false;
         }
         if (params.timing_only)
@@ -197,8 +214,14 @@ NpuCore::execMvout(const Instr &in, Tick &dma_t, Tick mac_t,
     DmaRequest req{in.vaddr, bytes, MemOp::write, world};
     DmaResult dres = dma_engine->transfer(t, req, buf_ptr);
     if (!dres.ok) {
-        fail(res, "mvout denied by access control at va 0x" +
-                      std::to_string(in.vaddr));
+        if (dres.fault) {
+            fail(res, "mvout DMA transfer faulted (injected)",
+                 StatusCode::fault_injected);
+        } else {
+            fail(res, "mvout denied by access control at va 0x" +
+                          std::to_string(in.vaddr),
+                 StatusCode::privilege_denied);
+        }
         return false;
     }
     dma_t = dres.done;
@@ -219,7 +242,8 @@ NpuCore::execPreload(const Instr &in, ExecResult &res)
             world, in.spad_row + r,
             params.timing_only ? nullptr : row.data());
         if (st != SpadStatus::ok) {
-            fail(res, "preload scratchpad read denied");
+            fail(res, "preload scratchpad read denied",
+                 StatusCode::privilege_denied);
             return false;
         }
         if (!params.timing_only) {
@@ -246,7 +270,8 @@ NpuCore::execCompute(const Instr &in, Tick &mac_t, Tick dma_ready,
             world, in.spad_row + r,
             params.timing_only ? nullptr : a_row.data());
         if (st != SpadStatus::ok) {
-            fail(res, "compute activation read denied");
+            fail(res, "compute activation read denied",
+                 StatusCode::privilege_denied);
             return false;
         }
         const std::uint32_t acc_idx = in.spad_row2 + r;
@@ -254,7 +279,8 @@ NpuCore::execCompute(const Instr &in, Tick &mac_t, Tick dma_ready,
             st = acc->read(world, acc_idx,
                            params.timing_only ? nullptr : acc_row.data());
             if (st != SpadStatus::ok) {
-                fail(res, "compute accumulator read denied");
+                fail(res, "compute accumulator read denied",
+                     StatusCode::privilege_denied);
                 return false;
             }
         }
@@ -267,7 +293,8 @@ NpuCore::execCompute(const Instr &in, Tick &mac_t, Tick dma_ready,
         st = acc->write(world, acc_idx,
                         params.timing_only ? nullptr : acc_row.data());
         if (st != SpadStatus::ok) {
-            fail(res, "compute accumulator write denied");
+            fail(res, "compute accumulator write denied",
+                 StatusCode::privilege_denied);
             return false;
         }
     }
@@ -299,8 +326,15 @@ NpuCore::execNocSend(const Instr &in, Tick &t, const ExecOptions &opts,
     nres = noc_fabric->transfer(t, params.core_id, in.peer, in.spad_row,
                                 in.spad_row, in.rows);
     if (!nres.ok) {
-        fail(res, nres.auth_failed ? "NoC peephole rejected the packet"
-                                   : "NoC transfer denied");
+        if (nres.corrupted) {
+            fail(res, "NoC packet dropped: head-flit corruption",
+                 StatusCode::degraded);
+        } else if (nres.auth_failed) {
+            fail(res, "NoC peephole rejected the packet",
+                 StatusCode::verification_failed);
+        } else {
+            fail(res, "NoC transfer denied");
+        }
         return false;
     }
     t = nres.done;
@@ -314,6 +348,18 @@ NpuCore::run(Tick start, const NpuProgram &program,
     ++programs_run;
     ExecResult res;
     res.start = start;
+
+    // An injected hang: the program never retires. The core reports
+    // timeout with end == start; the caller's watchdog charges the
+    // wall-clock cost of discovering it.
+    if (faults && faults->shouldInject(FaultSite::task_hang, start)) {
+        res.end = start;
+        res.status = Status::timeout("injected task hang: program "
+                                     "never retired");
+        return res;
+    }
+    const std::uint64_t corrupt_before =
+        faults ? spad->corruptions() + acc->corruptions() : 0;
 
     Tick dma_t = start;     // DMA pipeline cursor
     Tick dma_ready = start; // completion of the latest load
@@ -394,7 +440,8 @@ NpuCore::run(Tick start, const NpuProgram &program,
           case Opcode::sec_set_id:
             if (!in.privileged) {
                 fail(res,
-                     "sec_set_id from unprivileged context rejected");
+                     "sec_set_id from unprivileged context rejected",
+                     StatusCode::privilege_denied);
                 ok = false;
             } else {
                 world = in.world;
@@ -402,7 +449,8 @@ NpuCore::run(Tick start, const NpuProgram &program,
             break;
           case Opcode::sec_reset_spad:
             if (!spad->secureReset(in.spad_row, in.rows, in.privileged)) {
-                fail(res, "sec_reset_spad rejected");
+                fail(res, "sec_reset_spad rejected",
+                     StatusCode::privilege_denied);
                 ok = false;
             }
             break;
@@ -461,6 +509,19 @@ NpuCore::run(Tick start, const NpuProgram &program,
     res.end = std::max(dma_t, mac_t);
     if (state)
         *state = ExecState{dma_t, dma_ready, mac_t};
+
+    // End-to-end output integrity check: if a wordline was silently
+    // corrupted while this program ran, the result retires on time
+    // but its output cannot be trusted.
+    if (faults && res.ok()) {
+        const std::uint64_t delta =
+            spad->corruptions() + acc->corruptions() - corrupt_before;
+        if (delta > 0) {
+            res.status = Status::degraded(
+                "output integrity check failed: " +
+                std::to_string(delta) + " corrupted wordline(s)");
+        }
+    }
     return res;
 }
 

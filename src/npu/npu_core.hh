@@ -128,6 +128,15 @@ class NpuCore
     void attachTrace(TraceSink *sink);
 
     /**
+     * Arm (or disarm with nullptr) the fault injector on this core
+     * and its subordinate engines (scratchpads, DMA). The core itself
+     * probes task_hang at run() entry and checks the scratchpads'
+     * corruption counters at run() exit, downgrading a silently
+     * corrupted result to StatusCode::degraded.
+     */
+    void armFaults(FaultInjector *inj);
+
+    /**
      * Execute @p program starting at @p start. When @p state is
      * non-null the pipeline cursors resume from it and are written
      * back, preserving load/compute overlap across split programs.
@@ -155,7 +164,8 @@ class NpuCore
                      ExecResult &res);
     bool execNocSend(const Instr &in, Tick &t, const ExecOptions &opts,
                      ExecResult &res);
-    void fail(ExecResult &res, const std::string &why);
+    void fail(ExecResult &res, const std::string &why,
+              StatusCode code = StatusCode::exec_failed);
 
     NpuCoreParams params;
     MemSystem &mem;
@@ -168,6 +178,7 @@ class NpuCore
     std::unique_ptr<FlushEngine> flush_engine;
     NocFabric *noc_fabric = nullptr;
     SoftwareNoc *software_noc = nullptr;
+    FaultInjector *faults = nullptr;
 
     Activation activation = Activation::none;
     Tracer tracer;

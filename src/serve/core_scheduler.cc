@@ -24,6 +24,7 @@ struct CompiledStream
     World world = World::normal;
     int priority = 0;
     std::int32_t pinned_core = -1;
+    Tick deadline = 0;
 };
 
 CompiledStream
@@ -65,7 +66,12 @@ struct Request
     Tick arrival = 0;
     std::size_t next_seg = 0;
     std::int32_t core = -1; //!< tile it was dispatched to; -1 = none
+    Tick ready = 0;         //!< earliest dispatchable tick (retries)
+    std::uint32_t attempts = 0;
 };
+
+/** Watchdog grace for hung requests on deadline-free streams. */
+constexpr Tick hang_grace = 50000;
 
 } // namespace
 
@@ -121,6 +127,7 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         compiled.push_back(compileSegments(soc, streams[s].task, rows,
                                            base, cursor));
         compiled.back().pinned_core = streams[s].pinned_core;
+        compiled.back().deadline = streams[s].deadline;
         if (streams[s].pinned_core >= 0 &&
             static_cast<std::uint32_t>(streams[s].pinned_core) >=
                 num_cores) {
@@ -158,7 +165,8 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         for (std::uint32_t i = 0;
              i < streams[s].arrivals.size(); ++i) {
             requests.push_back(
-                Request{s, i, streams[s].arrivals[i], 0, -1});
+                Request{s, i, streams[s].arrivals[i], 0, -1,
+                        streams[s].arrivals[i], 0});
         }
     }
     std::stable_sort(requests.begin(), requests.end(),
@@ -236,6 +244,60 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         provision(next, core);
     };
 
+    // One request attempt failed on @p core. Scrub the tile (no
+    // residue of the faulted context may survive into the next
+    // tenant's slot), unbind the request, and ask the fail hook
+    // whether to retry it. Without a hook the failure is terminal.
+    auto failRequest = [&](std::uint32_t core, std::size_t pick,
+                           Status why) {
+        Request &req = requests[pick];
+        const CompiledStream &st = compiled[req.stream];
+
+        auto wit = std::find(waiting.begin(), waiting.end(), pick);
+        if (wit != waiting.end())
+            waiting.erase(wit);
+        auto iit = std::find(inprog[core].begin(), inprog[core].end(),
+                             pick);
+        if (iit != inprog[core].end())
+            inprog[core].erase(iit);
+
+        if (req.core >= 0) {
+            // Post-fault hygiene: zero the rows the faulted context
+            // could have touched and revoke its guarder windows
+            // before any other tenant reuses the slot. Charged at
+            // one cycle per scrubbed wordline.
+            const Tick t0 = clock[core];
+            NpuCore &tile = soc.npu().core(core);
+            tile.scratchpad().secureReset(0, st.live_rows, true);
+            if (soc.hasGuarder())
+                soc.guarder(core).clearAll(true);
+            clock[core] += st.live_rows;
+            result.recovery_overhead += clock[core] - t0;
+            running[core] = -1;
+            segs_since_switch[core] = 0;
+        }
+        req.core = -1;
+        req.next_seg = 0;
+        ++req.attempts;
+
+        StreamOutcome &out = result.streams[req.stream];
+        Tick retry_at = sched_no_retry;
+        if (hooks.fail) {
+            retry_at = hooks.fail(req.stream, req.instance,
+                                  clock[core], why, req.attempts);
+        }
+        if (retry_at == sched_no_retry) {
+            ++out.failed;
+            if (why.code() == StatusCode::timeout)
+                ++out.timeouts;
+            --open;
+        } else {
+            ++out.retries;
+            req.ready = std::max(clock[core], retry_at);
+            waiting.push_back(pick);
+        }
+    };
+
     while (open > 0) {
         // The tile furthest behind in simulated time acts next, so
         // the shared memory system advances roughly in time order.
@@ -259,6 +321,8 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         // waiting request it may take.
         std::vector<std::size_t> cands = inprog[core];
         for (std::size_t w : waiting) {
+            if (requests[w].ready > clock[core])
+                continue; // backed-off retry, not ready yet
             const std::int32_t pin =
                 compiled[requests[w].stream].pinned_core;
             if (pin < 0 || static_cast<std::uint32_t>(pin) == core)
@@ -266,22 +330,30 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         }
 
         if (cands.empty()) {
-            // Idle until the next arrival this tile could serve.
-            Tick next_arrival = no_tick;
+            // Idle until the next arrival or retry-ready time this
+            // tile could serve.
+            Tick wake = no_tick;
             for (std::size_t i = admit_idx; i < requests.size();
                  ++i) {
                 const std::int32_t pin =
                     compiled[requests[i].stream].pinned_core;
                 if (pin < 0 ||
                     static_cast<std::uint32_t>(pin) == core) {
-                    next_arrival = requests[i].arrival;
+                    wake = requests[i].arrival;
                     break;
                 }
             }
-            if (next_arrival == no_tick) {
+            for (std::size_t w : waiting) {
+                const std::int32_t pin =
+                    compiled[requests[w].stream].pinned_core;
+                if (pin < 0 ||
+                    static_cast<std::uint32_t>(pin) == core)
+                    wake = std::min(wake, requests[w].ready);
+            }
+            if (wake == no_tick) {
                 active[core] = false;
             } else {
-                clock[core] = std::max(clock[core], next_arrival);
+                clock[core] = std::max(clock[core], wake);
             }
             continue;
         }
@@ -321,6 +393,18 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         }
 
         Request &req = requests[pick];
+        const Tick req_deadline = compiled[req.stream].deadline;
+
+        // Deadline watchdog: a request found past its deadline at a
+        // scheduling point is failed, not run.
+        if (req_deadline > 0 &&
+            clock[core] > req.arrival + req_deadline) {
+            failRequest(core, pick,
+                        Status::timeout("deadline expired before "
+                                        "segment dispatch"));
+            continue;
+        }
+
         if (req.core < 0) {
             // Dispatch: bind to this tile, pay the monitor path.
             req.core = static_cast<int>(core);
@@ -334,6 +418,14 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
                 clock[core] += extra;
                 result.dispatch_overhead += extra;
             }
+            if (hooks.dispatch_check) {
+                Status verdict = hooks.dispatch_check(
+                    req.stream, req.instance, clock[core]);
+                if (!verdict.isOk()) {
+                    failRequest(core, pick, std::move(verdict));
+                    continue;
+                }
+            }
         }
 
         contextSwitch(core, req.stream);
@@ -344,8 +436,23 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         ExecResult exec = soc.npu().core(core).run(
             clock[core], st.segments[req.next_seg], eo);
         if (!exec.ok()) {
-            result.status = exec.status;
-            return result;
+            if (!hooks.fail) {
+                // Legacy contract: without a recovery hook the first
+                // execution failure aborts the whole schedule.
+                result.status = exec.status;
+                return result;
+            }
+            if (exec.status.code() == StatusCode::timeout) {
+                // Hung task: the core never retires the program. The
+                // watchdog discovers it at the deadline (or after a
+                // fixed grace period) — wall-clock is lost either way.
+                const Tick found =
+                    req_deadline > 0 ? req.arrival + req_deadline
+                                     : clock[core] + hang_grace;
+                clock[core] = std::max(clock[core], found);
+            }
+            failRequest(core, pick, exec.status);
+            continue;
         }
         clock[core] = exec.end;
         executed[core] = true;

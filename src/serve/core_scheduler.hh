@@ -52,6 +52,13 @@ struct ExecStream
     std::vector<Tick> arrivals;
     /** Tile the stream is pinned to; -1 = any tile. */
     std::int32_t pinned_core = -1;
+    /**
+     * Per-request deadline, in cycles after arrival; 0 disables. A
+     * request found past its deadline at a scheduling point fails
+     * with StatusCode::timeout, and a hung request is discovered by
+     * the watchdog at arrival + deadline.
+     */
+    Tick deadline = 0;
 };
 
 /**
@@ -77,7 +84,30 @@ struct SchedHooks
     std::function<void(std::uint32_t stream, std::uint32_t instance,
                        Tick now)>
         complete;
+    /**
+     * Called right after dispatch binding; a non-ok Status fails the
+     * request before it executes. The serving engine routes monitor
+     * verification/allocation outcomes through this.
+     */
+    std::function<Status(std::uint32_t stream, std::uint32_t instance,
+                         Tick now)>
+        dispatch_check;
+    /**
+     * Called when a request attempt fails (execution error, expired
+     * deadline, hang). @p attempts counts attempts so far (>= 1).
+     * Return the earliest tick the request may be retried at, or
+     * sched_no_retry to fail it terminally. Without this hook the
+     * scheduler keeps its legacy behaviour: the first execution
+     * failure aborts the whole run.
+     */
+    std::function<Tick(std::uint32_t stream, std::uint32_t instance,
+                       Tick now, const Status &why,
+                       std::uint32_t attempts)>
+        fail;
 };
+
+/** Sentinel returned by SchedHooks::fail: do not retry. */
+constexpr Tick sched_no_retry = ~Tick{0};
 
 /** Per-stream schedule outcome. */
 struct StreamOutcome
@@ -90,6 +120,12 @@ struct StreamOutcome
     double mean_latency = 0.0;
     std::uint32_t completed = 0;
     std::uint32_t rejected = 0;
+    /** Requests that failed terminally (after any retries). */
+    std::uint32_t failed = 0;
+    /** Retry attempts granted by the fail hook. */
+    std::uint32_t retries = 0;
+    /** Terminal failures whose Status was StatusCode::timeout. */
+    std::uint32_t timeouts = 0;
 };
 
 /** Whole-schedule outcome across all streams and tiles. */
@@ -103,6 +139,8 @@ struct NSchedResult : ExecOutcome
     Tick flush_overhead = 0;
     /** Cycles charged through the dispatch hook (monitor path). */
     Tick dispatch_overhead = 0;
+    /** Cycles spent on post-fault hygiene (scrub + window revoke). */
+    Tick recovery_overhead = 0;
     std::vector<StreamOutcome> streams;
 };
 

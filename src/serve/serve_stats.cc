@@ -10,6 +10,16 @@ TenantStats::TenantStats(stats::Group &group,
                 "requests served to completion"),
       rejected(group, "serve_" + tenant + "_rejected",
                "requests dropped at admission"),
+      failed(group, "serve_" + tenant + "_failed",
+             "requests failed terminally"),
+      retries(group, "serve_" + tenant + "_retries",
+              "retry attempts granted"),
+      timeouts(group, "serve_" + tenant + "_timeouts",
+               "terminal failures from deadlines or hangs"),
+      faults_observed(group, "serve_" + tenant + "_faults",
+                      "failed attempts observed"),
+      quarantines(group, "serve_" + tenant + "_quarantines",
+                  "circuit-breaker trips"),
       monitor_cycles(group, "serve_" + tenant + "_monitor_cycles",
                      "modeled NPU-Monitor cycles"),
       queue_depth(group, "serve_" + tenant + "_queue_depth",

@@ -28,6 +28,16 @@ struct TenantStats
 
     stats::Scalar completed;
     stats::Scalar rejected;
+    /** Requests that failed terminally (retry budget exhausted). */
+    stats::Scalar failed;
+    /** Retry attempts granted after a retryable failure. */
+    stats::Scalar retries;
+    /** Terminal failures caused by an expired deadline or a hang. */
+    stats::Scalar timeouts;
+    /** Failed attempts observed (every fail-hook invocation). */
+    stats::Scalar faults_observed;
+    /** Circuit-breaker trips (0 or 1 per serving window). */
+    stats::Scalar quarantines;
     /** Modeled NPU-Monitor cycles charged to this tenant. */
     stats::Scalar monitor_cycles;
     /** Admission-queue depth, sampled at each arrival. */

@@ -134,24 +134,54 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         }
     }
 
+    // Fault injection is opt-in: without it no injector exists and
+    // every hook site in the stack stays a null-pointer check.
+    if (cfg.fault_injection) {
+        injector = std::make_unique<FaultInjector>(cfg.fault_plan);
+        soc.armFaults(injector.get());
+    }
+
     std::vector<ExecStream> streams;
     streams.reserve(ntenants);
     for (const TenantSpec &t : tenants) {
         ExecStream stream;
         stream.task = t.task;
         stream.arrivals = t.arrivals;
+        stream.deadline =
+            t.deadline ? t.deadline : cfg.default_deadline;
         streams.push_back(std::move(stream));
     }
 
     std::vector<std::uint32_t> depth(ntenants, 0);
     std::vector<std::uint32_t> peak(ntenants, 0);
+    std::vector<std::uint32_t> consecutive(ntenants, 0);
+    std::vector<bool> quarantined(ntenants, false);
     std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
         queued; // (tenant, instance) -> monitor task id
+
+    // A secure request leaves the monitor queue when it terminally
+    // fails, exactly as on completion.
+    auto dropFromMonitor = [&](std::uint32_t s, std::uint32_t i) {
+        const auto it = queued.find({s, i});
+        if (it == queued.end())
+            return;
+        SecureTask *task = soc.monitor().queue().find(it->second);
+        if (task != nullptr)
+            task->state = SecureTaskState::rejected;
+        soc.monitor().queue().retire();
+        queued.erase(it);
+    };
 
     SchedHooks hooks;
     hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick) {
         TenantStats &ts = stats_.tenant(s);
         ts.queue_depth.sample(depth[s]);
+        if (quarantined[s]) {
+            // The circuit breaker is open: fail fast at admission,
+            // spending no NPU or monitor resources on this tenant.
+            ++ts.rejected;
+            return false;
+        }
         if (depth[s] >= tenants[s].queue_capacity) {
             ++ts.rejected;
             return false;
@@ -188,6 +218,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             now - tenants[s].arrivals[i]));
         if (depth[s] > 0)
             --depth[s];
+        consecutive[s] = 0; // a success closes the breaker window
         const auto it = queued.find({s, i});
         if (it != queued.end()) {
             SecureTask *task =
@@ -198,10 +229,66 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             queued.erase(it);
         }
     };
+    hooks.dispatch_check = [&](std::uint32_t s, std::uint32_t,
+                               Tick now) -> Status {
+        // The serving path models the monitor launch as a cost, so
+        // the monitor's own fault sites are probed here, where a
+        // real launchNext() would verify and allocate.
+        if (!injector || tenants[s].task.world != World::secure)
+            return Status::ok();
+        if (injector->shouldInject(FaultSite::monitor_verify, now)) {
+            return Status::verificationFailed(
+                "monitor: code measurement mismatch (injected)");
+        }
+        if (injector->shouldInject(FaultSite::monitor_alloc, now)) {
+            return Status::resourceExhausted(
+                "monitor: secure memory exhausted (injected)");
+        }
+        return Status::ok();
+    };
+    auto retryable = [](StatusCode c) {
+        // Transient by construction: an injected transfer error, a
+        // corrupted-output retry, or a momentarily full allocator.
+        // Denials, failed verification and expired deadlines are
+        // terminal — retrying cannot change the verdict.
+        return c == StatusCode::fault_injected ||
+               c == StatusCode::degraded ||
+               c == StatusCode::resource_exhausted;
+    };
+    hooks.fail = [&](std::uint32_t s, std::uint32_t i, Tick now,
+                     const Status &why,
+                     std::uint32_t attempts) -> Tick {
+        TenantStats &ts = stats_.tenant(s);
+        ++ts.faults_observed;
+        const bool breaker_open =
+            cfg.quarantine_threshold > 0 &&
+            ++consecutive[s] >= cfg.quarantine_threshold;
+        if (!breaker_open && retryable(why.code()) &&
+            attempts <= cfg.max_retries) {
+            ++ts.retries;
+            return now + (cfg.retry_backoff << (attempts - 1));
+        }
+        // Terminal: release the tenant's slot and monitor entry.
+        ++ts.failed;
+        if (why.code() == StatusCode::timeout)
+            ++ts.timeouts;
+        if (depth[s] > 0)
+            --depth[s];
+        dropFromMonitor(s, i);
+        if (breaker_open && !quarantined[s]) {
+            quarantined[s] = true;
+            ++ts.quarantines;
+        }
+        return sched_no_retry;
+    };
 
     NCoreScheduler sched(soc, cfg.policy, cfg.num_cores,
                          cfg.coarse_interval);
     NSchedResult nres = sched.run(streams, hooks);
+
+    // Leave the SoC clean: the injector dies with this server.
+    if (injector)
+        soc.armFaults(nullptr);
 
     result.status = nres.status;
     if (!nres.ok())
@@ -212,6 +299,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     result.utilization = nres.utilization;
     result.flush_overhead = nres.flush_overhead;
     result.monitor_overhead = nres.dispatch_overhead;
+    result.recovery_overhead = nres.recovery_overhead;
 
     result.tenants.resize(ntenants);
     for (std::uint32_t s = 0; s < ntenants; ++s) {
@@ -234,6 +322,12 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         rep.monitor_cycles =
             static_cast<Tick>(ts.monitor_cycles.value());
         rep.peak_queue_depth = peak[s];
+        rep.failed = out.failed;
+        rep.retries = out.retries;
+        rep.timeouts = out.timeouts;
+        rep.faults_observed =
+            static_cast<std::uint32_t>(ts.faults_observed.value());
+        rep.quarantined = quarantined[s];
     }
     return result;
 }

@@ -29,6 +29,7 @@
 #define SNPU_SERVE_SERVER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,7 @@
 #include "core/task.hh"
 #include "serve/core_scheduler.hh"
 #include "serve/serve_stats.hh"
+#include "sim/fault_injector.hh"
 
 namespace snpu
 {
@@ -50,6 +52,11 @@ struct TenantSpec
     std::vector<Tick> arrivals;
     /** Max requests admitted but not yet completed. */
     std::uint32_t queue_capacity = 8;
+    /**
+     * Per-request deadline in cycles after arrival; 0 inherits
+     * ServerConfig::default_deadline (and 0 there disables).
+     */
+    Tick deadline = 0;
 };
 
 /** Per-tenant serving outcome, extracted from the tenant's stats. */
@@ -68,6 +75,16 @@ struct TenantReport
     /** Modeled NPU-Monitor cycles charged to this tenant. */
     Tick monitor_cycles = 0;
     std::uint32_t peak_queue_depth = 0;
+    /** Requests failed terminally (after any retries). */
+    std::uint32_t failed = 0;
+    /** Retry attempts granted by the recovery policy. */
+    std::uint32_t retries = 0;
+    /** Terminal failures from expired deadlines or hangs. */
+    std::uint32_t timeouts = 0;
+    /** Failed attempts observed (pre-retry). */
+    std::uint32_t faults_observed = 0;
+    /** True when the circuit breaker quarantined the tenant. */
+    bool quarantined = false;
 };
 
 /** Whole-window serving outcome. */
@@ -79,6 +96,8 @@ struct ServeResult : ExecOutcome
     Tick flush_overhead = 0;
     /** Total modeled NPU-Monitor cycles across secure tenants. */
     Tick monitor_overhead = 0;
+    /** Cycles spent on post-fault hygiene (scrub + window revoke). */
+    Tick recovery_overhead = 0;
     std::vector<TenantReport> tenants;
 };
 
@@ -92,6 +111,26 @@ struct ServerConfig
     /** Latency histogram range/resolution (cycles). */
     double latency_hist_max = 4.0e6;
     std::size_t latency_hist_buckets = 256;
+
+    /**
+     * Arm a FaultInjector with this plan for the serving window.
+     * With injection off (default) no injector exists and every
+     * hook site is a null-pointer check — measurably zero overhead.
+     */
+    bool fault_injection = false;
+    FaultPlan fault_plan{};
+
+    /** Deadline for tenants that do not set one; 0 disables. */
+    Tick default_deadline = 0;
+    /** Retry budget per request for retryable failures. */
+    std::uint32_t max_retries = 2;
+    /** Base retry backoff; attempt k waits backoff << (k-1). */
+    Tick retry_backoff = 500;
+    /**
+     * Consecutive failed attempts (across a tenant's requests)
+     * before the circuit breaker quarantines it. 0 disables.
+     */
+    std::uint32_t quarantine_threshold = 0;
 };
 
 /** The serving engine. */
@@ -110,6 +149,16 @@ class SnpuServer
 
     /** The per-tenant stat families (valid after serve()). */
     const ServeStats &tenantStats() const { return stats_; }
+
+    /**
+     * The armed fault injector (nullptr unless
+     * ServerConfig::fault_injection; valid after serve() for
+     * inspecting the fired-fault log).
+     */
+    const FaultInjector *faultInjector() const
+    {
+        return injector.get();
+    }
 
     /**
      * Ideal service cycles of one request of @p task on a
@@ -132,6 +181,7 @@ class SnpuServer
     Soc &soc;
     ServerConfig cfg;
     ServeStats stats_;
+    std::unique_ptr<FaultInjector> injector;
     bool served = false;
 };
 

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic cross-layer fault injection. The paper's security
+ * story is that the Guarder / Isolator / Monitor *detect and contain*
+ * violations; this framework turns "mechanism fired" from a scripted
+ * attack into a schedulable, recoverable event so the serving stack's
+ * degradation under faults is testable.
+ *
+ * Subsystems expose named fault sites (a null-checked pointer probe
+ * on the hot path — zero behavioural overhead when disarmed). A
+ * FaultPlan arms a set of (site, trigger, budget) specs:
+ *
+ *  - nth:         fire on the Nth arming occurrence of the site
+ *                 (1-based), deterministic by construction;
+ *  - tick_window: fire on every occurrence whose tick falls inside
+ *                 [begin, end); sites without a timebase (e.g. a raw
+ *                 scratchpad access) report tick 0 and never match;
+ *  - probability: fire per occurrence with probability p, drawn from
+ *                 an Rng seeded only by the plan seed — under the
+ *                 sweep runner the plan seed derives from the job's
+ *                 submission index, so a Monte Carlo fault sweep is
+ *                 bit-identical at any host thread count.
+ *
+ * The injector is single-simulation state, exactly like the
+ * EventQueue: one injector per SoC, never shared across sweep jobs.
+ */
+
+#ifndef SNPU_SIM_FAULT_INJECTOR_HH
+#define SNPU_SIM_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace snpu
+{
+
+/** Where a fault can be injected. */
+enum class FaultSite : std::uint8_t
+{
+    /** DMA engine: the transfer errors out mid-flight. */
+    dma_transfer,
+    /** Guarder: a translation/permission check denies the request. */
+    guarder_check,
+    /** NoC: head-flit corruption drops the packet. */
+    noc_head_flit,
+    /** NoC: the peephole authentication handshake fails. */
+    noc_peephole_auth,
+    /** Scratchpad: a read sees a mismatched wordline ID. */
+    spad_id_mismatch,
+    /** Scratchpad: a stored row takes a bit flip (silent corruption). */
+    spad_bit_flip,
+    /** Monitor: code/model verification fails at dispatch. */
+    monitor_verify,
+    /** Monitor: trusted allocation fails at dispatch. */
+    monitor_alloc,
+    /** NPU: a dispatched task hangs until the watchdog fires. */
+    task_hang,
+};
+
+constexpr std::size_t fault_site_count = 9;
+
+const char *faultSiteName(FaultSite site);
+
+/** When an armed site actually fires. */
+enum class FaultTrigger : std::uint8_t
+{
+    nth,
+    tick_window,
+    probability,
+};
+
+/** One armed fault. */
+struct FaultSpec
+{
+    FaultSite site = FaultSite::dma_transfer;
+    FaultTrigger trigger = FaultTrigger::nth;
+    /** nth: 1-based occurrence that fires. */
+    std::uint64_t nth = 1;
+    /** tick_window: fire while begin <= tick < end. */
+    Tick window_begin = 0;
+    Tick window_end = std::numeric_limits<Tick>::max();
+    /** probability: per-occurrence chance of firing. */
+    double probability = 0.0;
+    /** Total fires allowed for this spec; 0 = unlimited. */
+    std::uint32_t max_fires = 1;
+};
+
+/** A deterministic fault schedule for one simulation. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+    /** Seeds the probability-trigger Rng (job seed under a sweep). */
+    std::uint64_t seed = 0x5eedfa17ULL;
+};
+
+/** One fault that fired (the injection log). */
+struct FaultRecord
+{
+    FaultSite site;
+    Tick tick;
+    /** Arming occurrence number (1-based) at which it fired. */
+    std::uint64_t occurrence;
+};
+
+/**
+ * The injector. Subsystems call shouldInject(site, now) at each
+ * armed site; the call counts one occurrence of the site and reports
+ * whether any spec fires there. Occurrence counting and Rng draws
+ * happen in simulation call order, which is deterministic, so the
+ * same plan always faults the same operations.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan = {});
+
+    /**
+     * Probe a site at simulated time @p now. Sites with no natural
+     * timebase pass 0 (tick-window triggers then never match them).
+     */
+    bool shouldInject(FaultSite site, Tick now);
+
+    /** Occurrences probed so far at @p site (fired or not). */
+    std::uint64_t occurrences(FaultSite site) const;
+
+    /** Every fault that fired, in firing order. */
+    const std::vector<FaultRecord> &fired() const { return log; }
+
+    /** Total fires across all sites. */
+    std::uint64_t fireCount() const { return log.size(); }
+
+    /** Forget all occurrence counts and the log; keep the plan. */
+    void reset();
+
+    const FaultPlan &plan() const { return _plan; }
+
+  private:
+    FaultPlan _plan;
+    Rng rng;
+    std::array<std::uint64_t, fault_site_count> counts{};
+    std::vector<std::uint32_t> fires_per_spec;
+    std::vector<FaultRecord> log;
+};
+
+} // namespace snpu
+
+#endif // SNPU_SIM_FAULT_INJECTOR_HH

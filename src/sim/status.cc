@@ -25,6 +25,12 @@ statusCodeName(StatusCode code)
         return "exec_failed";
       case StatusCode::internal:
         return "internal";
+      case StatusCode::timeout:
+        return "timeout";
+      case StatusCode::fault_injected:
+        return "fault_injected";
+      case StatusCode::degraded:
+        return "degraded";
     }
     return "?";
 }

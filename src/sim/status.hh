@@ -9,6 +9,7 @@
 #ifndef SNPU_SIM_STATUS_HH
 #define SNPU_SIM_STATUS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -28,7 +29,13 @@ enum class StatusCode : std::uint8_t
     resource_exhausted,   //!< queue full, no rows, no buffer
     exec_failed,          //!< the NPU pipeline reported an error
     internal,             //!< invariant broke; result unusable
+    timeout,              //!< deadline expired / watchdog fired
+    fault_injected,       //!< an armed fault site fired mid-flight
+    degraded,             //!< completed but integrity-degraded output
 };
+
+/** Number of StatusCode values (codes are dense from 0). */
+constexpr std::size_t status_code_count = 12;
 
 const char *statusCodeName(StatusCode code);
 
@@ -67,6 +74,12 @@ class Status
     { return error(StatusCode::exec_failed, std::move(m)); }
     static Status internal(std::string m)
     { return error(StatusCode::internal, std::move(m)); }
+    static Status timeout(std::string m)
+    { return error(StatusCode::timeout, std::move(m)); }
+    static Status faultInjected(std::string m)
+    { return error(StatusCode::fault_injected, std::move(m)); }
+    static Status degraded(std::string m)
+    { return error(StatusCode::degraded, std::move(m)); }
 
     StatusCode code() const { return _code; }
     const std::string &message() const { return _message; }

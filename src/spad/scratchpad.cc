@@ -14,7 +14,9 @@ Scratchpad::Scratchpad(stats::Group &stats, SpadParams params)
       reads(stats, "spad_reads", "scratchpad row reads"),
       writes(stats, "spad_writes", "scratchpad row writes"),
       denied(stats, "spad_denied", "scratchpad accesses denied"),
-      id_flips(stats, "spad_id_flips", "wordline ID state transitions")
+      id_flips(stats, "spad_id_flips", "wordline ID state transitions"),
+      corrupted(stats, "spad_corruptions",
+                "bits flipped by injected wordline faults")
 {
     if (params.rows == 0 || params.row_bytes == 0)
         fatal("scratchpad needs nonzero geometry");
@@ -37,6 +39,21 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
     if (row >= params.rows)
         return SpadStatus::bad_index;
     ++reads;
+
+    if (faults) {
+        if (faults->shouldInject(FaultSite::spad_id_mismatch, 0)) {
+            // The wordline's ID bit misreads, so the comparator
+            // denies the access regardless of the real owner.
+            ++denied;
+            return SpadStatus::security_violation;
+        }
+        if (faults->shouldInject(FaultSite::spad_bit_flip, 0)) {
+            // Flip the low bit of the row's first byte in place:
+            // the corruption persists and is silent to the reader.
+            data[static_cast<std::size_t>(row) * params.row_bytes] ^= 1;
+            ++corrupted;
+        }
+    }
 
     switch (params.mode) {
       case IsolationMode::none:

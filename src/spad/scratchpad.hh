@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -123,17 +124,34 @@ class Scratchpad
     const std::uint8_t *rawRow(std::uint32_t row) const;
     void rawSetId(std::uint32_t row, World w);
 
+    /**
+     * Arm (or disarm with nullptr) the fault injector. Armed sites:
+     * spad_id_mismatch (a read is denied as if the wordline ID did
+     * not match) and spad_bit_flip (one bit of the stored row is
+     * flipped before the read copies it out — silent corruption).
+     * The scratchpad has no timebase, so both probe with tick 0.
+     */
+    void armFaults(FaultInjector *inj) { faults = inj; }
+
+    /** Bits flipped by injected spad_bit_flip faults. */
+    std::uint64_t corruptions() const
+    {
+        return static_cast<std::uint64_t>(corrupted.value());
+    }
+
   private:
     bool partitionAllows(World w, std::uint32_t row) const;
 
     SpadParams params;
     std::vector<std::uint8_t> data;   // rows * row_bytes
     std::vector<World> id_state;      // per row
+    FaultInjector *faults = nullptr;
 
     stats::Scalar reads;
     stats::Scalar writes;
     stats::Scalar denied;
     stats::Scalar id_flips;
+    stats::Scalar corrupted;
 };
 
 } // namespace snpu

@@ -80,6 +80,12 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     }
 
     // 1. Code measurement.
+    if (faults &&
+        faults->shouldInject(FaultSite::monitor_verify, 0)) {
+        return reject(*task, Status::verificationFailed(
+                                 "code measurement mismatch "
+                                 "(injected verifier fault)"));
+    }
     if (!code_verifier.verifyCode(task->program,
                                   task->expected_measurement)) {
         return reject(*task, Status::verificationFailed(
@@ -107,6 +113,18 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
         task->model_paddr = model_paddr;
     }
     task->state = SecureTaskState::verified;
+
+    // Injected allocator fault: the trusted allocator reports
+    // exhaustion even though capacity exists. Retryable — the next
+    // attempt may find the allocator healthy again.
+    if (faults &&
+        faults->shouldInject(FaultSite::monitor_alloc, 0)) {
+        if (model_paddr)
+            trusted_alloc.free(model_paddr);
+        return reject(*task, Status::resourceExhausted(
+                                 "secure memory exhausted "
+                                 "(injected allocator fault)"));
+    }
 
     // 3. Route integrity.
     const RouteCheckError route =

@@ -28,6 +28,7 @@
 
 #include "mem/mem_system.hh"
 #include "npu/npu_device.hh"
+#include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 #include "sim/status.hh"
 #include "tee/monitor/code_verifier.hh"
@@ -94,6 +95,14 @@ class NpuMonitor
         return static_cast<std::uint64_t>(rejected.value());
     }
 
+    /**
+     * Arm (or disarm with nullptr) the fault injector. Armed sites:
+     * monitor_verify (the code measurement spuriously mismatches)
+     * and monitor_alloc (the trusted allocator reports exhaustion).
+     * The monitor has no timebase, so both probe with tick 0.
+     */
+    void armFaults(FaultInjector *inj) { faults = inj; }
+
   private:
     LaunchResult reject(SecureTask &task, Status why);
 
@@ -108,6 +117,7 @@ class NpuMonitor
     SecureLoader secure_loader;
     ContextSetter context_setter;
     PmpUnit pmp_unit;
+    FaultInjector *faults = nullptr;
 
     stats::Scalar launches;
     stats::Scalar rejected;

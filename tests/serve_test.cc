@@ -264,6 +264,7 @@ TEST(SnpuServer, ValidatesItsInputs)
         ASSERT_TRUE(server.serve(makeTenants(2, 8, 6)).ok());
         ServeResult again = server.serve(makeTenants(2, 8, 6));
         EXPECT_FALSE(again.ok());
+        EXPECT_EQ(again.code(), StatusCode::invalid_argument);
     }
 }
 

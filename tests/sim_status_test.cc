@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the Status vocabulary: every code has a distinct printed
+ * name, every factory maps to its code, and toString() preserves the
+ * message — the serving recovery layer routes on these codes, so the
+ * whole enum is pinned here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/status.hh"
+
+namespace snpu
+{
+namespace
+{
+
+TEST(Status, EveryCodeHasAUniqueName)
+{
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < status_code_count; ++i) {
+        const char *name =
+            statusCodeName(static_cast<StatusCode>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?") << "code " << i;
+        names.insert(name);
+    }
+    EXPECT_EQ(names.size(), status_code_count);
+}
+
+TEST(Status, ErrorFactoryRoundTripsEveryCode)
+{
+    for (std::size_t i = 1; i < status_code_count; ++i) {
+        const auto code = static_cast<StatusCode>(i);
+        const Status s = Status::error(code, "why");
+        EXPECT_FALSE(s.isOk());
+        EXPECT_EQ(s.code(), code);
+        EXPECT_EQ(s.message(), "why");
+        EXPECT_EQ(s.toString(),
+                  std::string(statusCodeName(code)) + ": why");
+    }
+    // error(ok, ...) is a contradiction and degrades to internal.
+    EXPECT_EQ(Status::error(StatusCode::ok, "x").code(),
+              StatusCode::internal);
+}
+
+TEST(Status, NamedFactoriesMatchTheirCodes)
+{
+    const struct
+    {
+        Status status;
+        StatusCode code;
+    } cases[] = {
+        {Status::invalidArgument("m"), StatusCode::invalid_argument},
+        {Status::compileFailed("m"), StatusCode::compile_failed},
+        {Status::provisionFailed("m"), StatusCode::provision_failed},
+        {Status::privilegeDenied("m"), StatusCode::privilege_denied},
+        {Status::verificationFailed("m"),
+         StatusCode::verification_failed},
+        {Status::resourceExhausted("m"),
+         StatusCode::resource_exhausted},
+        {Status::execFailed("m"), StatusCode::exec_failed},
+        {Status::internal("m"), StatusCode::internal},
+        {Status::timeout("m"), StatusCode::timeout},
+        {Status::faultInjected("m"), StatusCode::fault_injected},
+        {Status::degraded("m"), StatusCode::degraded},
+    };
+    // One named factory per non-ok code, none forgotten.
+    ASSERT_EQ(std::size(cases) + 1, status_code_count);
+    std::set<StatusCode> seen;
+    for (const auto &c : cases) {
+        EXPECT_EQ(c.status.code(), c.code);
+        EXPECT_EQ(c.status.message(), "m");
+        seen.insert(c.code);
+    }
+    EXPECT_EQ(seen.size(), std::size(cases));
+}
+
+TEST(Status, OkIsOk)
+{
+    const Status s = Status::ok();
+    EXPECT_TRUE(s.isOk());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), StatusCode::ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+} // namespace
+} // namespace snpu
