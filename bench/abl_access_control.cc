@@ -20,6 +20,7 @@
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
@@ -42,7 +43,7 @@ normalized(SystemKind kind, const SystemOverrides &o, Tick baseline)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation A", "DMA channels vs IOTLB thrash (resnet, "
                          "normalized to the unprotected NPU)");
@@ -104,5 +105,9 @@ main()
     std::printf("(expected: the walk cache recovers part of the "
                 "loss but packet-granular checking still trails the "
                 "request-granular Guarder)\n");
-    return 0;
+
+    JsonReport report("abl_access_control");
+    report.table("dma_channels", chan);
+    report.table("walk_cache", walk);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

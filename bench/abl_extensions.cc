@@ -16,12 +16,13 @@
 #include "bench_util.hh"
 #include "core/area_model.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Ablation C", "Hardware secure domains vs tag-bit cost");
 
@@ -67,5 +68,9 @@ main()
                 "cannot see; the engine guards DRAM against physical "
                 "attack — together they cost only the engine's "
                 "single-digit percentage)\n");
-    return 0;
+
+    JsonReport report("abl_extensions");
+    report.table("domains", dom);
+    report.table("encryption", enc);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -30,30 +30,40 @@ class Table
 {
   public:
     explicit Table(std::vector<std::string> headers)
-        : headers(std::move(headers))
+        : headers_(std::move(headers))
     {
     }
 
     void
     row(std::vector<std::string> cells)
     {
-        rows.push_back(std::move(cells));
+        rows_.push_back(std::move(cells));
+    }
+
+    const std::vector<std::string> &headers() const
+    {
+        return headers_;
+    }
+
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
     }
 
     void
     print() const
     {
-        std::vector<std::size_t> widths(headers.size(), 0);
-        for (std::size_t c = 0; c < headers.size(); ++c)
-            widths[c] = headers[c].size();
-        for (const auto &r : rows) {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        for (std::size_t c = 0; c < headers_.size(); ++c)
+            widths[c] = headers_[c].size();
+        for (const auto &r : rows_) {
             for (std::size_t c = 0;
                  c < r.size() && c < widths.size(); ++c) {
                 widths[c] = std::max(widths[c], r[c].size());
             }
         }
         auto print_row = [&](const std::vector<std::string> &r) {
-            for (std::size_t c = 0; c < headers.size(); ++c) {
+            for (std::size_t c = 0; c < headers_.size(); ++c) {
                 const std::string &cell = c < r.size() ? r[c] : "";
                 std::printf("%-*s  ",
                             static_cast<int>(widths[c]),
@@ -61,19 +71,19 @@ class Table
             }
             std::printf("\n");
         };
-        print_row(headers);
+        print_row(headers_);
         std::vector<std::string> rule;
-        for (std::size_t c = 0; c < headers.size(); ++c)
+        for (std::size_t c = 0; c < headers_.size(); ++c)
             rule.push_back(std::string(widths[c], '-'));
         print_row(rule);
-        for (const auto &r : rows)
+        for (const auto &r : rows_)
             print_row(r);
         std::printf("\n");
     }
 
   private:
-    std::vector<std::string> headers;
-    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
 };
 
 /** Format a double with @p digits decimals. */

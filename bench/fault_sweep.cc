@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/systems.hh"
+#include "json_writer.hh"
 #include "serve/arrivals.hh"
 #include "serve/server.hh"
 #include "sim/fault_injector.hh"
@@ -115,6 +116,7 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(
                 std::strtoul(argv[i] + 7, nullptr, 10));
     }
+    const std::string json_path = bench::jsonPathArg(argc, argv);
 
     const SocParams params = makeSystem(SystemKind::snpu);
 
@@ -197,6 +199,16 @@ main(int argc, char **argv)
                 "policy", "rate", "fires", "done", "fail", "retry",
                 "tmout", "rej", "quar", "recovery");
 
+    struct PointRecord
+    {
+        const char *policy;
+        double rate;
+        std::uint64_t fires;
+        std::uint32_t done, fail, retry, tmout, rej, quar;
+        std::uint64_t recovery;
+    };
+    std::vector<PointRecord> records;
+
     bool clean_baseline = true;
     for (std::size_t p = 0; p < policies.size(); ++p) {
         for (std::size_t ri = 0; ri < rates.size(); ++ri) {
@@ -227,6 +239,10 @@ main(int argc, char **argv)
             if (rates[ri] == 0.0 &&
                 (point.value.fires != 0 || fail != 0))
                 clean_baseline = false;
+            records.push_back({schedPolicyName(policies[p]),
+                               rates[ri], point.value.fires, done,
+                               fail, retry, tmout, rej, quar,
+                               res.recovery_overhead});
             std::printf("%-13s %7.4f %6llu %5u %5u %5u %5u %4u "
                         "%5u %10llu\n",
                         schedPolicyName(policies[p]), rates[ri],
@@ -242,5 +258,52 @@ main(int argc, char **argv)
     std::printf("rate-0 baseline %s: armed injector fired nothing "
                 "and nothing failed\n",
                 clean_baseline ? "clean" : "VIOLATED");
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "fault_sweep: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        bench::JsonWriter w(f);
+        w.beginObject();
+        w.key("bench");
+        w.value("fault_sweep");
+        w.key("points");
+        w.beginArray();
+        for (const PointRecord &r : records) {
+            w.beginObject();
+            w.key("policy");
+            w.value(r.policy);
+            w.key("rate");
+            w.value(r.rate);
+            w.key("fires");
+            w.value(r.fires);
+            w.key("completed");
+            w.value(r.done);
+            w.key("failed");
+            w.value(r.fail);
+            w.key("retries");
+            w.value(r.retry);
+            w.key("timeouts");
+            w.value(r.tmout);
+            w.key("rejected");
+            w.value(r.rej);
+            w.key("quarantined");
+            w.value(r.quar);
+            w.key("recovery_overhead");
+            w.value(r.recovery);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("clean_baseline");
+        w.value(clean_baseline);
+        w.endObject();
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::fprintf(stderr, "fault_sweep: wrote %s\n",
+                     json_path.c_str());
+    }
     return clean_baseline ? 0 : 1;
 }

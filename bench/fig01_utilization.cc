@@ -9,12 +9,13 @@
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 1", "FLOPS utilization of inference workloads "
                        "(single tile, Table II config)");
@@ -43,5 +44,9 @@ main()
     std::printf("mean utilization: %.1f%%  (paper: most workloads "
                 "below 50%%)\n",
                 total / count);
-    return 0;
+
+    JsonReport report("fig01_utilization");
+    report.table("utilization", table);
+    report.metric("mean_utilization_pct", total / count);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -15,13 +15,14 @@
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 #include "sim/sweep_runner.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 13(a)",
            "Normalized performance under different access controls");
@@ -130,5 +131,9 @@ main()
     checks.print();
     std::printf("(paper: tile-based registers need roughly 5%% of "
                 "the IOMMU's translation requests)\n");
-    return 0;
+
+    JsonReport report("fig13_access_control");
+    report.table("perf_normalized", perf);
+    report.table("check_requests", checks);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -11,12 +11,13 @@
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 14",
            "Normalized execution time under flushing granularities");
@@ -57,5 +58,9 @@ main()
     std::printf("worst tile-granularity slowdown: %.1f%%  (paper: "
                 "about 25%%)\n",
                 worst);
-    return 0;
+
+    JsonReport report("fig14_flush_granularity");
+    report.table("flush_granularity", table);
+    report.metric("worst_tile_slowdown_pct", worst);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -23,6 +23,7 @@
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 #include "sim/sweep_runner.hh"
 
 using namespace snpu;
@@ -95,7 +96,7 @@ class RunSweep
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 15", "Static partition vs ID-based dynamic "
                         "scratchpad isolation (pairs share DRAM)");
@@ -201,5 +202,8 @@ main()
                 "pair; the ID-based dynamic split matches or beats "
                 "the best static choice, and the scratchpad-"
                 "sensitive nets — alexnet, bert — swing hardest)\n");
-    return 0;
+
+    JsonReport report("fig15_partition_vs_id");
+    report.table("partition_vs_id", table);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 
 #include "bench_util.hh"
 #include "core/soc.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
@@ -41,7 +42,7 @@ transferLatency(NocMode mode, std::uint32_t rows)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 16", "NoC micro-test: transfer cost by method");
 
@@ -71,5 +72,9 @@ main()
                 "thirds vs shared memory — about 3x bandwidth — and "
                 "matches the unauthorized NoC, since authentication "
                 "rides only the first head flit)\n");
-    return 0;
+
+    JsonReport report("fig16_noc_micro");
+    report.table("latency_cycles", lat);
+    report.table("bandwidth_gbps", bw);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

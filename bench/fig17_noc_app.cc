@@ -10,6 +10,7 @@
 #include "bench_util.hh"
 #include "core/systems.hh"
 #include "core/task_runner.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
@@ -41,7 +42,7 @@ pipelineCycles(ModelId id, NocMode mode, std::uint32_t scale)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 17", "Multi-core (4-tile pipeline) performance "
                         "by NoC method, normalized to unauthorized");
@@ -74,5 +75,9 @@ main()
     std::printf("mean reduction in execution time vs software NoC: "
                 "%.1f%%  (paper: nearly 20%%)\n",
                 total_gain / count);
-    return 0;
+
+    JsonReport report("fig17_noc_app");
+    report.table("pipeline_noc", table);
+    report.metric("mean_gain_pct", total_gain / count);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

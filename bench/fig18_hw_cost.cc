@@ -10,12 +10,13 @@
 
 #include "bench_util.hh"
 #include "core/area_model.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 18", "Additional FPGA resources per protection "
                         "mechanism (one tile)");
@@ -37,5 +38,8 @@ main()
     std::printf("(paper: sNPU adds about 1%% RAM via the S_Spad ID "
                 "bits with negligible LUT/FF impact; the IOMMU's "
                 "page walker and IOTLB CAM cost far more logic)\n");
-    return 0;
+
+    JsonReport report("fig18_hw_cost");
+    report.table("hw_cost", table);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "core/systems.hh"
+#include "json_writer.hh"
 #include "serve/arrivals.hh"
 #include "serve/server.hh"
 #include "sim/random.hh"
@@ -94,6 +95,7 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(
                 std::strtoul(argv[i] + 7, nullptr, 10));
     }
+    const std::string json_path = bench::jsonPathArg(argc, argv);
 
     const SocParams params = makeSystem(SystemKind::snpu);
 
@@ -170,6 +172,19 @@ main(int argc, char **argv)
                 "load", "thru/Mcy", "p99 slow", "rej", "flush",
                 "monitor", "verdict");
 
+    struct PointRecord
+    {
+        const char *policy;
+        double load;
+        double thru;
+        double slowdown;
+        std::uint32_t rejects;
+        std::uint64_t flush;
+        std::uint64_t monitor;
+        bool sustained;
+    };
+    std::vector<PointRecord> records;
+
     std::vector<double> sustained(policies.size(), 0.0);
     for (std::size_t p = 0; p < policies.size(); ++p) {
         bool kneed = false;
@@ -214,6 +229,10 @@ main(int argc, char **argv)
             if (ok_point && !kneed)
                 sustained[p] = load;
             kneed |= !ok_point;
+            records.push_back({schedPolicyName(policies[p]), load,
+                               thru, slowdown, rejects,
+                               res.flush_overhead,
+                               res.monitor_overhead, ok_point});
             std::printf("%-13s %5.2f %10.3f %8.2fx %4u %10llu "
                         "%10llu  %s\n",
                         schedPolicyName(policies[p]), load, thru,
@@ -238,5 +257,58 @@ main(int argc, char **argv)
                 "(%.2f) at %.2f\n",
                 dominates ? "dominates" : "does NOT dominate",
                 sustained[0], sustained[2], id);
+
+    if (!json_path.empty()) {
+        std::FILE *f = std::fopen(json_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr,
+                         "serve_throughput: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        bench::JsonWriter w(f);
+        w.beginObject();
+        w.key("bench");
+        w.value("serve_throughput");
+        w.key("knee_slowdown");
+        w.value(knee_slowdown);
+        w.key("points");
+        w.beginArray();
+        for (const PointRecord &r : records) {
+            w.beginObject();
+            w.key("policy");
+            w.value(r.policy);
+            w.key("load");
+            w.value(r.load);
+            w.key("throughput_per_mcycle");
+            w.value(r.thru);
+            w.key("p99_slowdown");
+            w.value(r.slowdown);
+            w.key("rejects");
+            w.value(r.rejects);
+            w.key("flush_overhead");
+            w.value(r.flush);
+            w.key("monitor_overhead");
+            w.value(r.monitor);
+            w.key("sustained");
+            w.value(r.sustained);
+            w.endObject();
+        }
+        w.endArray();
+        w.key("max_sustained_load");
+        w.beginObject();
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            w.key(schedPolicyName(policies[p]));
+            w.value(sustained[p]);
+        }
+        w.endObject();
+        w.key("id_based_dominates");
+        w.value(dominates);
+        w.endObject();
+        std::fputc('\n', f);
+        std::fclose(f);
+        std::fprintf(stderr, "serve_throughput: wrote %s\n",
+                     json_path.c_str());
+    }
     return dominates ? 0 : 1;
 }

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "json_writer.hh"
+
 #include "dma/dma_engine.hh"
 #include "guarder/guarder.hh"
 #include "iommu/iommu.hh"
@@ -369,23 +371,34 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
                          path.c_str());
             return false;
         }
-        std::fprintf(f, "{\n  \"runs\": [\n    {\n");
-        std::fprintf(f, "      \"label\": \"%s\",\n", label.c_str());
-        std::fprintf(f, "      \"benchmarks\": [\n");
-        for (std::size_t i = 0; i < entries.size(); ++i) {
-            const Entry &e = entries[i];
-            std::fprintf(f,
-                         "        {\"name\": \"%s\", "
-                         "\"iterations\": %llu, "
-                         "\"ns_per_op\": %.3f, "
-                         "\"ops_per_sec\": %.1f, "
-                         "\"items_per_sec\": %.1f}%s\n",
-                         e.name.c_str(),
-                         static_cast<unsigned long long>(e.iterations),
-                         e.ns_per_op, e.ops_per_sec, e.items_per_sec,
-                         i + 1 < entries.size() ? "," : "");
+        snpu::bench::JsonWriter w(f);
+        w.beginObject();
+        w.key("runs");
+        w.beginArray();
+        w.beginObject();
+        w.key("label");
+        w.value(label);
+        w.key("benchmarks");
+        w.beginArray();
+        for (const Entry &e : entries) {
+            w.beginObject();
+            w.key("name");
+            w.value(e.name);
+            w.key("iterations");
+            w.value(e.iterations);
+            w.key("ns_per_op");
+            w.value(e.ns_per_op);
+            w.key("ops_per_sec");
+            w.value(e.ops_per_sec);
+            w.key("items_per_sec");
+            w.value(e.items_per_sec);
+            w.endObject();
         }
-        std::fprintf(f, "      ]\n    }\n  ]\n}\n");
+        w.endArray();
+        w.endObject();
+        w.endArray();
+        w.endObject();
+        std::fputc('\n', f);
         std::fclose(f);
         return true;
     }

@@ -14,6 +14,7 @@
 #include "bench_util.hh"
 #include "core/scheduler.hh"
 #include "core/systems.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
@@ -38,7 +39,7 @@ scenario()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table I", "Isolation mechanisms for the scratchpad "
                       "(periodic secure task + background task)");
@@ -97,5 +98,8 @@ main()
                 "good SLA; coarse flush = good perf, poor SLA; fine "
                 "flush = low perf, good SLA; sNPU = high "
                 "utilization, good perf, good SLA)\n");
-    return 0;
+
+    JsonReport report("tab01_isolation_matrix");
+    report.table("isolation_matrix", table);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

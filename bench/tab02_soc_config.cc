@@ -9,12 +9,13 @@
 
 #include "bench_util.hh"
 #include "core/soc.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Table II", "SoC configuration used in the evaluation");
 
@@ -47,5 +48,8 @@ main()
     table.row({"access control (TrustZone NPU)",
                "IOMMU, 32-entry IOTLB"});
     table.print();
-    return 0;
+
+    JsonReport report("tab02_soc_config");
+    report.table("soc_config", table);
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -11,12 +11,13 @@
 
 #include "bench_util.hh"
 #include "core/tcb_inventory.hh"
+#include "json_writer.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("TCB size (§VI-F)",
            "Trusted computing base of the NPU software stack");
@@ -47,5 +48,10 @@ main()
     std::printf("(paper: the NPU Monitor is 12,854 LoC — 10,781 of "
                 "it crypto — against 300k+ LoC frameworks and a "
                 "631k LoC driver left untrusted)\n");
-    return 0;
+
+    JsonReport report("tab_tcb_size");
+    report.table("tcb", table);
+    report.metric("trusted_loc",
+                  static_cast<double>(trustedLoc(inventory)));
+    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

@@ -20,6 +20,10 @@
  *   cores=<n>  pipeline across n tiles      (1)
  *   noc=software|unauthorized|peephole      (peephole)
  *   stats=0|1  dump the full stat group     (0)
+ *   stats_json=<file>  JSON stat dump       (off)
+ *   trace_file=<file>  record a trace       (off)
+ *   trace=<cats>  comma list: instr,dma,sec,noc,sched,guarder,
+ *         spad,monitor,fault,serve,all      (instr,sec)
  *
  * Examples:
  *   snpu_run model=bert system=trustzone iotlb=4
@@ -28,6 +32,7 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "core/scheduler.hh"
@@ -152,6 +157,20 @@ main(int argc, char **argv)
                 mask |= traceMask(TraceCategory::security);
             else if (token == "noc")
                 mask |= traceMask(TraceCategory::noc);
+            else if (token == "sched")
+                mask |= traceMask(TraceCategory::sched);
+            else if (token == "guarder")
+                mask |= traceMask(TraceCategory::guarder);
+            else if (token == "spad")
+                mask |= traceMask(TraceCategory::spad);
+            else if (token == "monitor")
+                mask |= traceMask(TraceCategory::monitor);
+            else if (token == "fault")
+                mask |= traceMask(TraceCategory::fault);
+            else if (token == "serve")
+                mask |= traceMask(TraceCategory::serve);
+            else if (token == "all")
+                mask = ~0u;
             else if (!token.empty()) {
                 std::fprintf(stderr, "unknown trace category '%s'\n",
                              token.c_str());
@@ -161,8 +180,7 @@ main(int argc, char **argv)
         }
         trace_sink =
             std::make_unique<FileTraceSink>(trace_file, mask);
-        for (std::uint32_t i = 0; i < soc.npu().tiles(); ++i)
-            soc.npu().core(i).attachTrace(trace_sink.get());
+        soc.attachTrace(trace_sink.get());
     }
 
     std::printf("%s\n", soc.params().describe().c_str());
@@ -216,6 +234,17 @@ main(int argc, char **argv)
 
     if (cfg.getBool("stats", false))
         soc.stats().dump(std::cout);
+    const std::string stats_json = cfg.getString("stats_json", "");
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        soc.registry().dumpJson(os);
+        std::printf("stats: %s\n", stats_json.c_str());
+    }
     if (trace_sink) {
         std::printf("trace: %llu records -> %s\n",
                     static_cast<unsigned long long>(

@@ -23,6 +23,10 @@
  *   seed=<rng seed>                   (1)
  *   coarse_interval=<segments>        (5)
  *   stats=0|1  dump the full stat group (0)
+ *   stats_json=<file>  JSON stat dump   (off)
+ *   trace_file=<file>  record serve-path spans and scheduling
+ *         decisions (serve+sched+monitor categories) (off)
+ *   spans=0|1  per-tenant span summary  (0)
  *
  * Examples:
  *   snpu_serve tenants=4 cores=4 load=0.7 isolation=id
@@ -30,6 +34,8 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,6 +45,7 @@
 #include "sim/config.hh"
 #include "sim/logging.hh"
 #include "sim/random.hh"
+#include "sim/trace.hh"
 #include "workload/model_zoo.hh"
 
 using namespace snpu;
@@ -157,6 +164,19 @@ main(int argc, char **argv)
                 schedPolicyName(server_cfg.policy), load, requests,
                 static_cast<unsigned long long>(seed));
 
+    // Optional serve-path trace: request spans, scheduling
+    // decisions and monitor activity.
+    std::unique_ptr<FileTraceSink> trace_sink;
+    const std::string trace_file = cfg.getString("trace_file", "");
+    if (!trace_file.empty()) {
+        const std::uint32_t mask = traceMask(TraceCategory::serve) |
+                                   traceMask(TraceCategory::sched) |
+                                   traceMask(TraceCategory::monitor);
+        trace_sink =
+            std::make_unique<FileTraceSink>(trace_file, mask);
+        soc.attachTrace(trace_sink.get());
+    }
+
     SnpuServer server(soc, server_cfg);
     ServeResult res = server.serve(tenants);
     if (!res.ok()) {
@@ -190,10 +210,41 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     res.monitor_overhead));
 
+    if (cfg.getBool("spans", false)) {
+        std::printf("\n%-14s %6s %12s %12s %9s %8s\n", "tenant",
+                    "spans", "mean queue", "mean exec", "overflow",
+                    "clipped");
+        for (const TenantReport &rep : res.tenants) {
+            std::printf("%-14s %6u %12.1f %12.1f %9llu %8s\n",
+                        rep.name.c_str(), rep.spans,
+                        rep.mean_queue_cycles, rep.mean_exec_cycles,
+                        static_cast<unsigned long long>(
+                            rep.latency_overflow),
+                        rep.p99_clipped ? "yes" : "no");
+        }
+    }
+
     if (cfg.getBool("stats", false)) {
         std::ostringstream os;
         soc.stats().dump(os);
         std::fputs(os.str().c_str(), stdout);
+    }
+    const std::string stats_json = cfg.getString("stats_json", "");
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        soc.registry().dumpJson(os);
+        std::printf("stats: %s\n", stats_json.c_str());
+    }
+    if (trace_sink) {
+        std::printf("trace: %llu records -> %s\n",
+                    static_cast<unsigned long long>(
+                        trace_sink->lines()),
+                    trace_file.c_str());
     }
     return 0;
 }

@@ -8,6 +8,8 @@ namespace snpu
 Soc::Soc(SocParams params)
     : cfg(params), stat_group("soc")
 {
+    stat_registry.add(stat_group);
+
     // Memory system with Table II timing.
     MemSystemParams mem_params;
     mem_params.dram.bytes_per_cycle = cfg.dramBytesPerCycle();
@@ -27,7 +29,8 @@ Soc::Soc(SocParams params)
             *mem_system, AddrRange{normal_arena.base, 16u << 20});
     }
 
-    // One access controller per tile.
+    // One access controller per tile, each with its own child stats
+    // group so per-tile stat names stay unique in the tree.
     controls.reserve(cfg.tiles);
     for (std::uint32_t i = 0; i < cfg.tiles; ++i) {
         switch (cfg.access_control) {
@@ -38,14 +41,19 @@ Soc::Soc(SocParams params)
             IommuParams ip;
             ip.iotlb_entries = cfg.iotlb_entries;
             ip.walk_cache = cfg.iommu_walk_cache;
-            auto iommu = std::make_unique<Iommu>(stat_group,
-                                                 *page_table, ip);
+            control_groups.push_back(std::make_unique<stats::Group>(
+                stat_group, "iommu" + std::to_string(i)));
+            auto iommu = std::make_unique<Iommu>(
+                *control_groups.back(), *page_table, ip);
             iommus.push_back(iommu.get());
             controls.push_back(std::move(iommu));
             break;
           }
           case AccessControlKind::guarder: {
-            auto guarder = std::make_unique<NpuGuarder>(stat_group);
+            control_groups.push_back(std::make_unique<stats::Group>(
+                stat_group, "guarder" + std::to_string(i)));
+            auto guarder =
+                std::make_unique<NpuGuarder>(*control_groups.back());
             guarders.push_back(guarder.get());
             controls.push_back(std::move(guarder));
             break;
@@ -147,6 +155,21 @@ Soc::armFaults(FaultInjector *inj)
     device->fabric().armFaults(inj);
     if (npu_monitor)
         npu_monitor->armFaults(inj);
+}
+
+void
+Soc::attachTrace(TraceSink *sink)
+{
+    trace_sink = sink;
+    for (std::uint32_t i = 0; i < cfg.tiles; ++i)
+        device->core(i).attachTrace(sink);
+    for (std::size_t i = 0; i < guarders.size(); ++i)
+        guarders[i]->attachTrace(sink,
+                                 "guarder" + std::to_string(i));
+    device->fabric().attachTrace(sink, "noc");
+    device->globalScratchpad().attachTrace(sink, "global_spad");
+    if (npu_monitor)
+        npu_monitor->attachTrace(sink, "monitor");
 }
 
 bool

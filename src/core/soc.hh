@@ -20,6 +20,7 @@
 #include "mem/mem_system.hh"
 #include "npu/npu_device.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "tee/monitor/npu_monitor.hh"
 
 namespace snpu
@@ -33,6 +34,13 @@ class Soc
 
     const SocParams &params() const { return cfg; }
     stats::Group &stats() { return stat_group; }
+
+    /**
+     * Registry aggregating every stats tree this SoC owns (currently
+     * the one rooted at stats()). Drives the machine-readable dump:
+     * soc.registry().dumpJson(os) emits the whole hierarchy.
+     */
+    stats::Registry &registry() { return stat_registry; }
 
     MemSystem &mem() { return *mem_system; }
     NpuDevice &npu() { return *device; }
@@ -67,16 +75,34 @@ class Soc
      */
     void armFaults(FaultInjector *inj);
 
+    /**
+     * Attach (or detach with nullptr) a trace sink to every layer:
+     * each core (which fans out to its scratchpads and DMA engine),
+     * each guarder ("guarder<i>"), the NoC fabric ("noc"), the
+     * global scratchpad ("global_spad"), and the monitor when
+     * present ("monitor"). With no sink attached every emission
+     * site is a single branch — zero simulation overhead.
+     */
+    void attachTrace(TraceSink *sink);
+
+    /** The currently attached sink (nullptr when tracing is off). */
+    TraceSink *traceSink() const { return trace_sink; }
+
   private:
     SocParams cfg;
     stats::Group stat_group;
+    stats::Registry stat_registry;
     std::unique_ptr<MemSystem> mem_system;
     std::unique_ptr<PageTable> page_table;
+    /** Per-tile child groups ("iommu<i>" / "guarder<i>") keeping
+     *  each controller's stat names unique in the tree. */
+    std::vector<std::unique_ptr<stats::Group>> control_groups;
     std::vector<std::unique_ptr<AccessControl>> controls;
     std::vector<Iommu *> iommus;       // aliases into controls
     std::vector<NpuGuarder *> guarders; // aliases into controls
     std::unique_ptr<NpuDevice> device;
     std::unique_ptr<NpuMonitor> npu_monitor;
+    TraceSink *trace_sink = nullptr;
 };
 
 } // namespace snpu

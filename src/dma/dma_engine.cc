@@ -24,6 +24,17 @@ DmaEngine::DmaEngine(stats::Group &stats, MemSystem &mem,
         fatal("DMA packet size must be positive");
 }
 
+void
+DmaEngine::attachTrace(TraceSink *sink, const std::string &who)
+{
+    if (sink) {
+        trace_name = who;
+        tracer.attach(sink);
+    } else {
+        tracer.detach();
+    }
+}
+
 DmaResult
 DmaEngine::transfer(Tick when, const DmaRequest &req,
                     std::vector<std::uint8_t> *buffer)
@@ -35,6 +46,9 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
     if (faults &&
         faults->shouldInject(FaultSite::dma_transfer, when)) {
         ++faulted_requests;
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected transfer fault: ", req.bytes,
+                    " B request errored out");
         return DmaResult{when, false, true, 0};
     }
 
@@ -69,6 +83,9 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
             issue, va, chunk, req.op, req.world);
         if (!xl.ok) {
             ++denied_requests;
+            tracer.emit(issue, TraceCategory::dma, trace_name,
+                        "packet denied by access control at va 0x",
+                        std::hex, va);
             result.ok = false;
             result.done = issue;
             return result;
@@ -105,6 +122,10 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
 
     stall_cycles.sample(static_cast<double>(total_stall));
     result.done = std::max(result.done, issue);
+    tracer.emit(result.done, TraceCategory::dma, trace_name,
+                req.op == MemOp::read ? "read" : "write", " of ",
+                req.bytes, " B done: ", result.packets, " packets, ",
+                total_stall, " stall cycles");
     return result;
 }
 
@@ -124,6 +145,9 @@ DmaEngine::transferPerRequest(Tick when, const DmaRequest &req,
                                             req.op, req.world);
     if (!req_xl.ok) {
         ++denied_requests;
+        tracer.emit(when, TraceCategory::dma, trace_name,
+                    "request denied by access control at va 0x",
+                    std::hex, req.vaddr);
         return DmaResult{when, false, false, 0};
     }
 
@@ -167,6 +191,10 @@ DmaEngine::transferPerRequest(Tick when, const DmaRequest &req,
     result.packets = packets;
     stall_cycles.sample(0.0);
     result.done = std::max(result.done, issue);
+    tracer.emit(result.done, TraceCategory::dma, trace_name,
+                req.op == MemOp::read ? "read" : "write", " of ",
+                req.bytes, " B done: ", result.packets,
+                " packets, one request-granular check");
     return result;
 }
 
@@ -184,6 +212,9 @@ DmaEngine::transferBatch(
     if (faults &&
         faults->shouldInject(FaultSite::dma_transfer, when)) {
         ++faulted_requests;
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected transfer fault: batch of ", reqs.size(),
+                    " requests errored out");
         result.ok = false;
         result.fault = true;
         return result;
@@ -223,6 +254,10 @@ DmaEngine::transferBatch(
                                           req.op, req.world);
             if (!s.req_xl.ok) {
                 ++denied_requests;
+                tracer.emit(when, TraceCategory::dma, trace_name,
+                            "batched request denied by access "
+                            "control at va 0x",
+                            std::hex, req.vaddr);
                 result.ok = false;
                 return result;
             }
@@ -300,6 +335,9 @@ DmaEngine::transferBatch(
     }
 
     result.done = std::max(result.done, issue);
+    tracer.emit(result.done, TraceCategory::dma, trace_name,
+                "batch of ", streams.size(), " streams done: ",
+                result.packets, " packets");
     return result;
 }
 

@@ -14,12 +14,14 @@
 #define SNPU_DMA_DMA_ENGINE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dma/access_control.hh"
 #include "mem/mem_system.hh"
 #include "sim/fault_injector.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace snpu
@@ -90,6 +92,14 @@ class DmaEngine
     /** Arm (or disarm with nullptr) the fault injector. */
     void armFaults(FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who. Completions and denials trace under
+     * TraceCategory::dma, injected transfer faults under
+     * TraceCategory::fault.
+     */
+    void attachTrace(TraceSink *sink, const std::string &who);
+
     std::uint64_t faultedTransfers() const
     {
         return static_cast<std::uint64_t>(faulted_requests.value());
@@ -118,6 +128,8 @@ class DmaEngine
     AccessControl *control;
     DmaParams params;
     FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
 
     stats::Scalar requests;
     stats::Scalar packets_issued;

@@ -21,6 +21,17 @@ NpuGuarder::NpuGuarder(stats::Group &stats, GuarderParams params)
     }
 }
 
+void
+NpuGuarder::attachTrace(TraceSink *sink, const std::string &who)
+{
+    if (sink) {
+        trace_name = who;
+        tracer.attach(sink);
+    } else {
+        tracer.detach();
+    }
+}
+
 const TranslationRegister *
 NpuGuarder::findTranslation(Addr vaddr, std::uint32_t bytes) const
 {
@@ -62,18 +73,28 @@ NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
     if (faults &&
         faults->shouldInject(FaultSite::guarder_check, when)) {
         ++denials;
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected check fault: request at va 0x",
+                    std::hex, vaddr, std::dec, " denied");
         return Translation{false, 0, ready};
     }
 
     const TranslationRegister *tr = findTranslation(vaddr, bytes);
     if (!tr) {
         ++denials;
+        tracer.emit(when, TraceCategory::guarder, trace_name,
+                    "denied: no translation register covers va 0x",
+                    std::hex, vaddr, std::dec, " +", bytes, " B");
         return Translation{false, 0, ready};
     }
     const Addr paddr = tr->pa_base + (vaddr - tr->va_base);
 
     if (!findWindow(paddr, bytes, op, world)) {
         ++denials;
+        tracer.emit(when, TraceCategory::guarder, trace_name,
+                    "denied: no checking window grants ",
+                    op == MemOp::read ? "read" : "write", " of pa 0x",
+                    std::hex, paddr, std::dec, " +", bytes, " B");
         return Translation{false, 0, ready};
     }
     return Translation{true, paddr, ready};
@@ -86,11 +107,19 @@ NpuGuarder::setCheckingRegister(std::uint32_t slot, AddrRange range,
 {
     if (!from_secure) {
         ++config_violations;
+        tracer.emit(0, TraceCategory::guarder, trace_name,
+                    "checking-register write from non-secure caller "
+                    "rejected");
         return false;
     }
     if (slot >= checking.size())
         return false;
     checking[slot] = CheckingRegister{true, range, perm, world};
+    tracer.emit(0, TraceCategory::guarder, trace_name,
+                "checking register ", slot, " = [0x", std::hex,
+                range.base, ", 0x", range.base + range.size, std::dec,
+                ") ", perm.read ? "r" : "-", perm.write ? "w" : "-",
+                world == World::secure ? " secure" : " normal");
     return true;
 }
 
@@ -101,11 +130,18 @@ NpuGuarder::setTranslationRegister(std::uint32_t slot, Addr va_base,
 {
     if (!from_secure) {
         ++config_violations;
+        tracer.emit(0, TraceCategory::guarder, trace_name,
+                    "translation-register write from non-secure "
+                    "caller rejected");
         return false;
     }
     if (slot >= translation.size() || size == 0)
         return false;
     translation[slot] = TranslationRegister{true, va_base, pa_base, size};
+    tracer.emit(0, TraceCategory::guarder, trace_name,
+                "translation register ", slot, " = va 0x", std::hex,
+                va_base, " -> pa 0x", pa_base, std::dec, " +", size,
+                " B");
     return true;
 }
 
@@ -127,12 +163,16 @@ NpuGuarder::clearAll(bool from_secure)
 {
     if (!from_secure) {
         ++config_violations;
+        tracer.emit(0, TraceCategory::guarder, trace_name,
+                    "clearAll from non-secure caller rejected");
         return false;
     }
     for (auto &cr : checking)
         cr.valid = false;
     for (auto &tr : translation)
         tr.valid = false;
+    tracer.emit(0, TraceCategory::guarder, trace_name,
+                "all registers cleared (context teardown)");
     return true;
 }
 

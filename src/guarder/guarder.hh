@@ -25,12 +25,14 @@
 #define SNPU_GUARDER_GUARDER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dma/access_control.hh"
 #include "mem/address_map.hh"
 #include "sim/fault_injector.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 
 namespace snpu
 {
@@ -140,6 +142,16 @@ class NpuGuarder : public AccessControl
      */
     void armFaults(FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who (the SoC uses "guarder<tile>"). Denials, rejected
+     * configuration attempts and window programming trace under
+     * TraceCategory::guarder; injected check faults under
+     * TraceCategory::fault. The per-request happy path stays
+     * untraced — it runs once per DMA request.
+     */
+    void attachTrace(TraceSink *sink, const std::string &who);
+
   private:
     const TranslationRegister *findTranslation(Addr vaddr,
                                                std::uint32_t bytes) const;
@@ -150,6 +162,8 @@ class NpuGuarder : public AccessControl
     std::vector<CheckingRegister> checking;
     std::vector<TranslationRegister> translation;
     FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
 
     stats::Scalar checks;
     stats::Scalar denials;

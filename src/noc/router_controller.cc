@@ -39,6 +39,17 @@ NocFabric::NocFabric(stats::Group &stats, Mesh &mesh, NocMode mode)
 }
 
 void
+NocFabric::attachTrace(TraceSink *sink, const std::string &who)
+{
+    if (sink) {
+        trace_name = who;
+        tracer.attach(sink);
+    } else {
+        tracer.detach();
+    }
+}
+
+void
 NocFabric::attachScratchpad(std::uint32_t core, Scratchpad *spad)
 {
     if (core >= spads.size())
@@ -82,6 +93,9 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
     if (faults &&
         faults->shouldInject(FaultSite::noc_head_flit, when)) {
         ++corrupt_drops;
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected head-flit corruption: packet ", src_core,
+                    " -> ", dst_core, " dropped");
         result.ok = false;
         result.corrupted = true;
         result.done = t;
@@ -107,6 +121,10 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
                 result.ok = false;
                 result.auth_failed = true;
                 result.done = mesh.control(t, src_core, dst_core);
+                tracer.emit(result.done, TraceCategory::fault,
+                            trace_name,
+                            "injected auth fault: handshake ",
+                            src_core, " -> ", dst_core, " rejected");
                 return result;
             }
             if (chan.locked) {
@@ -114,6 +132,10 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
                 // modeled as an immediate reject — the router refuses
                 // foreign injections into a locked channel.
                 ++rejects;
+                tracer.emit(t, TraceCategory::noc, trace_name,
+                            "reject: channel to core ", dst_core,
+                            " locked by core ", chan.owner,
+                            ", source ", src_core, " refused");
                 result.ok = false;
                 result.auth_failed = true;
                 result.done = t;
@@ -130,12 +152,18 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
                 result.ok = false;
                 result.auth_failed = true;
                 result.done = req_arrive;
+                tracer.emit(req_arrive, TraceCategory::noc, trace_name,
+                            "peephole reject: core ", src_core,
+                            " identity does not match core ", dst_core);
                 return result;
             }
             t = mesh.control(req_arrive, dst_core, src_core);
             chan.locked = true;
             chan.owner = src_core;
             chan.identity = identity;
+            tracer.emit(t, TraceCategory::noc, trace_name,
+                        "peephole auth ok: channel to core ", dst_core,
+                        " locked for core ", src_core);
         }
     }
 
@@ -164,8 +192,12 @@ NocFabric::transfer(Tick when, std::uint32_t src_core,
             break;
         }
     }
-    if (result.ok)
+    if (result.ok) {
         bytes_moved += bytes;
+        tracer.emit(result.done, TraceCategory::noc, trace_name,
+                    "transfer ", src_core, " -> ", dst_core, ": ",
+                    nrows, " rows, ", flits, " flits, ", bytes, " B");
+    }
 
     states[src_core] = RouterState::idle;
     return result;

@@ -14,12 +14,14 @@
 #define SNPU_NOC_ROUTER_CONTROLLER_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "noc/flit.hh"
 #include "noc/mesh.hh"
 #include "sim/fault_injector.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "spad/scratchpad.hh"
 
 namespace snpu
@@ -98,6 +100,14 @@ class NocFabric
      */
     void armFaults(FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who. Handshakes, rejects and completed transfers trace
+     * under TraceCategory::noc, injected corruption/auth faults
+     * under TraceCategory::fault.
+     */
+    void attachTrace(TraceSink *sink, const std::string &who);
+
     std::uint64_t corruptedPackets() const
     {
         return static_cast<std::uint64_t>(corrupt_drops.value());
@@ -128,6 +138,8 @@ class NocFabric
     std::vector<Channel> channels;     //!< per destination core
     std::vector<RouterState> states;
     FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
 
     stats::Scalar transfers;
     stats::Scalar rejects;

@@ -12,11 +12,15 @@ namespace snpu
 NpuCore::NpuCore(stats::Group &stats, MemSystem &mem, AccessControl &ctrl,
                  NpuCoreParams p)
     : params(p), mem(mem),
+      core_group(stats, "core" + std::to_string(p.core_id)),
+      spad_group(core_group, "spad"),
+      acc_group(core_group, "acc"),
       systolic(p.systolic),
-      instructions(stats, "npu_instructions", "instructions executed"),
-      sec_violations(stats, "npu_violations",
+      instructions(core_group, "npu_instructions",
+                   "instructions executed"),
+      sec_violations(core_group, "npu_violations",
                      "security violations observed by this core"),
-      programs_run(stats, "npu_programs", "programs executed")
+      programs_run(core_group, "npu_programs", "programs executed")
 {
     if (params.spad_row_bytes < params.systolic.dim)
         fatal("scratchpad row narrower than one activation row");
@@ -28,17 +32,18 @@ NpuCore::NpuCore(stats::Group &stats, MemSystem &mem, AccessControl &ctrl,
     sp.row_bytes = params.spad_row_bytes;
     sp.scope = SpadScope::local;
     sp.mode = params.isolation;
-    spad = std::make_unique<Scratchpad>(stats, sp);
+    spad = std::make_unique<Scratchpad>(spad_group, sp);
 
     SpadParams ap;
     ap.rows = params.acc_rows;
     ap.row_bytes = params.acc_row_bytes;
     ap.scope = SpadScope::local;
     ap.mode = params.isolation;
-    acc = std::make_unique<Scratchpad>(stats, ap);
+    acc = std::make_unique<Scratchpad>(acc_group, ap);
 
-    dma_engine = std::make_unique<DmaEngine>(stats, mem, ctrl, params.dma);
-    flush_engine = std::make_unique<FlushEngine>(stats, mem, *spad);
+    dma_engine =
+        std::make_unique<DmaEngine>(core_group, mem, ctrl, params.dma);
+    flush_engine = std::make_unique<FlushEngine>(core_group, mem, *spad);
 }
 
 bool
@@ -61,6 +66,9 @@ NpuCore::attachTrace(TraceSink *sink)
     } else {
         tracer.detach();
     }
+    spad->attachTrace(sink, trace_name + ".spad");
+    acc->attachTrace(sink, trace_name + ".acc");
+    dma_engine->attachTrace(sink, trace_name + ".dma");
 }
 
 void

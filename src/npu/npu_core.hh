@@ -124,7 +124,11 @@ class NpuCore
     /** Attach the NoC transports (done by the device). */
     void attachNoc(NocFabric *fabric, SoftwareNoc *swnoc);
 
-    /** Attach (or detach with nullptr) an execution trace sink. */
+    /**
+     * Attach (or detach with nullptr) an execution trace sink. The
+     * sink fans out to the core's scratchpads and DMA engine, which
+     * emit as "core<N>.spad" / "core<N>.acc" / "core<N>.dma".
+     */
     void attachTrace(TraceSink *sink);
 
     /**
@@ -170,6 +174,15 @@ class NpuCore
     NpuCoreParams params;
     MemSystem &mem;
     World world = World::normal;
+
+    /**
+     * This tile's stats live in a "core<id>" child group (with
+     * "spad" / "acc" sub-groups for the two scratchpads), so ten
+     * identical tiles never collide in the SoC's group.
+     */
+    stats::Group core_group;
+    stats::Group spad_group;
+    stats::Group acc_group;
 
     std::unique_ptr<Scratchpad> spad;
     std::unique_ptr<Scratchpad> acc;

@@ -100,6 +100,15 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         return result;
     }
 
+    // Pick up whatever sink the SoC currently carries; the tracer
+    // stays a single disarmed branch per decision otherwise.
+    if (soc.traceSink()) {
+        trace_name = "sched";
+        tracer.attach(soc.traceSink());
+    } else {
+        tracer.detach();
+    }
+
     const std::uint32_t full_rows =
         soc.npu().core(0).scratchpad().rows();
     const auto nstreams = static_cast<std::uint32_t>(streams.size());
@@ -242,6 +251,8 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         const CompiledStream &next = compiled[to];
         soc.npu().setCoreWorld(core, next.world, true);
         provision(next, core);
+        tracer.emit(clock[core], TraceCategory::sched, trace_name,
+                    "tile ", core, " now running stream ", to);
     };
 
     // One request attempt failed on @p core. Scrub the tile (no
@@ -291,10 +302,19 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             if (why.code() == StatusCode::timeout)
                 ++out.timeouts;
             --open;
+            tracer.emit(clock[core], TraceCategory::sched, trace_name,
+                        "stream ", req.stream, " instance ",
+                        req.instance, " failed terminally after ",
+                        req.attempts, " attempt(s): ", why.message());
         } else {
             ++out.retries;
             req.ready = std::max(clock[core], retry_at);
             waiting.push_back(pick);
+            tracer.emit(clock[core], TraceCategory::sched, trace_name,
+                        "stream ", req.stream, " instance ",
+                        req.instance, " attempt ", req.attempts,
+                        " failed (", why.message(),
+                        "), retry at ", req.ready);
         }
     };
 
@@ -411,6 +431,9 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             waiting.erase(std::find(waiting.begin(), waiting.end(),
                                     pick));
             inprog[core].push_back(pick);
+            tracer.emit(clock[core], TraceCategory::sched, trace_name,
+                        "dispatch: stream ", req.stream, " instance ",
+                        req.instance, " -> tile ", core);
             if (hooks.dispatch) {
                 const Tick extra =
                     hooks.dispatch(req.stream, req.instance,
@@ -471,6 +494,10 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             latency_sum[req.stream] += latency;
             ++out.completed;
             result.makespan = std::max(result.makespan, clock[core]);
+            tracer.emit(clock[core], TraceCategory::sched, trace_name,
+                        "stream ", req.stream, " instance ",
+                        req.instance, " completed on tile ", core,
+                        ", latency ", latency);
             if (hooks.complete)
                 hooks.complete(req.stream, req.instance,
                                clock[core]);

@@ -35,11 +35,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/scheduler.hh"
 #include "core/soc.hh"
 #include "core/task.hh"
+#include "sim/trace.hh"
 
 namespace snpu
 {
@@ -152,7 +154,12 @@ class NCoreScheduler
                    std::uint32_t num_cores = 1,
                    std::uint32_t coarse_interval = 5);
 
-    /** Serve every stream to completion (or rejection). */
+    /**
+     * Serve every stream to completion (or rejection). When the SoC
+     * has a trace sink attached, scheduling decisions (dispatch,
+     * context switch, fail/retry, completion) emit as "sched" under
+     * TraceCategory::sched for the duration of the run.
+     */
     NSchedResult run(const std::vector<ExecStream> &streams,
                      const SchedHooks &hooks = {});
 
@@ -161,6 +168,8 @@ class NCoreScheduler
     SchedPolicy policy;
     std::uint32_t num_cores;
     std::uint32_t coarse_interval;
+    Tracer tracer;
+    std::string trace_name;
 };
 
 } // namespace snpu

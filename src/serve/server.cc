@@ -81,6 +81,15 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     }
     served = true;
 
+    // Pick up whatever sink the SoC carries; disarmed tracing costs
+    // one branch per span event.
+    if (soc.traceSink()) {
+        trace_name = "serve";
+        tracer.attach(soc.traceSink());
+    } else {
+        tracer.detach();
+    }
+
     bool any_secure = false;
     for (const TenantSpec &t : tenants) {
         if (t.arrivals.empty()) {
@@ -156,6 +165,21 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     std::vector<std::uint32_t> peak(ntenants, 0);
     std::vector<std::uint32_t> consecutive(ntenants, 0);
     std::vector<bool> quarantined(ntenants, false);
+
+    // Per-request span state, tracked unconditionally: the span
+    // summaries in TenantReport must exist with no sink attached.
+    struct Span
+    {
+        Tick admitted = 0;
+        Tick dispatched = 0;  //!< last dispatch (pre-monitor charge)
+        Tick exec_start = 0;  //!< last exec start (post charge)
+        Tick completed = 0;
+        std::uint32_t retries = 0;
+        bool done = false;
+    };
+    std::vector<std::vector<Span>> spans(ntenants);
+    for (std::uint32_t s = 0; s < ntenants; ++s)
+        spans[s].assign(tenants[s].arrivals.size(), Span{});
     std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
         queued; // (tenant, instance) -> monitor task id
 
@@ -173,17 +197,23 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     };
 
     SchedHooks hooks;
-    hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick) {
+    hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick now) {
         TenantStats &ts = stats_.tenant(s);
         ts.queue_depth.sample(depth[s]);
         if (quarantined[s]) {
             // The circuit breaker is open: fail fast at admission,
             // spending no NPU or monitor resources on this tenant.
             ++ts.rejected;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " rejected at admission: quarantined");
             return false;
         }
         if (depth[s] >= tenants[s].queue_capacity) {
             ++ts.rejected;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " rejected at admission: queue full");
             return false;
         }
         if (tenants[s].task.world == World::secure) {
@@ -191,24 +221,41 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                 soc.monitor().submit(templates[s]);
             if (id == 0) { // monitor queue overflow
                 ++ts.rejected;
+                tracer.emit(now, TraceCategory::serve, trace_name,
+                            "request ", tenants[s].name, "#", i,
+                            " rejected at admission: monitor queue "
+                            "full");
                 return false;
             }
             queued[{s, i}] = id;
         }
         ++depth[s];
         peak[s] = std::max(peak[s], depth[s]);
+        spans[s][i].admitted = now;
+        tracer.emit(now, TraceCategory::serve, trace_name,
+                    "request ", tenants[s].name, "#", i,
+                    " admitted, queue depth ", depth[s]);
         return true;
     };
     hooks.dispatch = [&](std::uint32_t s, std::uint32_t i,
-                         Tick) -> Tick {
+                         Tick now) -> Tick {
+        spans[s][i].dispatched = now;
         const auto it = queued.find({s, i});
-        if (it == queued.end())
-            return 0; // normal world: no monitor on the path
+        if (it == queued.end()) {
+            // Normal world: no monitor on the path.
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " dispatched (no monitor charge)");
+            return 0;
+        }
         SecureTask *task = soc.monitor().queue().find(it->second);
         if (task != nullptr)
             task->state = SecureTaskState::loaded;
         const Tick cost = monitorLaunchCost(templates[s]);
         stats_.tenant(s).monitor_cycles += static_cast<double>(cost);
+        tracer.emit(now, TraceCategory::serve, trace_name,
+                    "request ", tenants[s].name, "#", i,
+                    " dispatched, monitor charge ", cost, " cycles");
         return cost;
     };
     hooks.complete = [&](std::uint32_t s, std::uint32_t i, Tick now) {
@@ -228,9 +275,21 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             soc.monitor().queue().retire();
             queued.erase(it);
         }
+        Span &span = spans[s][i];
+        span.completed = now;
+        span.done = true;
+        tracer.emit(now, TraceCategory::serve, trace_name,
+                    "request ", tenants[s].name, "#", i,
+                    " completed, latency ",
+                    now - tenants[s].arrivals[i], " cycles, ",
+                    span.retries, " retries");
     };
-    hooks.dispatch_check = [&](std::uint32_t s, std::uint32_t,
+    hooks.dispatch_check = [&](std::uint32_t s, std::uint32_t i,
                                Tick now) -> Status {
+        spans[s][i].exec_start = now;
+        tracer.emit(now, TraceCategory::serve, trace_name,
+                    "request ", tenants[s].name, "#", i,
+                    " exec start");
         // The serving path models the monitor launch as a cost, so
         // the monitor's own fault sites are probed here, where a
         // real launchNext() would verify and allocate.
@@ -266,7 +325,14 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         if (!breaker_open && retryable(why.code()) &&
             attempts <= cfg.max_retries) {
             ++ts.retries;
-            return now + (cfg.retry_backoff << (attempts - 1));
+            ++spans[s][i].retries;
+            const Tick retry_at =
+                now + (cfg.retry_backoff << (attempts - 1));
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " attempt ", attempts, " failed (",
+                        why.message(), "), retry at ", retry_at);
+            return retry_at;
         }
         // Terminal: release the tenant's slot and monitor entry.
         ++ts.failed;
@@ -279,6 +345,10 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             quarantined[s] = true;
             ++ts.quarantines;
         }
+        tracer.emit(now, TraceCategory::serve, trace_name,
+                    "request ", tenants[s].name, "#", i,
+                    " failed terminally after ", attempts,
+                    " attempt(s): ", why.message());
         return sched_no_retry;
     };
 
@@ -302,6 +372,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     result.recovery_overhead = nres.recovery_overhead;
 
     result.tenants.resize(ntenants);
+    bool any_clipped = false;
     for (std::uint32_t s = 0; s < ntenants; ++s) {
         const StreamOutcome &out = nres.streams[s];
         const TenantStats &ts = stats_.tenant(s);
@@ -328,6 +399,45 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         rep.faults_observed =
             static_cast<std::uint32_t>(ts.faults_observed.value());
         rep.quarantined = quarantined[s];
+
+        // Span summary: admission->dispatch wait and exec cycles,
+        // over requests that completed.
+        std::uint64_t nspans = 0;
+        double queue_sum = 0.0;
+        double exec_sum = 0.0;
+        for (const Span &span : spans[s]) {
+            if (!span.done)
+                continue;
+            ++nspans;
+            queue_sum +=
+                static_cast<double>(span.dispatched - span.admitted);
+            exec_sum +=
+                static_cast<double>(span.completed - span.exec_start);
+        }
+        rep.spans = static_cast<std::uint32_t>(nspans);
+        rep.mean_queue_cycles =
+            nspans ? queue_sum / static_cast<double>(nspans) : 0.0;
+        rep.mean_exec_cycles =
+            nspans ? exec_sum / static_cast<double>(nspans) : 0.0;
+
+        // Tail-fidelity accounting: percentile() clamps at the
+        // histogram bound once samples overflow, so say so instead
+        // of reporting a silently saturated p99.
+        rep.latency_overflow = ts.latency.overflow();
+        rep.latency_overflow_frac =
+            ts.latency.count()
+                ? static_cast<double>(rep.latency_overflow) /
+                      static_cast<double>(ts.latency.count())
+                : 0.0;
+        rep.p99_clipped = rep.latency_overflow > 0 &&
+                          rep.latency_overflow_frac >= 0.01;
+        any_clipped |= rep.latency_overflow > 0;
+    }
+    if (any_clipped) {
+        warn("serve: latency samples overflowed the histogram range "
+             "(", cfg.latency_hist_max, " cycles); reported tail "
+             "percentiles clamp at that bound — raise "
+             "ServerConfig::latency_hist_max");
     }
     return result;
 }

@@ -38,6 +38,7 @@
 #include "serve/core_scheduler.hh"
 #include "serve/serve_stats.hh"
 #include "sim/fault_injector.hh"
+#include "sim/trace.hh"
 
 namespace snpu
 {
@@ -85,6 +86,26 @@ struct TenantReport
     std::uint32_t faults_observed = 0;
     /** True when the circuit breaker quarantined the tenant. */
     bool quarantined = false;
+
+    /** Completed request spans (admission through completion). */
+    std::uint32_t spans = 0;
+    /** Mean admission->dispatch wait across completed spans. */
+    double mean_queue_cycles = 0.0;
+    /** Mean exec-start->completion cycles across completed spans. */
+    double mean_exec_cycles = 0.0;
+    /**
+     * Latency samples beyond the histogram range. When nonzero the
+     * percentile tails (p50/p95/p99) clamp at the histogram's upper
+     * bound instead of reporting the true tail.
+     */
+    std::uint64_t latency_overflow = 0;
+    /** latency_overflow over the total sample count. */
+    double latency_overflow_frac = 0.0;
+    /**
+     * True when enough samples overflowed that the reported p99 is
+     * the clamped histogram bound, not a real quantile.
+     */
+    bool p99_clipped = false;
 };
 
 /** Whole-window serving outcome. */
@@ -183,6 +204,14 @@ class SnpuServer
     ServeStats stats_;
     std::unique_ptr<FaultInjector> injector;
     bool served = false;
+    /**
+     * Serve-path span tracing: when the SoC carries a trace sink,
+     * every request's admission, dispatch, exec start, retries and
+     * completion emit as "serve" under TraceCategory::serve. Span
+     * summaries in TenantReport exist regardless of tracing.
+     */
+    Tracer tracer;
+    std::string trace_name;
 };
 
 } // namespace snpu

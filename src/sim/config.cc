@@ -50,9 +50,18 @@ Config::getInt(const std::string &key, std::int64_t dflt) const
     auto it = kv.find(key);
     if (it == kv.end())
         return dflt;
+    // Base 10 unless the value carries an explicit 0x prefix: with
+    // strtoll's base-0 auto-detection a leading zero ("010") silently
+    // means octal, which no config author intends.
+    const char *text = it->second.c_str();
+    const char *digits = text;
+    if (*digits == '+' || *digits == '-')
+        ++digits;
+    const bool hex = digits[0] == '0' &&
+                     (digits[1] == 'x' || digits[1] == 'X');
     char *end = nullptr;
-    long long v = std::strtoll(it->second.c_str(), &end, 0);
-    if (end == it->second.c_str() || *end != '\0')
+    long long v = std::strtoll(text, &end, hex ? 16 : 10);
+    if (end == text || *end != '\0')
         fatal("config key '", key, "' is not an integer: ", it->second);
     return v;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -11,9 +12,14 @@ namespace snpu::stats
 {
 
 StatBase::StatBase(Group &group, std::string name, std::string desc)
-    : _name(std::move(name)), _desc(std::move(desc))
+    : _group(&group), _name(std::move(name)), _desc(std::move(desc))
 {
     group.add(this);
+}
+
+StatBase::~StatBase()
+{
+    _group->remove(this);
 }
 
 namespace
@@ -31,12 +37,63 @@ formatNumber(double v)
     return os.str();
 }
 
+/**
+ * JSON has no NaN/inf literals; non-finite values become null so the
+ * output always parses.
+ */
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        os << static_cast<long long>(v);
+        return;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
 } // namespace
+
+void
+jsonEscape(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\r': os << "\\r"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                os << buf;
+            } else {
+                os << raw;
+            }
+        }
+    }
+    os << '"';
+}
 
 std::string
 Scalar::render() const
 {
     return formatNumber(_value);
+}
+
+void
+Scalar::json(std::ostream &os) const
+{
+    jsonNumber(os, _value);
 }
 
 void
@@ -63,6 +120,18 @@ Average::render() const
 }
 
 void
+Average::json(std::ostream &os) const
+{
+    os << "{\"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"min\": ";
+    jsonNumber(os, _min);
+    os << ", \"max\": ";
+    jsonNumber(os, _max);
+    os << '}';
+}
+
+void
 Average::reset()
 {
     _count = 0;
@@ -84,6 +153,19 @@ void
 Histogram::sample(double v)
 {
     ++_count;
+    if (!std::isfinite(v)) {
+        // NaN fails every ordered comparison, so without this guard
+        // it would fall through both range checks into the cast
+        // below — static_cast of NaN to an integer is UB. Bucket
+        // non-finite samples by sign (NaN pessimistically as an
+        // overflow) and keep them out of the mean.
+        ++_nonfinite;
+        if (v < 0)
+            ++_underflow;
+        else
+            ++_overflow;
+        return;
+    }
     _sum += v;
     if (v < lo) {
         ++_underflow;
@@ -140,19 +222,96 @@ Histogram::render() const
 }
 
 void
+Histogram::json(std::ostream &os) const
+{
+    os << "{\"count\": " << _count << ", \"mean\": ";
+    jsonNumber(os, mean());
+    os << ", \"lo\": ";
+    jsonNumber(os, lo);
+    os << ", \"hi\": ";
+    jsonNumber(os, hi);
+    os << ", \"underflow\": " << _underflow
+       << ", \"overflow\": " << _overflow << ", \"buckets\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (i)
+            os << ", ";
+        os << counts[i];
+    }
+    os << "], \"p50\": ";
+    jsonNumber(os, percentile(0.50));
+    os << ", \"p95\": ";
+    jsonNumber(os, percentile(0.95));
+    os << ", \"p99\": ";
+    jsonNumber(os, percentile(0.99));
+    os << '}';
+}
+
+void
 Histogram::reset()
 {
     std::fill(counts.begin(), counts.end(), 0);
     _underflow = 0;
     _overflow = 0;
     _count = 0;
+    _nonfinite = 0;
     _sum = 0;
+}
+
+Group::Group(Group &parent, std::string name)
+    : _name(std::move(name)), parent_(&parent)
+{
+    parent.adopt(this);
+}
+
+Group::~Group()
+{
+    if (parent_ == nullptr)
+        return;
+    auto &siblings = parent_->children_;
+    siblings.erase(
+        std::remove(siblings.begin(), siblings.end(), this),
+        siblings.end());
+}
+
+void
+Group::adopt(Group *child)
+{
+    for (const auto *g : children_) {
+        if (g->_name == child->_name)
+            panic("stat group '", _name,
+                  "' already has a child group '", child->_name, "'");
+    }
+    for (const auto *s : stats_) {
+        if (s->name() == child->_name)
+            panic("stat group '", _name, "' already has a stat '",
+                  child->_name, "'");
+    }
+    children_.push_back(child);
 }
 
 void
 Group::add(StatBase *stat)
 {
+    // Silent duplicates would make find() ambiguous and dump lines
+    // collide; an instance registered twice is a wiring bug.
+    for (const auto *s : stats_) {
+        if (s->name() == stat->name())
+            panic("stat group '", _name,
+                  "' already has a stat named '", stat->name(), "'");
+    }
+    for (const auto *g : children_) {
+        if (g->_name == stat->name())
+            panic("stat group '", _name,
+                  "' already has a child group '", stat->name(), "'");
+    }
     stats_.push_back(stat);
+}
+
+void
+Group::remove(StatBase *stat)
+{
+    stats_.erase(std::remove(stats_.begin(), stats_.end(), stat),
+                 stats_.end());
 }
 
 const StatBase *
@@ -162,16 +321,71 @@ Group::find(const std::string &name) const
         if (s->name() == name)
             return s;
     }
+    const auto dot = name.find('.');
+    if (dot != std::string::npos) {
+        const std::string head = name.substr(0, dot);
+        for (const auto *g : children_) {
+            if (g->_name == head)
+                return g->find(name.substr(dot + 1));
+        }
+        return nullptr;
+    }
+    for (const auto *g : children_) {
+        if (const StatBase *s = g->find(name))
+            return s;
+    }
     return nullptr;
 }
 
 void
 Group::dump(std::ostream &os) const
 {
+    dumpPrefixed(os, _name);
+}
+
+void
+Group::dumpPrefixed(std::ostream &os, const std::string &prefix) const
+{
     for (const auto *s : stats_) {
-        os << _name << '.' << s->name() << " = " << s->render()
+        os << prefix << '.' << s->name() << " = " << s->render()
            << "    # " << s->desc() << '\n';
     }
+    for (const auto *g : children_)
+        g->dumpPrefixed(os, prefix + '.' + g->_name);
+}
+
+void
+Group::dumpJson(std::ostream &os) const
+{
+    jsonBody(os, 0);
+    os << '\n';
+}
+
+void
+Group::jsonBody(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string in(static_cast<std::size_t>(indent + 1) * 2,
+                         ' ');
+    os << "{\n" << in << "\"name\": ";
+    jsonEscape(os, _name);
+    os << ",\n" << in << "\"stats\": {";
+    for (std::size_t i = 0; i < stats_.size(); ++i) {
+        os << (i ? ",\n" : "\n") << in << "  ";
+        jsonEscape(os, stats_[i]->name());
+        os << ": ";
+        stats_[i]->json(os);
+    }
+    os << (stats_.empty() ? "}" : "\n" + in + "}");
+    if (!children_.empty()) {
+        os << ",\n" << in << "\"groups\": [";
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            os << (i ? ", " : "");
+            children_[i]->jsonBody(os, indent + 1);
+        }
+        os << ']';
+    }
+    os << '\n' << pad << '}';
 }
 
 void
@@ -179,6 +393,52 @@ Group::resetAll()
 {
     for (auto *s : stats_)
         s->reset();
+    for (auto *g : children_)
+        g->resetAll();
+}
+
+void
+Registry::add(Group &group)
+{
+    for (const auto *g : groups_) {
+        if (g == &group)
+            panic("stat registry: group '", group.name(),
+                  "' registered twice");
+    }
+    groups_.push_back(&group);
+}
+
+void
+Registry::remove(Group &group)
+{
+    groups_.erase(
+        std::remove(groups_.begin(), groups_.end(), &group),
+        groups_.end());
+}
+
+void
+Registry::dump(std::ostream &os) const
+{
+    for (const auto *g : groups_)
+        g->dump(os);
+}
+
+void
+Registry::dumpJson(std::ostream &os) const
+{
+    os << "{\"groups\": [";
+    for (std::size_t i = 0; i < groups_.size(); ++i) {
+        os << (i ? ", " : "");
+        groups_[i]->jsonBody(os, 1);
+    }
+    os << "]}\n";
+}
+
+void
+Registry::resetAll()
+{
+    for (auto *g : groups_)
+        g->resetAll();
 }
 
 } // namespace snpu::stats

@@ -2,14 +2,20 @@
  * @file
  * Minimal statistics package: named scalar counters, averages, and
  * histograms that register with a per-experiment StatGroup and can be
- * dumped as aligned text.
+ * dumped as aligned text or machine-readable JSON.
+ *
+ * Groups form a tree: a subsystem that exists N times per SoC (NPU
+ * cores, per-tile guarders) registers its stats into a uniquely
+ * named child group, so the same stat name can exist once per
+ * instance without colliding. Dump lines carry the full dotted path
+ * ("soc.core0.spad.spad_reads"); duplicate names within one group
+ * are a programming error and panic at registration time.
  */
 
 #ifndef SNPU_SIM_STATS_HH
 #define SNPU_SIM_STATS_HH
 
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -19,12 +25,18 @@ namespace snpu::stats
 
 class Group;
 
+/** Write @p s as a JSON string literal (quotes + escapes). */
+void jsonEscape(std::ostream &os, const std::string &s);
+
 /** Common interface for all statistics. */
 class StatBase
 {
   public:
     StatBase(Group &group, std::string name, std::string desc);
-    virtual ~StatBase() = default;
+    /** Deregisters from the owning group (no dangling pointers). */
+    virtual ~StatBase();
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
 
     const std::string &name() const { return _name; }
     const std::string &desc() const { return _desc; }
@@ -32,10 +44,14 @@ class StatBase
     /** Render the value portion of a dump line. */
     virtual std::string render() const = 0;
 
+    /** Write the value as a JSON value (number or object). */
+    virtual void json(std::ostream &os) const = 0;
+
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
 
   private:
+    Group *_group = nullptr;
     std::string _name;
     std::string _desc;
 };
@@ -54,6 +70,7 @@ class Scalar : public StatBase
 
     double value() const { return _value; }
     std::string render() const override;
+    void json(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
   private:
@@ -77,6 +94,7 @@ class Average : public StatBase
     double sum() const { return _sum; }
 
     std::string render() const override;
+    void json(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -93,6 +111,12 @@ class Histogram : public StatBase
     Histogram(Group &group, std::string name, std::string desc,
               double lo, double hi, std::size_t buckets);
 
+    /**
+     * Record one sample. Non-finite samples cannot be bucketed: NaN
+     * and +inf count into the overflow bucket, -inf into underflow,
+     * and none of them contribute to the mean (which therefore
+     * covers finite samples only).
+     */
     void sample(double v);
 
     std::uint64_t count() const { return _count; }
@@ -100,18 +124,28 @@ class Histogram : public StatBase
     std::size_t buckets() const { return counts.size(); }
     std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double mean() const
+    {
+        const std::uint64_t finite = _count - _nonfinite;
+        return finite ? _sum / static_cast<double>(finite) : 0.0;
+    }
+    double rangeLo() const { return lo; }
+    double rangeHi() const { return hi; }
 
     /**
      * Interpolated quantile @p q in [0, 1] over all samples,
      * assuming a uniform spread within each bucket. Samples in the
      * underflow bucket are treated as sitting at @c lo and samples
      * in the overflow bucket at @c hi (the histogram retains no
-     * detail beyond its range). Returns 0 with no samples.
+     * detail beyond its range) — so with a nonzero overflow bucket a
+     * high quantile silently clamps to @c hi; callers reporting
+     * tails should check overflow() and say so. Returns 0 with no
+     * samples.
      */
     double percentile(double q) const;
 
     std::string render() const override;
+    void json(std::ostream &os) const override;
     void reset() override;
 
   private:
@@ -121,39 +155,94 @@ class Histogram : public StatBase
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
     std::uint64_t _count = 0;
+    std::uint64_t _nonfinite = 0;
     double _sum = 0;
 };
 
 /**
  * Owner of a set of statistics. Subsystems embed a Group (or accept
  * one) and construct their stats against it; experiments dump or
- * reset the whole group at once.
+ * reset the whole group at once. A Group constructed against a
+ * parent becomes that parent's child: its stats dump under the
+ * parent's dotted path and reset with the parent.
  */
 class Group
 {
   public:
     explicit Group(std::string name) : _name(std::move(name)) {}
+    /** A child group named @p name under @p parent. */
+    Group(Group &parent, std::string name);
+    ~Group();
     Group(const Group &) = delete;
     Group &operator=(const Group &) = delete;
 
     const std::string &name() const { return _name; }
 
+    /** Register a stat; panics on a duplicate name in this group. */
     void add(StatBase *stat);
 
-    /** Look up a stat by name; nullptr when absent. */
+    /** Deregister a stat (called from ~StatBase). */
+    void remove(StatBase *stat);
+
+    /**
+     * Look up a stat: an exact name in this group, a dotted path
+     * ("core0.spad.spad_reads") descending through child groups, or
+     * — failing both — the first depth-first match of a bare name
+     * anywhere in the subtree. nullptr when absent.
+     */
     const StatBase *find(const std::string &name) const;
 
-    /** Write "group.stat  value  # desc" lines. */
+    /** Write "path.stat = value    # desc" lines, subtree-wide. */
     void dump(std::ostream &os) const;
 
-    /** Reset every registered stat. */
+    /** Write the subtree as one JSON object. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset every stat in the subtree. */
     void resetAll();
 
     const std::vector<StatBase *> &all() const { return stats_; }
+    const std::vector<Group *> &children() const { return children_; }
 
   private:
+    void adopt(Group *child);
+    friend class Registry;
+
+    void dumpPrefixed(std::ostream &os,
+                      const std::string &prefix) const;
+    void jsonBody(std::ostream &os, int indent) const;
+
     std::string _name;
+    Group *parent_ = nullptr;
     std::vector<StatBase *> stats_;
+    std::vector<Group *> children_;
+};
+
+/**
+ * A flat registry of root stat groups, so one dump call covers every
+ * group an experiment created (the SoC's own tree plus any benches'
+ * side groups). Holds non-owning pointers: a registered group must
+ * outlive the registry or remove() itself first.
+ */
+class Registry
+{
+  public:
+    void add(Group &group);
+    void remove(Group &group);
+
+    const std::vector<Group *> &groups() const { return groups_; }
+
+    /** Text dump of every registered group, in add order. */
+    void dump(std::ostream &os) const;
+
+    /** One JSON object: {"groups": [group, ...]}. */
+    void dumpJson(std::ostream &os) const;
+
+    /** Reset every stat in every registered group. */
+    void resetAll();
+
+  private:
+    std::vector<Group *> groups_;
 };
 
 } // namespace snpu::stats

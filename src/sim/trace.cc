@@ -19,6 +19,16 @@ traceCategoryName(TraceCategory c)
         return "noc";
       case TraceCategory::sched:
         return "sched";
+      case TraceCategory::guarder:
+        return "guarder";
+      case TraceCategory::spad:
+        return "spad";
+      case TraceCategory::monitor:
+        return "monitor";
+      case TraceCategory::fault:
+        return "fault";
+      case TraceCategory::serve:
+        return "serve";
     }
     return "?";
 }

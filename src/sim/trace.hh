@@ -31,6 +31,11 @@ enum class TraceCategory : std::uint32_t
     security = 1u << 2, //!< denials, violations, privileged ops
     noc = 1u << 3,     //!< NoC transfers
     sched = 1u << 4,   //!< scheduler decisions
+    guarder = 1u << 5, //!< Guarder checks, denials, window config
+    spad = 1u << 6,    //!< scratchpad denials and scrubs
+    monitor = 1u << 7, //!< NPU-Monitor launches, rejects, teardown
+    fault = 1u << 8,   //!< fault-injection probes that fired
+    serve = 1u << 9,   //!< serving-path request spans
 };
 
 constexpr std::uint32_t

@@ -24,6 +24,17 @@ Scratchpad::Scratchpad(stats::Group &stats, SpadParams params)
         fatal("partition boundary beyond scratchpad");
 }
 
+void
+Scratchpad::attachTrace(TraceSink *sink, const std::string &who)
+{
+    if (sink) {
+        trace_name = who;
+        tracer.attach(sink);
+    } else {
+        tracer.detach();
+    }
+}
+
 bool
 Scratchpad::partitionAllows(World w, std::uint32_t row) const
 {
@@ -45,6 +56,9 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
             // The wordline's ID bit misreads, so the comparator
             // denies the access regardless of the real owner.
             ++denied;
+            tracer.emit(0, TraceCategory::fault, trace_name,
+                        "injected ID mismatch: read of row ", row,
+                        " denied");
             return SpadStatus::security_violation;
         }
         if (faults->shouldInject(FaultSite::spad_bit_flip, 0)) {
@@ -52,6 +66,8 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
             // the corruption persists and is silent to the reader.
             data[static_cast<std::size_t>(row) * params.row_bytes] ^= 1;
             ++corrupted;
+            tracer.emit(0, TraceCategory::fault, trace_name,
+                        "injected bit flip in row ", row);
         }
     }
 
@@ -61,6 +77,9 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
       case IsolationMode::partition:
         if (!partitionAllows(reader, row)) {
             ++denied;
+            tracer.emit(0, TraceCategory::spad, trace_name,
+                        "read of row ", row,
+                        " denied: partition boundary");
             return SpadStatus::security_violation;
         }
         break;
@@ -69,6 +88,9 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
             // Local rule: read requires ID match.
             if (id_state[row] != reader) {
                 ++denied;
+                tracer.emit(0, TraceCategory::spad, trace_name,
+                            "read of row ", row,
+                            " denied: wordline ID mismatch");
                 return SpadStatus::security_violation;
             }
         } else {
@@ -77,6 +99,9 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
             if (id_state[row] == World::secure &&
                 reader != World::secure) {
                 ++denied;
+                tracer.emit(0, TraceCategory::spad, trace_name,
+                            "read of secure row ", row,
+                            " denied to normal world");
                 return SpadStatus::security_violation;
             }
             if (reader == World::secure &&
@@ -110,6 +135,9 @@ Scratchpad::write(World writer, std::uint32_t row, const std::uint8_t *src)
       case IsolationMode::partition:
         if (!partitionAllows(writer, row)) {
             ++denied;
+            tracer.emit(0, TraceCategory::spad, trace_name,
+                        "write of row ", row,
+                        " denied: partition boundary");
             return SpadStatus::security_violation;
         }
         break;
@@ -124,6 +152,9 @@ Scratchpad::write(World writer, std::uint32_t row, const std::uint8_t *src)
             if (id_state[row] == World::secure &&
                 writer != World::secure) {
                 ++denied;
+                tracer.emit(0, TraceCategory::spad, trace_name,
+                            "write of secure row ", row,
+                            " denied to normal world");
                 return SpadStatus::security_violation;
             }
             if (writer == World::secure &&
@@ -149,10 +180,16 @@ Scratchpad::secureReset(std::uint32_t first, std::uint32_t count,
 {
     if (!from_secure) {
         ++denied;
+        tracer.emit(0, TraceCategory::spad, trace_name,
+                    "secure reset denied: not issued from secure "
+                    "context");
         return false;
     }
     if (first + count > params.rows || first + count < first)
         return false;
+    tracer.emit(0, TraceCategory::spad, trace_name,
+                "secure reset: scrubbed rows [", first, ", ",
+                first + count, ")");
     for (std::uint32_t row = first; row < first + count; ++row) {
         if (id_state[row] == World::secure) {
             id_state[row] = World::normal;

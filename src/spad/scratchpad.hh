@@ -23,10 +23,12 @@
 #define SNPU_SPAD_SCRATCHPAD_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/fault_injector.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace snpu
@@ -139,6 +141,15 @@ class Scratchpad
         return static_cast<std::uint64_t>(corrupted.value());
     }
 
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who. Denials and scrubs trace under TraceCategory::spad,
+     * injected faults under TraceCategory::fault; the per-access
+     * happy path is not traced (it would swamp any sink). The
+     * scratchpad has no timebase, so records carry tick 0.
+     */
+    void attachTrace(TraceSink *sink, const std::string &who);
+
   private:
     bool partitionAllows(World w, std::uint32_t row) const;
 
@@ -146,6 +157,8 @@ class Scratchpad
     std::vector<std::uint8_t> data;   // rows * row_bytes
     std::vector<World> id_state;      // per row
     FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
 
     stats::Scalar reads;
     stats::Scalar writes;

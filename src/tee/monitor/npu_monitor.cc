@@ -51,10 +51,24 @@ NpuMonitor::NpuMonitor(stats::Group &stats, MemSystem &mem,
         });
 }
 
+void
+NpuMonitor::attachTrace(TraceSink *sink, const std::string &who)
+{
+    if (sink) {
+        trace_name = who;
+        tracer.attach(sink);
+    } else {
+        tracer.detach();
+    }
+}
+
 std::uint64_t
 NpuMonitor::submit(SecureTask task)
 {
-    return task_queue.submit(std::move(task));
+    const std::uint64_t id = task_queue.submit(std::move(task));
+    tracer.emit(0, TraceCategory::monitor, trace_name,
+                "task ", id, " submitted");
+    return id;
 }
 
 LaunchResult
@@ -65,6 +79,8 @@ NpuMonitor::reject(SecureTask &task, Status why)
     LaunchResult result;
     result.status = std::move(why);
     result.task_id = task.id;
+    tracer.emit(0, TraceCategory::monitor, trace_name, "task ",
+                task.id, " rejected: ", result.status.message());
     return result;
 }
 
@@ -82,6 +98,9 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     // 1. Code measurement.
     if (faults &&
         faults->shouldInject(FaultSite::monitor_verify, 0)) {
+        tracer.emit(0, TraceCategory::fault, trace_name,
+                    "injected verifier fault: task ", task->id,
+                    " measurement forced to mismatch");
         return reject(*task, Status::verificationFailed(
                                  "code measurement mismatch "
                                  "(injected verifier fault)"));
@@ -119,6 +138,9 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     // attempt may find the allocator healthy again.
     if (faults &&
         faults->shouldInject(FaultSite::monitor_alloc, 0)) {
+        tracer.emit(0, TraceCategory::fault, trace_name,
+                    "injected allocator fault: task ", task->id,
+                    " sees spurious exhaustion");
         if (model_paddr)
             trusted_alloc.free(model_paddr);
         return reject(*task, Status::resourceExhausted(
@@ -193,6 +215,9 @@ NpuMonitor::launchNext(const std::vector<TaskWindow> &extra_windows)
     result.task_id = task->id;
     result.cores = task->proposed_cores;
     result.model_paddr = model_paddr;
+    tracer.emit(0, TraceCategory::monitor, trace_name, "task ",
+                task->id, " verified and loaded on ",
+                result.cores.size(), " core(s)");
     return result;
 }
 
@@ -216,6 +241,9 @@ NpuMonitor::finish(std::uint64_t task_id)
 
     task->state = SecureTaskState::completed;
     task_queue.retire();
+    tracer.emit(0, TraceCategory::monitor, trace_name, "task ",
+                task_id, " finished: contexts cleared, secure "
+                "resources released");
     return true;
 }
 

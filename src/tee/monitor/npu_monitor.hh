@@ -31,6 +31,7 @@
 #include "sim/fault_injector.hh"
 #include "sim/stats.hh"
 #include "sim/status.hh"
+#include "sim/trace.hh"
 #include "tee/monitor/code_verifier.hh"
 #include "tee/monitor/context_setter.hh"
 #include "tee/monitor/secure_loader.hh"
@@ -103,6 +104,16 @@ class NpuMonitor
      */
     void armFaults(FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who (the SoC uses "monitor"). Submissions, launches,
+     * rejections (with reason) and finishes trace under
+     * TraceCategory::monitor; injected verifier/allocator faults
+     * under TraceCategory::fault. The monitor has no timebase, so
+     * all records carry tick 0.
+     */
+    void attachTrace(TraceSink *sink, const std::string &who);
+
   private:
     LaunchResult reject(SecureTask &task, Status why);
 
@@ -118,6 +129,8 @@ class NpuMonitor
     ContextSetter context_setter;
     PmpUnit pmp_unit;
     FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
 
     stats::Scalar launches;
     stats::Scalar rejected;

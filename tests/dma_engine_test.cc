@@ -91,7 +91,8 @@ TEST_F(DmaFixture, RequestLevelControllerCheckedOnce)
 {
     MockControl ctrl;
     ctrl.gran = CheckGranularity::request;
-    DmaEngine eng(stats, mem, ctrl);
+    stats::Group g2("g2");
+    DmaEngine eng(g2, mem, ctrl);
     DmaRequest req{base, 4096, MemOp::read, World::normal};
     eng.transfer(0, req, nullptr);
     EXPECT_EQ(ctrl.calls, 1u);
@@ -101,7 +102,8 @@ TEST_F(DmaFixture, PacketLevelControllerCheckedPerPacket)
 {
     MockControl ctrl;
     ctrl.gran = CheckGranularity::packet;
-    DmaEngine eng(stats, mem, ctrl);
+    stats::Group g2("g2");
+    DmaEngine eng(g2, mem, ctrl);
     DmaRequest req{base, 4096, MemOp::read, World::normal};
     eng.transfer(0, req, nullptr);
     EXPECT_EQ(ctrl.calls, 64u);
@@ -111,14 +113,16 @@ TEST_F(DmaFixture, TranslationStallsDelayCompletion)
 {
     MockControl fast;
     fast.gran = CheckGranularity::packet;
-    DmaEngine eng_fast(stats, mem, fast);
+    stats::Group g_fast("g_fast");
+    DmaEngine eng_fast(g_fast, mem, fast);
     DmaRequest req{base, 1024, MemOp::read, World::normal};
     const Tick fast_done = eng_fast.transfer(0, req, nullptr).done;
 
     MockControl slow;
     slow.gran = CheckGranularity::packet;
     slow.stall = 50;
-    DmaEngine eng_slow(stats, mem, slow);
+    stats::Group g_slow("g_slow");
+    DmaEngine eng_slow(g_slow, mem, slow);
     DmaRequest req2{base + (1u << 20), 1024, MemOp::read,
                     World::normal};
     const Tick slow_done = eng_slow.transfer(0, req2, nullptr).done;
@@ -129,7 +133,8 @@ TEST_F(DmaFixture, DenialAbortsTransfer)
 {
     MockControl ctrl;
     ctrl.deny = true;
-    DmaEngine eng(stats, mem, ctrl);
+    stats::Group g2("g2");
+    DmaEngine eng(g2, mem, ctrl);
     DmaRequest req{base, 256, MemOp::read, World::normal};
     DmaResult res = eng.transfer(0, req, nullptr);
     EXPECT_FALSE(res.ok);

@@ -338,7 +338,10 @@ struct NocFaultFixture : ::testing::Test
         p.row_bytes = 16;
         p.mode = IsolationMode::id_based;
         for (std::uint32_t i = 0; i < mesh.nodes(); ++i) {
-            spads.push_back(std::make_unique<Scratchpad>(stats, p));
+            spad_groups.push_back(std::make_unique<stats::Group>(
+                stats, "spad" + std::to_string(i)));
+            spads.push_back(std::make_unique<Scratchpad>(
+                *spad_groups.back(), p));
             fabric.attachScratchpad(i, spads.back().get());
         }
         std::uint8_t buf[16];
@@ -350,6 +353,7 @@ struct NocFaultFixture : ::testing::Test
     stats::Group stats;
     Mesh mesh;
     NocFabric fabric;
+    std::vector<std::unique_ptr<stats::Group>> spad_groups;
     std::vector<std::unique_ptr<Scratchpad>> spads;
 };
 

@@ -30,9 +30,15 @@ struct IommuFixture : ::testing::Test
     Iommu
     makeIommu(std::uint32_t entries)
     {
+        return makeIommu(stats, entries);
+    }
+
+    Iommu
+    makeIommu(stats::Group &group, std::uint32_t entries)
+    {
         IommuParams p;
         p.iotlb_entries = entries;
-        return Iommu(stats, table, p);
+        return Iommu(group, table, p);
     }
 
     stats::Group stats;
@@ -173,7 +179,8 @@ TEST_F(IommuFixture, SmallTlbThrashesAcrossStreams)
     }
     EXPECT_EQ(small.walks(), 32u); // every single access walked
 
-    Iommu big = makeIommu(16);
+    stats::Group big_stats("g_big");
+    Iommu big = makeIommu(big_stats, 16);
     t = 0;
     for (int round = 0; round < 4; ++round) {
         for (int p = 0; p < 8; ++p) {

@@ -31,8 +31,10 @@ struct FabricFixture : ::testing::Test
         p.row_bytes = 16;
         p.mode = IsolationMode::id_based;
         for (std::uint32_t i = 0; i < mesh.nodes(); ++i) {
+            spad_groups.push_back(std::make_unique<stats::Group>(
+                stats, "spad" + std::to_string(i)));
             spads.push_back(
-                std::make_unique<Scratchpad>(stats, p));
+                std::make_unique<Scratchpad>(*spad_groups.back(), p));
             fabric.attachScratchpad(i, spads.back().get());
         }
     }
@@ -49,6 +51,7 @@ struct FabricFixture : ::testing::Test
     stats::Group stats;
     Mesh mesh;
     NocFabric fabric;
+    std::vector<std::unique_ptr<stats::Group>> spad_groups;
     std::vector<std::unique_ptr<Scratchpad>> spads;
 };
 
@@ -128,7 +131,8 @@ TEST_F(FabricFixture, PeepholeSteadyStateMatchesUnauthorized)
     SpadParams p;
     p.rows = 256;
     p.row_bytes = 16;
-    Scratchpad s0(stats2, p), s1(stats2, p);
+    stats::Group g_s0(stats2, "s0"), g_s1(stats2, "s1");
+    Scratchpad s0(g_s0, p), s1(g_s1, p);
     unauth.attachScratchpad(0, &s0);
     unauth.attachScratchpad(1, &s1);
     std::uint8_t buf[16] = {1};
@@ -159,7 +163,8 @@ TEST_F(FabricFixture, TransferLatencyScalesWithDistance)
     SpadParams p;
     p.rows = 256;
     p.row_bytes = 16;
-    Scratchpad a(s2, p), b(s2, p);
+    stats::Group g_a(s2, "a"), g_b(s2, "b");
+    Scratchpad a(g_a, p), b(g_b, p);
     f2.attachScratchpad(0, &a);
     f2.attachScratchpad(9, &b);
     std::uint8_t buf[16] = {1};
@@ -179,13 +184,17 @@ struct SwNocFixture : ::testing::Test
         SpadParams p;
         p.rows = 256;
         p.row_bytes = 16;
-        src = std::make_unique<Scratchpad>(stats, p);
-        dst = std::make_unique<Scratchpad>(stats, p);
+        src_group = std::make_unique<stats::Group>(stats, "src");
+        dst_group = std::make_unique<stats::Group>(stats, "dst");
+        src = std::make_unique<Scratchpad>(*src_group, p);
+        dst = std::make_unique<Scratchpad>(*dst_group, p);
     }
 
     stats::Group stats;
     MemSystem mem;
     SoftwareNoc swnoc;
+    std::unique_ptr<stats::Group> src_group;
+    std::unique_ptr<stats::Group> dst_group;
     std::unique_ptr<Scratchpad> src;
     std::unique_ptr<Scratchpad> dst;
 };
@@ -218,7 +227,8 @@ TEST_F(SwNocFixture, SlowerThanDirectNoc)
     SpadParams p;
     p.rows = 256;
     p.row_bytes = 16;
-    Scratchpad a(s2, p), b(s2, p);
+    stats::Group g_a(s2, "a"), g_b(s2, "b");
+    Scratchpad a(g_a, p), b(g_b, p);
     fabric.attachScratchpad(0, &a);
     fabric.attachScratchpad(1, &b);
     for (std::uint32_t r = 0; r < 32; ++r)

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Integration tests for the unified observability layer: one sink
+ * attached at the SoC fans out to every instrumented subsystem, the
+ * serving path emits a complete span per request, and a detached SoC
+ * is silent end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/systems.hh"
+#include "serve/arrivals.hh"
+#include "serve/server.hh"
+#include "sim/fault_injector.hh"
+#include "sim/random.hh"
+#include "sim/trace.hh"
+
+namespace snpu
+{
+namespace
+{
+
+NpuTask
+smallTask(ModelId id, World world)
+{
+    NpuTask task = NpuTask::fromModel(id, world);
+    task.model = task.model.scaled(64);
+    return task;
+}
+
+/** Two tenants, the first secure, with Poisson arrivals. */
+std::vector<TenantSpec>
+makeTenants(std::uint32_t requests, std::uint64_t seed)
+{
+    std::vector<TenantSpec> tenants;
+    const ModelId models[] = {ModelId::mobilenet, ModelId::yololite};
+    const World worlds[] = {World::secure, World::normal};
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        TenantSpec spec;
+        spec.name = std::string(modelName(models[t])) + "_" +
+                    std::to_string(t);
+        spec.task = smallTask(models[t], worlds[t]);
+        spec.queue_capacity = 8;
+        Rng rng(seed + t);
+        spec.arrivals = poissonArrivals(rng, 200000.0, requests);
+        tenants.push_back(spec);
+    }
+    return tenants;
+}
+
+std::string
+join(const std::set<std::string> &items)
+{
+    std::ostringstream os;
+    for (const std::string &s : items)
+        os << s << " ";
+    return os.str();
+}
+
+std::size_t
+countSpanEvents(const MemoryTraceSink &sink, const std::string &name,
+                const std::string &marker)
+{
+    std::size_t n = 0;
+    for (const auto &rec : sink.records) {
+        if (rec.category == TraceCategory::serve &&
+            rec.what.find(name + "#") != std::string::npos &&
+            rec.what.find(marker) != std::string::npos)
+            ++n;
+    }
+    return n;
+}
+
+TEST(Observability, SocFansOutAttachAndDetach)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    EXPECT_EQ(soc->traceSink(), nullptr);
+    MemoryTraceSink sink;
+    soc->attachTrace(&sink);
+    EXPECT_EQ(soc->traceSink(), &sink);
+    soc->attachTrace(nullptr);
+    EXPECT_EQ(soc->traceSink(), nullptr);
+}
+
+/**
+ * One serving window with a sink on the SoC: the trace must carry
+ * records from at least seven distinct components spanning the
+ * serving engine, the scheduler, the monitor and the per-tile
+ * datapath — and every completed request must leave a full
+ * admitted/dispatched/exec-start/completed span.
+ */
+TEST(Observability, ServeWindowEmitsAcrossSubsystems)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    MemoryTraceSink sink;
+    soc->attachTrace(&sink);
+
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    // Flushing policies exercise the scratchpad scrub path too.
+    cfg.policy = SchedPolicy::flush_fine;
+    SnpuServer server(*soc, cfg);
+    const std::vector<TenantSpec> tenants = makeTenants(4, 11);
+    ServeResult res = server.serve(tenants);
+    ASSERT_TRUE(res.ok()) << res.error();
+    ASSERT_FALSE(sink.records.empty());
+
+    std::set<std::string> whos;
+    std::set<TraceCategory> cats;
+    for (const auto &rec : sink.records) {
+        whos.insert(rec.who);
+        cats.insert(rec.category);
+    }
+    EXPECT_GE(whos.size(), 7u) << "emitters: " << join(whos);
+    for (const char *expected : {"serve", "sched", "monitor", "core0"})
+        EXPECT_TRUE(whos.count(expected))
+            << "missing '" << expected << "' in: " << join(whos);
+    EXPECT_TRUE(cats.count(TraceCategory::serve));
+    EXPECT_TRUE(cats.count(TraceCategory::sched));
+    EXPECT_TRUE(cats.count(TraceCategory::monitor));
+    EXPECT_TRUE(cats.count(TraceCategory::instr));
+    EXPECT_TRUE(cats.count(TraceCategory::dma));
+
+    // Every request that completed left a full span, both in the
+    // report summary and as trace records.
+    for (const TenantReport &rep : res.tenants) {
+        EXPECT_EQ(rep.completed, 4u);
+        EXPECT_EQ(rep.spans, rep.completed);
+        EXPECT_GT(rep.mean_exec_cycles, 0.0);
+        EXPECT_GE(rep.mean_queue_cycles, 0.0);
+        EXPECT_EQ(countSpanEvents(sink, rep.name, " admitted"),
+                  rep.completed);
+        EXPECT_EQ(countSpanEvents(sink, rep.name, " dispatched"),
+                  rep.completed);
+        EXPECT_EQ(countSpanEvents(sink, rep.name, " exec start"),
+                  rep.completed);
+        EXPECT_EQ(countSpanEvents(sink, rep.name, " completed"),
+                  rep.completed);
+    }
+}
+
+/** A sink mask narrows the stream to the selected categories. */
+TEST(Observability, MaskSelectsServeSpansOnly)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    MemoryTraceSink sink(traceMask(TraceCategory::serve));
+    soc->attachTrace(&sink);
+    SnpuServer server(*soc);
+    ServeResult res = server.serve(makeTenants(2, 12));
+    ASSERT_TRUE(res.ok()) << res.error();
+    ASSERT_FALSE(sink.records.empty());
+    for (const auto &rec : sink.records) {
+        EXPECT_EQ(rec.category, TraceCategory::serve);
+        EXPECT_EQ(rec.who, "serve");
+    }
+}
+
+/**
+ * Detaching at the SoC silences every subsystem: the serving window
+ * still runs (and still computes span summaries) but the old sink
+ * receives nothing.
+ */
+TEST(Observability, DetachedSocIsSilentEndToEnd)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    MemoryTraceSink sink;
+    soc->attachTrace(&sink);
+    soc->attachTrace(nullptr);
+
+    SnpuServer server(*soc);
+    ServeResult res = server.serve(makeTenants(2, 13));
+    ASSERT_TRUE(res.ok()) << res.error();
+    EXPECT_TRUE(sink.records.empty());
+    for (const TenantReport &rep : res.tenants)
+        EXPECT_EQ(rep.spans, rep.completed);
+}
+
+/**
+ * A transient injected DMA fault forces a retry: the retry shows up
+ * in the span summary, in the serve trace, and as a fault-category
+ * record from the faulting engine.
+ */
+TEST(Observability, RetryChainAppearsInSpansAndTrace)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    MemoryTraceSink sink;
+    soc->attachTrace(&sink);
+
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    cfg.fault_injection = true;
+    cfg.max_retries = 2;
+    cfg.retry_backoff = 500;
+    FaultSpec spec;
+    spec.site = FaultSite::dma_transfer;
+    spec.trigger = FaultTrigger::nth;
+    spec.nth = 1;
+    cfg.fault_plan.faults = {spec};
+
+    SnpuServer server(*soc, cfg);
+    ServeResult res = server.serve(makeTenants(4, 14));
+    ASSERT_TRUE(res.ok()) << res.error();
+
+    std::uint32_t retries = 0;
+    std::uint32_t completed = 0;
+    for (const TenantReport &rep : res.tenants) {
+        retries += rep.retries;
+        completed += rep.completed;
+        EXPECT_EQ(rep.spans, rep.completed);
+    }
+    EXPECT_EQ(completed, 8u); // the retry absorbed the fault
+    EXPECT_GT(retries, 0u);
+
+    bool saw_retry = false;
+    bool saw_fault = false;
+    for (const auto &rec : sink.records) {
+        saw_retry |= rec.category == TraceCategory::serve &&
+                     rec.what.find("retry at") != std::string::npos;
+        saw_fault |= rec.category == TraceCategory::fault;
+    }
+    EXPECT_TRUE(saw_retry);
+    EXPECT_TRUE(saw_fault);
+}
+
+} // namespace
+} // namespace snpu

@@ -68,6 +68,28 @@ TEST(Config, HexIntegersParse)
     Config cfg;
     cfg.set("addr", "0x1000");
     EXPECT_EQ(cfg.getInt("addr"), 0x1000);
+    cfg.set("upper", "0X10");
+    EXPECT_EQ(cfg.getInt("upper"), 16);
+}
+
+TEST(Config, LeadingZeroIsDecimalNotOctal)
+{
+    // "scale=010" means ten; a base-detecting strtol would silently
+    // read it as octal 8.
+    Config cfg;
+    cfg.set("n", "010");
+    EXPECT_EQ(cfg.getInt("n"), 10);
+    cfg.set("z", "0");
+    EXPECT_EQ(cfg.getInt("z"), 0);
+}
+
+TEST(Config, NegativeIntegersParse)
+{
+    Config cfg;
+    cfg.set("n", "-8");
+    EXPECT_EQ(cfg.getInt("n"), -8);
+    cfg.set("h", "-0x10");
+    EXPECT_EQ(cfg.getInt("h"), -16);
 }
 
 TEST(Config, BoolSpellings)

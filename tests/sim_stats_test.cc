@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -157,6 +158,176 @@ TEST(Stats, RenderIntegersWithoutDecimals)
     stats::Scalar s(group, "s", "scalar");
     s = 1234567;
     EXPECT_EQ(s.render(), "1234567");
+}
+
+TEST(Stats, HistogramNonFiniteSamples)
+{
+    stats::Group group("g");
+    stats::Histogram h(group, "h", "latency", 0, 100, 10);
+    h.sample(50);
+    h.sample(std::numeric_limits<double>::quiet_NaN());
+    h.sample(std::numeric_limits<double>::infinity());
+    h.sample(-std::numeric_limits<double>::infinity());
+    EXPECT_EQ(h.count(), 4u);
+    // NaN and +inf land in overflow, -inf in underflow; none of
+    // them reaches the bucket cast (which would be UB for NaN).
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.underflow(), 1u);
+    // The mean covers finite samples only.
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+    h.reset();
+    h.sample(50);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+}
+
+TEST(Stats, DuplicateStatNamePanics)
+{
+    stats::Group group("g");
+    stats::Scalar s(group, "s", "first");
+    EXPECT_THROW(stats::Scalar(group, "s", "dup"), PanicError);
+}
+
+TEST(Stats, DuplicateChildGroupNamePanics)
+{
+    stats::Group group("g");
+    stats::Group child(group, "child");
+    EXPECT_THROW(stats::Group(group, "child"), PanicError);
+}
+
+TEST(Stats, StatAndChildNameCollisionPanics)
+{
+    stats::Group group("g");
+    stats::Group child(group, "x");
+    EXPECT_THROW(stats::Scalar(group, "x", "collides"), PanicError);
+
+    stats::Group other("g2");
+    stats::Scalar s(other, "y", "first");
+    EXPECT_THROW(stats::Group(other, "y"), PanicError);
+}
+
+TEST(Stats, StatDestructionAllowsNameReuse)
+{
+    stats::Group group("g");
+    {
+        stats::Scalar first(group, "s", "first");
+        first = 1;
+        EXPECT_EQ(group.all().size(), 1u);
+    }
+    // The destructor deregistered: no dangling pointer, no
+    // duplicate-name panic for the successor.
+    EXPECT_TRUE(group.all().empty());
+    stats::Scalar second(group, "s", "second");
+    EXPECT_EQ(group.all().size(), 1u);
+    EXPECT_EQ(group.find("s"), &second);
+}
+
+TEST(Stats, ChildGroupsDumpDottedPaths)
+{
+    stats::Group root("soc");
+    stats::Group core(root, "core0");
+    stats::Scalar reads(core, "spad_reads", "reads");
+    reads = 3;
+
+    std::ostringstream os;
+    root.dump(os);
+    EXPECT_NE(os.str().find("soc.core0.spad_reads = 3"),
+              std::string::npos);
+
+    // Dotted descent and bare-name recursive lookup both resolve.
+    EXPECT_EQ(root.find("core0.spad_reads"), &reads);
+    EXPECT_EQ(root.find("spad_reads"), &reads);
+    EXPECT_EQ(root.find("core1.spad_reads"), nullptr);
+
+    root.resetAll();
+    EXPECT_DOUBLE_EQ(reads.value(), 0);
+}
+
+TEST(Stats, GroupJsonGolden)
+{
+    stats::Group root("soc");
+    stats::Scalar cycles(root, "cycles", "total");
+    cycles = 42;
+    stats::Group core(root, "core0");
+    stats::Scalar reads(core, "spad_reads", "reads");
+    reads = 3;
+
+    std::ostringstream os;
+    root.dumpJson(os);
+    const std::string expected = "{\n"
+                                 "  \"name\": \"soc\",\n"
+                                 "  \"stats\": {\n"
+                                 "    \"cycles\": 42\n"
+                                 "  },\n"
+                                 "  \"groups\": [{\n"
+                                 "    \"name\": \"core0\",\n"
+                                 "    \"stats\": {\n"
+                                 "      \"spad_reads\": 3\n"
+                                 "    }\n"
+                                 "  }]\n"
+                                 "}\n";
+    EXPECT_EQ(os.str(), expected);
+}
+
+TEST(Stats, StatJsonValues)
+{
+    stats::Group group("g");
+    stats::Average a(group, "a", "avg");
+    a.sample(1);
+    a.sample(2);
+    std::ostringstream as;
+    a.json(as);
+    EXPECT_EQ(as.str(),
+              "{\"count\": 2, \"mean\": 1.5, \"min\": 1, "
+              "\"max\": 2}");
+
+    stats::Histogram h(group, "h", "hist", 0, 10, 2);
+    h.sample(1);
+    h.sample(11);
+    std::ostringstream hs;
+    h.json(hs);
+    EXPECT_NE(hs.str().find("\"overflow\": 1"), std::string::npos);
+    EXPECT_NE(hs.str().find("\"buckets\": [1, 0]"),
+              std::string::npos);
+}
+
+TEST(Stats, JsonEscapesControlCharacters)
+{
+    std::ostringstream os;
+    stats::jsonEscape(os, "a\"b\\c\nd");
+    EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(Stats, RegistryDumpsEveryGroup)
+{
+    stats::Registry reg;
+    stats::Group a("a");
+    stats::Group b("b");
+    stats::Scalar sa(a, "x", "d");
+    stats::Scalar sb(b, "y", "d");
+    sa = 1;
+    sb = 2;
+    reg.add(a);
+    reg.add(b);
+    EXPECT_THROW(reg.add(a), PanicError);
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("a.x = 1"), std::string::npos);
+    EXPECT_NE(os.str().find("b.y = 2"), std::string::npos);
+
+    std::ostringstream js;
+    reg.dumpJson(js);
+    EXPECT_NE(js.str().find("{\"groups\": ["), std::string::npos);
+    EXPECT_NE(js.str().find("\"x\": 1"), std::string::npos);
+    EXPECT_NE(js.str().find("\"y\": 2"), std::string::npos);
+
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(sa.value(), 0);
+    EXPECT_DOUBLE_EQ(sb.value(), 0);
+
+    reg.remove(b);
+    ASSERT_EQ(reg.groups().size(), 1u);
+    EXPECT_EQ(reg.groups()[0], &a);
 }
 
 } // namespace

@@ -145,6 +145,13 @@ TEST(Trace, CategoryNames)
     EXPECT_STREQ(traceCategoryName(TraceCategory::security), "sec");
     EXPECT_STREQ(traceCategoryName(TraceCategory::noc), "noc");
     EXPECT_STREQ(traceCategoryName(TraceCategory::sched), "sched");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::guarder),
+                 "guarder");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::spad), "spad");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::monitor),
+                 "monitor");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::fault), "fault");
+    EXPECT_STREQ(traceCategoryName(TraceCategory::serve), "serve");
 }
 
 } // namespace
