@@ -3,30 +3,64 @@
  * Fig 13 — Protected memory access for sNPU.
  *
  *  (a) Normalized end-to-end performance of the six DNNs under the
- *      TrustZone-NPU IOMMU with 4/8/16/32 IOTLB entries versus the
- *      NPU Guarder, normalized to the unprotected Normal NPU.
- *  (b) Translation/checking requests: the Guarder checks once per
- *      DMA request, the IOMMU once per 64-byte packet, so the
- *      Guarder needs only a few percent of the lookups.
+ *      TrustZone-NPU IOMMU with 4/8/16/32 IOTLB entries, the NPU
+ *      Guarder, and the memory-encryption engine ("crypto", the
+ *      GuardNN/SeDA-style alternative), normalized to the
+ *      unprotected Normal NPU.
+ *  (b) Translation/checking requests per backend: the Guarder and
+ *      the crypto engine check once per DMA request, the IOMMU once
+ *      per 64-byte packet, so request-granular backends need only a
+ *      few percent of the lookups.
+ *
+ * Flags:
+ *   --json=FILE        machine-readable report (series name their
+ *                      backend in the "series_backends" table)
+ *   --protection=NAME  restrict the protected series to one
+ *                      registered backend; unknown names fail with
+ *                      the registered-name list
  */
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "dma/protection_registry.hh"
 #include "json_writer.hh"
 #include "sim/sweep_runner.hh"
 
 using namespace snpu;
 using namespace snpu::bench;
 
+namespace
+{
+
+/** One protected series: a table column backed by one backend. */
+struct Series
+{
+    std::string column;
+    std::string backend;
+    std::function<RunResult(ModelId)> run;
+};
+
+std::string
+protectionArg(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--protection=", 13) == 0)
+            return argv[i] + 13;
+    }
+    return "";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    banner("Figure 13(a)",
-           "Normalized performance under different access controls");
-
     // Isolate the access-control variable: the scratchpad-isolation
     // strawmen get their own experiments (Figs 14, 15), so all
     // systems here run a single task with the full scratchpad.
@@ -37,33 +71,102 @@ main(int argc, char **argv)
 
     const std::uint32_t tlb_sizes[] = {4, 8, 16, 32};
 
-    Table perf({"workload", "IOTLB-4", "IOTLB-8", "IOTLB-16",
-                "IOTLB-32", "NPU Guarder"});
-    Table checks({"workload", "IOMMU lookups", "Guarder checks",
-                  "ratio"});
+    std::vector<Series> series;
+    for (std::uint32_t entries : tlb_sizes) {
+        SystemOverrides o = base;
+        o.iotlb_entries = entries;
+        series.push_back({"IOTLB-" + std::to_string(entries), "iommu",
+                          [o](ModelId id) {
+                              return measureModel(
+                                  SystemKind::trustzone_npu, id, o);
+                          }});
+    }
+    series.push_back({"NPU Guarder", "guarder", [base](ModelId id) {
+                          return measureModel(SystemKind::snpu, id,
+                                              base);
+                      }});
+    {
+        // The encryption engine replaces access control on the
+        // otherwise-unprotected system: isolation comes from keys
+        // and MACs, the overhead from the crypto bandwidth.
+        SystemOverrides o = base;
+        o.protection = "crypto";
+        series.push_back({"Crypto", "crypto", [o](ModelId id) {
+                              return measureModel(
+                                  SystemKind::normal_npu, id, o);
+                          }});
+    }
 
-    // Every (model, system) measurement builds its own SoC, so the
+    const std::string filter = protectionArg(argc, argv);
+    if (!filter.empty()) {
+        ProtectionRegistry &reg = ProtectionRegistry::global();
+        if (!reg.known(filter)) {
+            std::fprintf(stderr,
+                         "unknown protection backend '%s' "
+                         "(registered: %s)\n",
+                         filter.c_str(), reg.namesJoined().c_str());
+            return 2;
+        }
+        std::vector<Series> kept;
+        for (auto &s : series) {
+            if (s.backend == filter)
+                kept.push_back(std::move(s));
+        }
+        series = std::move(kept);
+        if (series.empty()) {
+            // A registered backend with no predefined series (e.g.
+            // passthrough, or one registered by an embedder) still
+            // measures: one series on the normal system.
+            SystemOverrides o = base;
+            o.protection = filter;
+            series.push_back({filter, filter, [o](ModelId id) {
+                                  return measureModel(
+                                      SystemKind::normal_npu, id, o);
+                              }});
+        }
+    }
+
+    banner("Figure 13(a)",
+           "Normalized performance under different access controls");
+
+    std::vector<std::string> perf_headers{"workload"};
+    for (const Series &s : series)
+        perf_headers.push_back(s.column);
+    Table perf(perf_headers);
+
+    std::vector<std::string> check_headers{"workload"};
+    for (const Series &s : series)
+        check_headers.push_back(s.column);
+    // The paper's headline ratio needs both comparands.
+    int iommu32 = -1;
+    int guarder_col = -1;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series[i].column == "IOTLB-32")
+            iommu32 = static_cast<int>(i);
+        if (series[i].backend == "guarder")
+            guarder_col = static_cast<int>(i);
+    }
+    const bool with_ratio = iommu32 >= 0 && guarder_col >= 0;
+    if (with_ratio)
+        check_headers.push_back("guarder/iommu");
+    Table checks(check_headers);
+
+    // Every (model, series) measurement builds its own SoC, so the
     // whole grid fans out across host cores; results come back in
     // submission order and the tables print identically for any
-    // thread count. Per model: baseline, 4 IOTLB sizes, Guarder.
+    // thread count. Per model: baseline first, then each series.
     const auto models = allModels();
-    constexpr std::size_t variants = 6;
+    const std::size_t variants = 1 + series.size();
     std::vector<std::function<RunResult(SweepContext &)>> grid;
     grid.reserve(models.size() * variants);
     for (ModelId id : models) {
         grid.push_back([id, base](SweepContext &) {
             return measureModel(SystemKind::normal_npu, id, base);
         });
-        for (std::uint32_t entries : tlb_sizes) {
-            SystemOverrides o = base;
-            o.iotlb_entries = entries;
-            grid.push_back([id, o](SweepContext &) {
-                return measureModel(SystemKind::trustzone_npu, id, o);
-            });
+        for (const Series &s : series) {
+            grid.push_back(
+                [id, &s](SweepContext &) { return s.run(id); });
         }
-        grid.push_back([id, base](SweepContext &) {
-            return measureModel(SystemKind::snpu, id, base);
-        });
     }
     SweepRunner runner;
     const auto measured = runner.map<RunResult>(grid);
@@ -87,44 +190,42 @@ main(int argc, char **argv)
             return 1;
         }
 
-        std::vector<std::string> row{modelName(id)};
-        std::uint64_t iommu32_checks = 0;
-        for (std::size_t e = 0; e < 4; ++e) {
-            const RunResult &res = get(m, 1 + e);
+        std::vector<std::string> perf_row{modelName(id)};
+        std::vector<std::string> check_row{modelName(id)};
+        for (std::size_t v = 0; v < series.size(); ++v) {
+            const RunResult &res = get(m, 1 + v);
             if (!res.ok()) {
-                std::printf("ERROR iommu %s: %s\n", modelName(id),
+                std::printf("ERROR %s %s: %s\n",
+                            series[v].backend.c_str(), modelName(id),
                             res.error().c_str());
                 return 1;
             }
-            row.push_back(num(static_cast<double>(normal.cycles) /
-                              static_cast<double>(res.cycles)));
-            if (tlb_sizes[e] == 32)
-                iommu32_checks = res.check_requests;
+            perf_row.push_back(
+                num(static_cast<double>(normal.cycles) /
+                    static_cast<double>(res.cycles)));
+            check_row.push_back(big(res.check_requests));
         }
-
-        const RunResult &guarder = get(m, 5);
-        if (!guarder.ok()) {
-            std::printf("ERROR guarder %s: %s\n", modelName(id),
-                        guarder.error().c_str());
-            return 1;
+        if (with_ratio) {
+            const std::uint64_t i32 =
+                get(m, 1 + static_cast<std::size_t>(iommu32))
+                    .check_requests;
+            const std::uint64_t gd =
+                get(m, 1 + static_cast<std::size_t>(guarder_col))
+                    .check_requests;
+            check_row.push_back(
+                num(100.0 * static_cast<double>(gd) /
+                        static_cast<double>(i32),
+                    1) +
+                "%");
         }
-        row.push_back(num(static_cast<double>(normal.cycles) /
-                          static_cast<double>(guarder.cycles)));
-        perf.row(row);
-
-        checks.row({modelName(id), big(iommu32_checks),
-                    big(guarder.check_requests),
-                    num(100.0 *
-                            static_cast<double>(
-                                guarder.check_requests) /
-                            static_cast<double>(iommu32_checks),
-                        1) +
-                        "%"});
+        perf.row(perf_row);
+        checks.row(check_row);
     }
     perf.print();
     std::printf("(paper: IOTLB-4 loses up to ~20%%, IOTLB-32 still "
                 "~10%% on real workloads; the Guarder loses "
-                "nothing)\n\n");
+                "nothing; the crypto engine pays MAC/counter "
+                "bandwidth instead of translation stalls)\n\n");
 
     banner("Figure 13(b)",
            "Translation/checking request counts (energy proxy)");
@@ -135,5 +236,13 @@ main(int argc, char **argv)
     JsonReport report("fig13_access_control");
     report.table("perf_normalized", perf);
     report.table("check_requests", checks);
+    // Name the backend behind every series so downstream consumers
+    // (CI validation, plots) never parse column titles.
+    Table backends({"series", "backend"});
+    for (const Series &s : series)
+        backends.row({s.column, s.backend});
+    report.table("series_backends", backends);
+    report.metric("protection_filter",
+                  filter.empty() ? std::string("all") : filter);
     return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

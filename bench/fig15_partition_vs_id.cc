@@ -14,15 +14,26 @@
  * Concurrency model: each task runs on its own tile; contention for
  * the shared DRAM channel is modeled by halving the per-task
  * bandwidth (two equal streaming consumers on one channel).
+ *
+ * Flags:
+ *   --json=FILE        machine-readable report (the "protection"
+ *                      metric names the backend every run used)
+ *   --protection=NAME  run every point under this registered
+ *                      protection backend (default: the normal
+ *                      system's passthrough); unknown names fail
+ *                      with the registered-name list
  */
 
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "core/systems.hh"
+#include "dma/protection_registry.hh"
 #include "json_writer.hh"
 #include "sim/sweep_runner.hh"
 
@@ -32,6 +43,9 @@ using namespace snpu::bench;
 namespace
 {
 
+/** Backend every run uses; set once from --protection= in main(). */
+std::string g_protection; // NOLINT
+
 Tick
 runWithRows(ModelId id, std::uint32_t rows, double gbps,
             std::uint32_t scale)
@@ -39,6 +53,7 @@ runWithRows(ModelId id, std::uint32_t rows, double gbps,
     SystemOverrides o;
     o.model_scale = scale;
     o.dram_gbps = gbps;
+    o.protection = g_protection;
     auto soc = buildSoc(SystemKind::normal_npu, o);
     TaskRunner runner(*soc);
     NpuTask task = NpuTask::fromModel(id);
@@ -98,6 +113,20 @@ class RunSweep
 int
 main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--protection=", 13) == 0)
+            g_protection = argv[i] + 13;
+    }
+    if (!g_protection.empty() &&
+        !ProtectionRegistry::global().known(g_protection)) {
+        std::fprintf(stderr,
+                     "unknown protection backend '%s' "
+                     "(registered: %s)\n",
+                     g_protection.c_str(),
+                     ProtectionRegistry::global().namesJoined().c_str());
+        return 2;
+    }
+
     banner("Figure 15", "Static partition vs ID-based dynamic "
                         "scratchpad isolation (pairs share DRAM)");
 
@@ -205,5 +234,8 @@ main(int argc, char **argv)
 
     JsonReport report("fig15_partition_vs_id");
     report.table("partition_vs_id", table);
+    report.metric("protection", g_protection.empty()
+                                    ? std::string("passthrough")
+                                    : g_protection);
     return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
 }

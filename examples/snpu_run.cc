@@ -8,6 +8,9 @@
  * Keys (defaults in parentheses):
  *   model=googlenet|alexnet|yololite|mobilenet|resnet|bert (resnet)
  *   system=normal|trustzone|snpu            (snpu)
+ *   protection=<backend name>               (system default)
+ *     any registered backend: passthrough|iommu|guarder|crypto;
+ *     access_control= is accepted as a legacy alias
  *   world=normal|secure                     (normal)
  *   iotlb=<entries>                         (32, trustzone only)
  *   walk_cache=0|1                          (0)
@@ -77,6 +80,32 @@ main(int argc, char **argv)
     }
 
     SocParams params = makeSystem(kind);
+
+    // Protection backend override, validated against the registry
+    // (access_control= is the legacy alias for the same key).
+    std::string protection = cfg.getString("protection", "");
+    if (protection.empty())
+        protection = cfg.getString("access_control", "");
+    if (!protection.empty()) {
+        ProtectionRegistry &reg = ProtectionRegistry::global();
+        if (!reg.known(protection)) {
+            std::fprintf(stderr,
+                         "unknown protection backend '%s' "
+                         "(registered: %s)\n",
+                         protection.c_str(),
+                         reg.namesJoined().c_str());
+            return 2;
+        }
+        params.protection = protection;
+    }
+    if (kind == SystemKind::snpu && params.protection != "guarder") {
+        std::fprintf(stderr, "the snpu system requires the guarder "
+                             "backend; pick system=normal or "
+                             "system=trustzone with protection=%s\n",
+                     params.protection.c_str());
+        return 2;
+    }
+
     params.iotlb_entries = static_cast<std::uint32_t>(
         cfg.getInt("iotlb", params.iotlb_entries));
     params.iommu_walk_cache = cfg.getBool("walk_cache", false);

@@ -16,6 +16,10 @@
  *   cores=<n>                         (2)
  *   load=<fraction of ideal capacity> (0.7)
  *   isolation=fine|coarse|partition|id (id)
+ *   protection=<backend name>         (guarder)
+ *     any registered backend; access_control= is a legacy alias.
+ *     Non-guarder backends serve without the NPU Monitor, so
+ *     secure= then defaults to 0.
  *   requests=<per tenant>             (16)
  *   secure=<first k tenants secure>   (tenants/2)
  *   capacity=<admission queue depth>  (8)
@@ -92,8 +96,32 @@ main(int argc, char **argv)
     const std::string isolation = cfg.getString("isolation", "id");
     const auto requests =
         static_cast<std::uint32_t>(cfg.getInt("requests", 16));
+
+    // Protection backend selection (access_control= is the legacy
+    // alias). Secure tenants need the NPU Monitor, which only the
+    // guarder system carries, so non-guarder runs default secure=0.
+    std::string protection = cfg.getString("protection", "guarder");
+    {
+        const std::string alias = cfg.getString("access_control", "");
+        if (!alias.empty())
+            protection = alias;
+    }
+    ProtectionRegistry &reg = ProtectionRegistry::global();
+    if (!reg.known(protection)) {
+        std::fprintf(stderr,
+                     "unknown protection backend '%s' "
+                     "(registered: %s)\n",
+                     protection.c_str(), reg.namesJoined().c_str());
+        return 2;
+    }
+    const bool guarded = protection == "guarder";
     const auto secure = static_cast<std::uint32_t>(
-        cfg.getInt("secure", ntenants / 2));
+        cfg.getInt("secure", guarded ? ntenants / 2 : 0));
+    if (!guarded && secure > 0) {
+        std::fprintf(stderr, "secure tenants need the NPU Monitor "
+                             "(protection=guarder)\n");
+        return 2;
+    }
     const auto capacity =
         static_cast<std::uint32_t>(cfg.getInt("capacity", 8));
     const auto scale =
@@ -107,7 +135,15 @@ main(int argc, char **argv)
     server_cfg.coarse_interval = static_cast<std::uint32_t>(
         cfg.getInt("coarse_interval", 5));
 
-    Soc soc(makeSystem(SystemKind::snpu));
+    // The guarder serves on the full sNPU system (with the monitor);
+    // other backends serve on the system they belong to.
+    SocParams soc_params =
+        guarded ? makeSystem(SystemKind::snpu)
+                : makeSystem(protection == "iommu"
+                                 ? SystemKind::trustzone_npu
+                                 : SystemKind::normal_npu);
+    soc_params.protection = protection;
+    Soc soc(soc_params);
 
     // Tenants cycle through the model zoo; the first `secure` of
     // them run confidential models through the NPU Monitor. The

@@ -74,23 +74,10 @@ prepare(Soc &soc, const NpuTask &task, std::uint32_t core,
     }
     tenant.va_bytes = alloc_cursor - tenant.va_base;
 
-    if (soc.hasGuarder()) {
-        NpuGuarder &guard = soc.guarder(core);
-        guard.clearAll(true);
-        guard.setCheckingRegister(
-            0, AddrRange{tenant.va_base, tenant.va_bytes + (1u << 20)},
-            GuardPerm::rw(), task.world, true);
-        guard.setTranslationRegister(0, tenant.va_base, tenant.va_base,
-                                     tenant.va_bytes + (1u << 20),
-                                     true);
-    } else if (soc.hasIommu()) {
-        soc.pageTable().mapRange(
-            tenant.va_base, tenant.va_base,
-            (tenant.va_bytes + (1u << 20) + page_bytes - 1) &
-                ~Addr(page_bytes - 1),
-            true, task.world == World::secure);
-        soc.iommu(core).flushTlb();
-    }
+    soc.protection(core).beginContext(
+        ProtectionContext{tenant.va_base, tenant.va_base,
+                          tenant.va_bytes + (1u << 20), task.world},
+        true);
     soc.npu().setCoreWorld(core, task.world, true);
     return tenant;
 }

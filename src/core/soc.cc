@@ -20,45 +20,36 @@ Soc::Soc(SocParams params)
     mem_system = std::make_unique<MemSystem>(stat_group, AddressMap{},
                                              mem_params);
 
+    // The protection backend comes from the registry by name; the
+    // SoC never branches on a backend kind.
+    ProtectionRegistry &reg = ProtectionRegistry::global();
+    if (!reg.known(cfg.protection)) {
+        fatal("unknown protection backend '", cfg.protection,
+              "' (registered: ", reg.namesJoined(), ")");
+    }
+
     // Page tables live in a dedicated arena at the bottom of the
-    // normal NPU region (the driver's job on real systems).
+    // normal NPU region (the driver's job on real systems). Only
+    // built when the chosen backend declares it needs one.
     const AddrRange &normal_arena =
         mem_system->map().npuArena(World::normal);
-    if (cfg.access_control == AccessControlKind::iommu) {
+    if (reg.needsPageTable(cfg.protection)) {
         page_table = std::make_unique<PageTable>(
             *mem_system, AddrRange{normal_arena.base, 16u << 20});
     }
 
-    // One access controller per tile, each with its own child stats
-    // group so per-tile stat names stay unique in the tree.
+    // One protection backend per tile, each with its own child stats
+    // group ("protection<i>") so per-tile stat names stay unique in
+    // the tree while every backend exports the same canonical names.
     controls.reserve(cfg.tiles);
     for (std::uint32_t i = 0; i < cfg.tiles; ++i) {
-        switch (cfg.access_control) {
-          case AccessControlKind::pass_through:
-            controls.push_back(std::make_unique<PassThroughControl>());
-            break;
-          case AccessControlKind::iommu: {
-            IommuParams ip;
-            ip.iotlb_entries = cfg.iotlb_entries;
-            ip.walk_cache = cfg.iommu_walk_cache;
-            control_groups.push_back(std::make_unique<stats::Group>(
-                stat_group, "iommu" + std::to_string(i)));
-            auto iommu = std::make_unique<Iommu>(
-                *control_groups.back(), *page_table, ip);
-            iommus.push_back(iommu.get());
-            controls.push_back(std::move(iommu));
-            break;
-          }
-          case AccessControlKind::guarder: {
-            control_groups.push_back(std::make_unique<stats::Group>(
-                stat_group, "guarder" + std::to_string(i)));
-            auto guarder =
-                std::make_unique<NpuGuarder>(*control_groups.back());
-            guarders.push_back(guarder.get());
-            controls.push_back(std::move(guarder));
-            break;
-          }
-        }
+        control_groups.push_back(std::make_unique<stats::Group>(
+            stat_group, "protection" + std::to_string(i)));
+        ProtectionBuildContext bctx{*control_groups.back(), cfg,
+                                    *mem_system, page_table.get(), i};
+        controls.push_back(reg.build(cfg.protection, bctx));
+        if (NpuGuarder *g = controls.back()->asGuarder())
+            guarders.push_back(g);
     }
 
     // The NPU device.
@@ -113,6 +104,14 @@ Soc::Soc(SocParams params)
     }
 }
 
+ProtectionBackend &
+Soc::protection(std::uint32_t core)
+{
+    if (core >= controls.size())
+        panic("no protection backend for core ", core);
+    return *controls[core];
+}
+
 PageTable &
 Soc::pageTable()
 {
@@ -124,17 +123,19 @@ Soc::pageTable()
 Iommu &
 Soc::iommu(std::uint32_t core)
 {
-    if (core >= iommus.size())
+    Iommu *i = protection(core).asIommu();
+    if (!i)
         panic("no IOMMU for core ", core);
-    return *iommus[core];
+    return *i;
 }
 
 NpuGuarder &
 Soc::guarder(std::uint32_t core)
 {
-    if (core >= guarders.size())
+    NpuGuarder *g = protection(core).asGuarder();
+    if (!g)
         panic("no guarder for core ", core);
-    return *guarders[core];
+    return *g;
 }
 
 NpuMonitor &
@@ -150,8 +151,8 @@ Soc::armFaults(FaultInjector *inj)
 {
     for (std::uint32_t i = 0; i < cfg.tiles; ++i)
         device->core(i).armFaults(inj);
-    for (NpuGuarder *g : guarders)
-        g->armFaults(inj);
+    for (auto &ctrl : controls)
+        ctrl->armFaults(inj);
     device->fabric().armFaults(inj);
     if (npu_monitor)
         npu_monitor->armFaults(inj);
@@ -163,9 +164,9 @@ Soc::attachTrace(TraceSink *sink)
     trace_sink = sink;
     for (std::uint32_t i = 0; i < cfg.tiles; ++i)
         device->core(i).attachTrace(sink);
-    for (std::size_t i = 0; i < guarders.size(); ++i)
-        guarders[i]->attachTrace(sink,
-                                 "guarder" + std::to_string(i));
+    for (std::size_t i = 0; i < controls.size(); ++i)
+        controls[i]->attachTrace(sink, controls[i]->name() +
+                                           std::to_string(i));
     device->fabric().attachTrace(sink, "noc");
     device->globalScratchpad().attachTrace(sink, "global_spad");
     if (npu_monitor)

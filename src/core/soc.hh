@@ -14,6 +14,7 @@
 
 #include "core/soc_config.hh"
 #include "dma/access_control.hh"
+#include "dma/protection_registry.hh"
 #include "guarder/guarder.hh"
 #include "iommu/iommu.hh"
 #include "iommu/page_table.hh"
@@ -45,18 +46,33 @@ class Soc
     MemSystem &mem() { return *mem_system; }
     NpuDevice &npu() { return *device; }
 
-    /** Page table shared by the IOMMU tiles (TrustZone system). */
+    /**
+     * Protection backend of tile @p core — the uniform seam every
+     * caller programs against: capabilities(), beginContext() /
+     * endContext(), canonical stats. The backend kind comes from
+     * SocParams::protection via the ProtectionRegistry.
+     */
+    ProtectionBackend &protection(std::uint32_t core);
+
+    /** Page table shared by page-table backends ("iommu" tiles). */
     PageTable &pageTable();
-    /** IOMMU of tile @p core (TrustZone system only). */
+
+    /**
+     * Deprecated typed accessors, kept as thin shims over
+     * protection(core): they assert the backend kind (panic when the
+     * backend is not an IOMMU / guarder). New code should use
+     * protection(core).capabilities() instead of branching on kind.
+     */
     Iommu &iommu(std::uint32_t core);
-    /** Guarder of tile @p core (sNPU system only). */
     NpuGuarder &guarder(std::uint32_t core);
+
     /** The NPU Monitor (sNPU system only). */
     NpuMonitor &monitor();
 
     bool hasMonitor() const { return npu_monitor != nullptr; }
-    bool hasIommu() const { return !iommus.empty(); }
-    bool hasGuarder() const { return !guarders.empty(); }
+    /** Deprecated: prefer protection(core).capabilities(). */
+    bool hasIommu() const { return cfg.protection == "iommu"; }
+    bool hasGuarder() const { return cfg.protection == "guarder"; }
 
     /**
      * Driver-visible world control. On the Normal NPU there is no
@@ -69,8 +85,8 @@ class Soc
 
     /**
      * Arm (or disarm with nullptr) a fault injector on every layer:
-     * each core (scratchpads, DMA), each guarder, the NoC fabric,
-     * and the monitor when present. With no injector armed every
+     * each core (scratchpads, DMA), each protection backend, the NoC
+     * fabric, and the monitor when present. With no injector armed every
      * hook site is a null-pointer check — zero simulation overhead.
      */
     void armFaults(FaultInjector *inj);
@@ -78,7 +94,7 @@ class Soc
     /**
      * Attach (or detach with nullptr) a trace sink to every layer:
      * each core (which fans out to its scratchpads and DMA engine),
-     * each guarder ("guarder<i>"), the NoC fabric ("noc"), the
+     * each protection backend ("<name><i>"), the NoC fabric ("noc"), the
      * global scratchpad ("global_spad"), and the monitor when
      * present ("monitor"). With no sink attached every emission
      * site is a single branch — zero simulation overhead.
@@ -94,12 +110,11 @@ class Soc
     stats::Registry stat_registry;
     std::unique_ptr<MemSystem> mem_system;
     std::unique_ptr<PageTable> page_table;
-    /** Per-tile child groups ("iommu<i>" / "guarder<i>") keeping
-     *  each controller's stat names unique in the tree. */
+    /** Per-tile child groups ("protection<i>") keeping each
+     *  backend's stat names unique in the tree. */
     std::vector<std::unique_ptr<stats::Group>> control_groups;
-    std::vector<std::unique_ptr<AccessControl>> controls;
-    std::vector<Iommu *> iommus;       // aliases into controls
-    std::vector<NpuGuarder *> guarders; // aliases into controls
+    std::vector<std::unique_ptr<ProtectionBackend>> controls;
+    std::vector<NpuGuarder *> guarders; // narrowed aliases (monitor)
     std::unique_ptr<NpuDevice> device;
     std::unique_ptr<NpuMonitor> npu_monitor;
     TraceSink *trace_sink = nullptr;

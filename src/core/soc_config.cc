@@ -26,12 +26,12 @@ makeSystem(SystemKind kind)
     params.system = kind;
     switch (kind) {
       case SystemKind::normal_npu:
-        params.access_control = AccessControlKind::pass_through;
+        params.protection = "passthrough";
         params.spad_isolation = IsolationMode::none;
         params.noc_mode = NocMode::unauthorized;
         break;
       case SystemKind::trustzone_npu:
-        params.access_control = AccessControlKind::iommu;
+        params.protection = "iommu";
         params.iotlb_entries = 32;
         // The industry design temporally shares via flushing or
         // statically partitions; experiments pick one explicitly.
@@ -39,7 +39,7 @@ makeSystem(SystemKind kind)
         params.noc_mode = NocMode::software;
         break;
       case SystemKind::snpu:
-        params.access_control = AccessControlKind::guarder;
+        params.protection = "guarder";
         params.spad_isolation = IsolationMode::id_based;
         params.noc_mode = NocMode::peephole;
         break;
@@ -54,17 +54,12 @@ SocParams::describe() const
     os << systemKindName(system) << ": tiles=" << tiles
        << " dim=" << systolic_dim << " spad=" << spad_kib_per_tile
        << "KiB l2=" << l2_mib << "MiB dram=" << dram_gbps << "GB/s";
-    switch (access_control) {
-      case AccessControlKind::pass_through:
+    if (protection == "passthrough")
         os << " ac=none";
-        break;
-      case AccessControlKind::iommu:
+    else if (protection == "iommu")
         os << " ac=iommu(" << iotlb_entries << ")";
-        break;
-      case AccessControlKind::guarder:
-        os << " ac=guarder";
-        break;
-    }
+    else
+        os << " ac=" << protection;
     return os.str();
 }
 

@@ -29,14 +29,6 @@ enum class SystemKind : std::uint8_t
 
 const char *systemKindName(SystemKind kind);
 
-/** How the NPU's memory accesses are checked. */
-enum class AccessControlKind : std::uint8_t
-{
-    pass_through,
-    iommu,
-    guarder,
-};
-
 /** Full SoC parameters. */
 struct SocParams
 {
@@ -51,10 +43,19 @@ struct SocParams
     double dram_gbps = 16.0;
     double freq_ghz = 1.0;
 
-    AccessControlKind access_control = AccessControlKind::guarder;
+    /**
+     * Protection backend on the DMA path, by registered name
+     * (ProtectionRegistry::global()): "passthrough", "iommu",
+     * "guarder", "crypto", or anything registered by the embedder.
+     */
+    std::string protection = "guarder";
     std::uint32_t iotlb_entries = 32;
     /** Ablation: give the IOMMU a warm page-walk cache. */
     bool iommu_walk_cache = false;
+    /** Counter-cache entries of the "crypto" backend (per tile). */
+    std::uint32_t crypto_counter_entries = 64;
+    /** SHA/HMAC unit throughput of the "crypto" backend. */
+    double crypto_mac_bytes_per_cycle = 32.0;
     /** Parallel DMA channels per tile (the IOTLB ping-pong driver). */
     std::uint32_t dma_channels = 16;
 

@@ -7,6 +7,8 @@ std::unique_ptr<Soc>
 buildSoc(SystemKind kind, const SystemOverrides &overrides)
 {
     SocParams params = makeSystem(kind);
+    if (!overrides.protection.empty())
+        params.protection = overrides.protection;
     if (overrides.iotlb_entries)
         params.iotlb_entries = overrides.iotlb_entries;
     if (overrides.dram_gbps > 0)

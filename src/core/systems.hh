@@ -21,6 +21,9 @@ namespace snpu
 /** Common experiment overrides on top of a system's canonical params. */
 struct SystemOverrides
 {
+    /** Protection backend by registered name; empty = system default.
+     *  Unknown names are fatal (the error lists registered names). */
+    std::string protection;
     std::uint32_t iotlb_entries = 0;    //!< 0 = keep default
     double dram_gbps = 0.0;             //!< 0 = keep default
     IsolationMode spad_isolation = IsolationMode::id_based;

@@ -76,44 +76,11 @@ Status
 TaskRunner::provision(const NpuTask &task, std::uint32_t core,
                       Addr va_base, Addr bytes, Addr pa_base)
 {
-    switch (soc.params().access_control) {
-      case AccessControlKind::pass_through:
-        return Status::ok();
-      case AccessControlKind::iommu: {
-        // The driver maps the task's pages; pages of secure tasks
-        // carry the TrustZone S bit.
-        PageTable &pt = soc.pageTable();
-        const Addr aligned = bytes + (page_bytes - 1);
-        if (!pt.mapRange(va_base, pa_base,
-                         aligned & ~Addr(page_bytes - 1), true,
-                         task.world == World::secure)) {
-            // Pages may already be mapped from a previous run of the
-            // same buffers; treat remap of identical range as fine.
-        }
-        soc.iommu(core).flushTlb();
-        return Status::ok();
-    }
-      case AccessControlKind::guarder: {
-        // The monitor's context-setter path: one window covering the
-        // task's arena slice, read-write, tagged with the task world.
-        NpuGuarder &guard = soc.guarder(core);
-        const bool from_secure = true; // monitor context
-        guard.clearAll(from_secure);
-        if (!guard.setCheckingRegister(
-                0, AddrRange{pa_base, bytes}, GuardPerm::rw(),
-                task.world, from_secure)) {
-            return Status::provisionFailed(
-                "guarder checking register rejected");
-        }
-        if (!guard.setTranslationRegister(0, va_base, pa_base, bytes,
-                                          from_secure)) {
-            return Status::provisionFailed(
-                "guarder translation register rejected");
-        }
-        return Status::ok();
-    }
-    }
-    return Status::internal("unknown access-control kind");
+    // The monitor's context-setter path, uniform across backends:
+    // each backend realizes the window its own way (page mappings,
+    // register windows, region keys/versions).
+    return soc.protection(core).beginContext(
+        ProtectionContext{va_base, pa_base, bytes, task.world}, true);
 }
 
 RunResult

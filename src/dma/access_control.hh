@@ -1,30 +1,53 @@
 /**
  * @file
- * The access-control seam on the NPU's DMA path. Exactly one
- * implementation is attached to each DMA engine:
+ * The protection seam on the NPU's DMA path.
  *
- *  - PassThroughControl : no protection (the "Normal NPU" baseline),
- *  - Iommu              : per-packet IOTLB + page walker (the
- *                         "TrustZone NPU" baseline),
- *  - NpuGuarder         : per-request tile translation/checking
- *                         registers (the sNPU design).
+ * Two layers live here:
+ *
+ *  - AccessControl: the narrow translate/check interface the DMA
+ *    engine drives once per request or once per 64-byte packet;
+ *  - ProtectionBackend: the named, self-describing backend API the
+ *    SoC assembles through the ProtectionRegistry. A backend is an
+ *    AccessControl plus a capabilities() descriptor, canonical
+ *    per-backend statistics, a uniform context-provisioning surface
+ *    (beginContext/endContext), a fault-probe site, and tracer
+ *    attachment.
+ *
+ * Registered backends (see protection_registry.hh):
+ *
+ *  - passthrough : no protection (the "Normal NPU" baseline),
+ *  - iommu       : per-packet IOTLB + page walker (the
+ *                  "TrustZone NPU" baseline),
+ *  - guarder     : per-request tile translation/checking registers
+ *                  (the sNPU design),
+ *  - crypto      : counter-mode encryption + MAC engine on the DMA
+ *                  path (the GuardNN/SeDA-style alternative).
  */
 
 #ifndef SNPU_DMA_ACCESS_CONTROL_HH
 #define SNPU_DMA_ACCESS_CONTROL_HH
 
 #include <cstdint>
+#include <memory>
+#include <string>
 
 #include "mem/mem_types.hh"
+#include "sim/fault_injector.hh"
+#include "sim/stats.hh"
+#include "sim/status.hh"
+#include "sim/trace.hh"
 #include "sim/types.hh"
 
 namespace snpu
 {
 
+class Iommu;
+class NpuGuarder;
+
 /** Granularity at which an access controller performs checks. */
 enum class CheckGranularity : std::uint8_t
 {
-    /** Once per DMA request (NPU Guarder). */
+    /** Once per DMA request (NPU Guarder, crypto engine). */
     request,
     /** Once per 64-byte memory packet (IOMMU). */
     packet,
@@ -37,7 +60,14 @@ struct Translation
     bool ok = false;
     /** Translated physical address (valid when ok). */
     Addr paddr = 0;
-    /** Tick at which the translation result is available. */
+    /**
+     * Completion tick of the check: the earliest tick at which the
+     * translated access may issue to memory (for ok results), or at
+     * which the denial is known (for denials). This is a completion
+     * tick, never the issue tick of a *later* event — and it must
+     * never precede the tick passed to translate(). Every backend
+     * honors this identically; the DMA engine asserts it.
+     */
     Tick ready = 0;
 };
 
@@ -65,10 +95,34 @@ class AccessControl
 
     virtual CheckGranularity granularity() const = 0;
 
-    /** Translate and check [vaddr, vaddr+bytes) at time @p when. */
+    /**
+     * Translate and check [vaddr, vaddr+bytes) at time @p when.
+     * The returned Translation::ready must be >= @p when (the DMA
+     * engine asserts this).
+     */
     virtual Translation translate(Tick when, Addr vaddr,
                                   std::uint32_t bytes, MemOp op,
                                   World world) = 0;
+
+    /**
+     * Extra completion cycles this controller charges a finished
+     * transfer of @p bytes at @p paddr (crypto pipelines, MAC
+     * generation/verification). The DMA engine calls this once per
+     * request after the packet stream completes and delays the
+     * transfer's completion by the returned amount. Access-control
+     * backends charge nothing; encryption backends charge their
+     * bandwidth cost here.
+     */
+    virtual Tick
+    transferOverhead(Tick when, Addr paddr, std::uint32_t bytes,
+                     MemOp op)
+    {
+        (void)when;
+        (void)paddr;
+        (void)bytes;
+        (void)op;
+        return 0;
+    }
 
     /** Total translation/check operations performed (Fig 13b). */
     virtual std::uint64_t checkCount() const = 0;
@@ -78,30 +132,175 @@ class AccessControl
 };
 
 /**
- * Identity translation with no checks: the unprotected baseline.
- * Still counts lookups so the three systems report comparable stats.
+ * Self-describing capability set of a protection backend. Callers
+ * that used to branch on hasIommu()/hasGuarder() ask for the
+ * capability they actually need instead.
  */
-class PassThroughControl : public AccessControl
+struct ProtectionCapabilities
+{
+    /** Check cadence on the DMA path. */
+    CheckGranularity granularity = CheckGranularity::request;
+    /** Performs a non-identity VA→PA translation. */
+    bool translates = false;
+    /** Can deny an access (enforcement, not just accounting). */
+    bool enforces = false;
+    /** Charges per-transfer crypto bandwidth (encryption + MAC). */
+    bool encrypts = false;
+    /** Provisions contexts through the shared PageTable. */
+    bool uses_page_table = false;
+    /** Guarder-style register windows programmable by the monitor. */
+    bool has_windows = false;
+};
+
+/**
+ * One task/tenant context as provisioned before dispatch: a
+ * contiguous VA→PA window tagged with the owning world. How a
+ * backend realizes it differs (page mappings, register windows,
+ * region keys/versions) but every backend accepts the same shape.
+ */
+struct ProtectionContext
+{
+    Addr va_base = 0;
+    Addr pa_base = 0;
+    Addr bytes = 0;
+    World world = World::normal;
+};
+
+/**
+ * A named protection backend: AccessControl plus the uniform surface
+ * the SoC, serve path, benches and CLI program against. Concrete
+ * backends register a factory with the ProtectionRegistry.
+ *
+ * Statistics: every backend exports the same canonical counters —
+ * "checks", "checked_bytes", "denials", "denied_bytes", "contexts" —
+ * into the stats group the factory supplies (the SoC names it
+ * "protection<tile>"), so any two backends can be diffed stat by
+ * stat. Backend-specific extras (walk counts, counter-cache hits)
+ * ride alongside under the same group. Constructed without a group
+ * (unit tests), the counters still count but export nothing.
+ */
+class ProtectionBackend : public AccessControl
 {
   public:
+    ProtectionBackend(std::string name, stats::Group *stats = nullptr);
+    ~ProtectionBackend() override;
+
+    /** The registered backend name ("iommu", "guarder", ...). */
+    const std::string &name() const { return backend_name; }
+
+    virtual ProtectionCapabilities capabilities() const = 0;
+
+    /**
+     * Install a context (map pages, program windows, key a region).
+     * @p from_secure models the secure-configuration privilege; a
+     * backend with nothing to enforce ignores it.
+     */
+    virtual Status beginContext(const ProtectionContext &ctx,
+                                bool from_secure) = 0;
+
+    /**
+     * Tear the active context down (clear windows, flush TLBs,
+     * retire region versions). Idempotent.
+     */
+    virtual Status endContext(bool from_secure) = 0;
+
+    /**
+     * Arm (or disarm with nullptr) the fault injector. The base
+     * probe site is FaultSite::protection_check: an injected fault
+     * makes translate() deny exactly like a failed check would.
+     * (The guarder keeps its historical FaultSite::guarder_check.)
+     */
+    virtual void armFaults(FaultInjector *inj) { faults = inj; }
+
+    /**
+     * Attach (or detach with nullptr) a trace sink, emitting as
+     * @p who (the SoC uses "<name><tile>").
+     */
+    virtual void attachTrace(TraceSink *sink, const std::string &who);
+
+    std::uint64_t checkCount() const override { return n_checks; }
+    std::uint64_t denyCount() const override { return n_denials; }
+    std::uint64_t contextCount() const { return n_contexts; }
+
+    /**
+     * Kind-checked narrowing for the legacy typed accessors
+     * (Soc::iommu()/Soc::guarder() shims). nullptr when this backend
+     * is not that kind.
+     */
+    virtual Iommu *asIommu() { return nullptr; }
+    virtual NpuGuarder *asGuarder() { return nullptr; }
+
+  protected:
+    /** Count one check over @p bytes. */
+    void recordCheck(std::uint32_t bytes);
+    /** Count one denial of @p bytes (deny accounting is byte-aware). */
+    void recordDeny(std::uint32_t bytes);
+    /** Count one installed context. */
+    void recordContext();
+    /** True when an armed protection_check fault fires now. */
+    bool injectedDenial(Tick when);
+
+    FaultInjector *faults = nullptr;
+    Tracer tracer;
+    std::string trace_name;
+
+  private:
+    struct ExportedStats;
+
+    std::string backend_name;
+    std::uint64_t n_checks = 0;
+    std::uint64_t n_denials = 0;
+    std::uint64_t n_contexts = 0;
+    std::unique_ptr<ExportedStats> exported;
+};
+
+/**
+ * Identity translation with no checks: the unprotected baseline.
+ * Still counts lookups (and the bytes/ops they cover) so all
+ * backends report comparable stats.
+ */
+class PassThroughControl : public ProtectionBackend
+{
+  public:
+    explicit PassThroughControl(stats::Group *stats = nullptr)
+        : ProtectionBackend("passthrough", stats)
+    {
+    }
+
     CheckGranularity granularity() const override
     {
         return CheckGranularity::request;
     }
 
+    ProtectionCapabilities capabilities() const override
+    {
+        return ProtectionCapabilities{};
+    }
+
     Translation
-    translate(Tick when, Addr vaddr, std::uint32_t, MemOp,
+    translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
               World) override
     {
-        ++checks;
+        recordCheck(bytes);
+        if (injectedDenial(when)) {
+            recordDeny(bytes);
+            tracer.emit(when, TraceCategory::fault, trace_name,
+                        "injected check fault: ",
+                        op == MemOp::read ? "read" : "write", " of ",
+                        bytes, " B denied");
+            return Translation{false, 0, when};
+        }
         return Translation{true, vaddr, when};
     }
 
-    std::uint64_t checkCount() const override { return checks; }
-    std::uint64_t denyCount() const override { return 0; }
+    Status
+    beginContext(const ProtectionContext &, bool) override
+    {
+        recordContext();
+        return Status::ok();
+    }
 
-  private:
-    std::uint64_t checks = 0;
+    Status endContext(bool) override { return Status::ok(); }
 };
 
 } // namespace snpu

@@ -1,0 +1,261 @@
+#include "dma/crypto_backend.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+#include "tee/hmac.hh"
+
+namespace snpu
+{
+
+struct CryptoBackend::CryptoStats
+{
+    explicit CryptoStats(stats::Group &g)
+        : counter_hits(g, "crypto_counter_hits",
+                       "counter cache hits"),
+          counter_misses(g, "crypto_counter_misses",
+                         "counter cache misses (extra DRAM fetch)"),
+          aes_blocks(g, "crypto_aes_blocks",
+                     "64-byte lines through the AES pipeline"),
+          mac_cycles(g, "crypto_mac_cycles",
+                     "cycles charged to the HMAC unit"),
+          version_bumps(g, "crypto_version_bumps",
+                        "region version increments (write transfers)")
+    {
+    }
+
+    stats::Scalar counter_hits;
+    stats::Scalar counter_misses;
+    stats::Scalar aes_blocks;
+    stats::Scalar mac_cycles;
+    stats::Scalar version_bumps;
+};
+
+CryptoBackend::CryptoBackend(stats::Group *stats,
+                             CryptoBackendParams params)
+    : ProtectionBackend("crypto", stats), params(params),
+      regions(params.regions),
+      counter_cache(params.counter_cache_entries)
+{
+    if (params.counter_cache_entries == 0)
+        fatal("crypto backend counter cache needs at least one entry");
+    if (params.regions == 0)
+        fatal("crypto backend needs at least one keyed region");
+    if (params.mac_bytes_per_cycle <= 0 ||
+        params.dma_bytes_per_cycle <= 0) {
+        fatal("crypto backend throughputs must be positive");
+    }
+    if (stats)
+        cstats = std::make_unique<CryptoStats>(*stats);
+}
+
+CryptoBackend::~CryptoBackend() = default;
+
+const CryptoBackend::KeyedRegion *
+CryptoBackend::findRegion(Addr addr, std::uint32_t bytes) const
+{
+    for (const auto &r : regions) {
+        if (r.valid && addr >= r.base &&
+            addr - r.base + bytes <= r.size) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+Translation
+CryptoBackend::translate(Tick when, Addr vaddr, std::uint32_t bytes,
+                         MemOp op, World world)
+{
+    recordCheck(bytes);
+    const Tick ready = when + params.check_latency;
+
+    if (injectedDenial(when)) {
+        recordDeny(bytes);
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected integrity fault: ",
+                    op == MemOp::read ? "read" : "write", " of ",
+                    bytes, " B fails authentication");
+        return Translation{false, 0, ready};
+    }
+
+    const KeyedRegion *region = findRegion(vaddr, bytes);
+    if (!region) {
+        // Data outside every keyed region cannot authenticate; the
+        // engine refuses to stream it rather than returning garbage.
+        recordDeny(bytes);
+        tracer.emit(when, TraceCategory::security, trace_name,
+                    "denied: no keyed region covers pa 0x", std::hex,
+                    vaddr, std::dec, " +", bytes, " B");
+        return Translation{false, 0, ready};
+    }
+    // A secure region's key is bound to the secure context; a
+    // normal-world transfer against it would MAC-fail.
+    if (region->world == World::secure && world != World::secure) {
+        recordDeny(bytes);
+        tracer.emit(when, TraceCategory::security, trace_name,
+                    "denied: normal-world transfer against a "
+                    "secure-keyed region");
+        return Translation{false, 0, ready};
+    }
+    // Counter-mode addressing is identity: ciphertext sits at the
+    // plaintext address.
+    return Translation{true, vaddr, ready};
+}
+
+Tick
+CryptoBackend::counterLookup(Addr page)
+{
+    CounterEntry *victim = &counter_cache[0];
+    for (auto &entry : counter_cache) {
+        if (entry.valid && entry.page == page) {
+            entry.lru = ++lru_clock;
+            ++n_counter_hits;
+            if (cstats)
+                ++cstats->counter_hits;
+            return 0;
+        }
+        if (!entry.valid) {
+            victim = &entry;
+        } else if (victim->valid && entry.lru < victim->lru) {
+            victim = &entry;
+        }
+    }
+    ++n_counter_misses;
+    if (cstats)
+        ++cstats->counter_misses;
+    victim->valid = true;
+    victim->page = page;
+    victim->lru = ++lru_clock;
+    return params.counter_miss_penalty;
+}
+
+Tick
+CryptoBackend::transferOverhead(Tick when, Addr paddr,
+                                std::uint32_t bytes, MemOp op)
+{
+    (void)when;
+    if (bytes == 0)
+        return 0;
+
+    const std::uint64_t blocks = (bytes + 63) / 64;
+    if (cstats)
+        cstats->aes_blocks += static_cast<double>(blocks);
+
+    // Counter fetches: one cached counter line per 4 KiB page.
+    Tick stall = 0;
+    const Addr first_page = paddr / page_bytes;
+    const Addr last_page = (paddr + bytes - 1) / page_bytes;
+    for (Addr page = first_page; page <= last_page; ++page)
+        stall += counterLookup(page);
+
+    // Pipelined AES: fill latency once; throughput matches the DMA
+    // stream, so no per-block cost beyond the fill.
+    stall += params.engine_latency;
+
+    // MAC: the SHA unit absorbs the stream in parallel with the
+    // packet issue. Its lower throughput surfaces as the difference,
+    // plus a fixed finalize latency for tag generation/check.
+    const double sha_cycles =
+        std::ceil(static_cast<double>(bytes) /
+                  params.mac_bytes_per_cycle);
+    const double stream_cycles =
+        std::ceil(static_cast<double>(bytes) /
+                  params.dma_bytes_per_cycle);
+    const Tick mac =
+        params.mac_latency +
+        static_cast<Tick>(std::max(0.0, sha_cycles - stream_cycles));
+    stall += mac;
+    if (cstats)
+        cstats->mac_cycles += static_cast<double>(mac);
+
+    // Per-region versioning: a write re-keys the data it covers.
+    if (op == MemOp::write) {
+        for (auto &r : regions) {
+            if (r.valid && paddr >= r.base &&
+                paddr - r.base + bytes <= r.size) {
+                ++r.version;
+                ++n_version_bumps;
+                if (cstats)
+                    ++cstats->version_bumps;
+                break;
+            }
+        }
+    }
+    return stall;
+}
+
+Status
+CryptoBackend::beginContext(const ProtectionContext &ctx,
+                            bool from_secure)
+{
+    if (!from_secure) {
+        tracer.emit(0, TraceCategory::security, trace_name,
+                    "region keying from non-secure caller rejected");
+        return Status::privilegeDenied(
+            "crypto region keying requires secure privilege");
+    }
+    if (ctx.bytes == 0) {
+        return Status::invalidArgument(
+            "crypto region must be non-empty");
+    }
+
+    // One region per context: re-provisioning replaces slot 0, like
+    // the guarder's context-setter path reprograms window 0. The
+    // remaining slots serve multi-window monitor setups.
+    KeyedRegion &r = regions[0];
+    const std::uint64_t version = r.valid ? r.version + 1 : 1;
+    r.valid = true;
+    r.base = ctx.pa_base;
+    r.size = ctx.bytes;
+    r.world = ctx.world;
+    r.version = version;
+
+    // The functional region tag: HMAC-SHA256 over the region
+    // descriptor under the engine key, binding (base, size, world,
+    // version). This is what a read transfer's MAC would verify
+    // against.
+    std::vector<std::uint8_t> key(16, 0x5A);
+    std::vector<std::uint8_t> desc;
+    for (int i = 0; i < 8; ++i)
+        desc.push_back(static_cast<std::uint8_t>(r.base >> (8 * i)));
+    for (int i = 0; i < 8; ++i)
+        desc.push_back(static_cast<std::uint8_t>(r.size >> (8 * i)));
+    desc.push_back(r.world == World::secure ? 1 : 0);
+    for (int i = 0; i < 8; ++i)
+        desc.push_back(
+            static_cast<std::uint8_t>(r.version >> (8 * i)));
+    r.tag = hmacSha256(key, desc);
+
+    recordContext();
+    tracer.emit(0, TraceCategory::security, trace_name,
+                "keyed region [0x", std::hex, r.base, ", 0x",
+                r.base + r.size, std::dec, ") v", r.version,
+                r.world == World::secure ? " secure" : " normal");
+    return Status::ok();
+}
+
+Status
+CryptoBackend::endContext(bool from_secure)
+{
+    if (!from_secure) {
+        return Status::privilegeDenied(
+            "crypto region retirement requires secure privilege");
+    }
+    for (auto &r : regions)
+        r.valid = false;
+    tracer.emit(0, TraceCategory::security, trace_name,
+                "all keyed regions retired (context teardown)");
+    return Status::ok();
+}
+
+Digest
+CryptoBackend::regionTag(std::uint32_t slot) const
+{
+    if (slot >= regions.size() || !regions[slot].valid)
+        return Digest{};
+    return regions[slot].tag;
+}
+
+} // namespace snpu

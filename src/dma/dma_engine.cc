@@ -63,6 +63,7 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
     DmaResult result;
     Tick issue = when;
     Tick total_stall = 0;
+    Addr first_pa = 0;
     std::uint32_t offset = 0;
 
     while (offset < req.bytes) {
@@ -81,6 +82,10 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
         // issued before its translation is available.
         Translation xl = control->translate(
             issue, va, chunk, req.op, req.world);
+        if (xl.ready < issue) {
+            panic("access control returned ready tick ", xl.ready,
+                  " before the translate tick ", issue);
+        }
         if (!xl.ok) {
             ++denied_requests;
             tracer.emit(issue, TraceCategory::dma, trace_name,
@@ -93,6 +98,8 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
         total_stall += xl.ready - issue;
         issue = xl.ready;
         const Addr packet_pa = xl.paddr;
+        if (offset == 0)
+            first_pa = packet_pa;
 
         MemRequest mreq{packet_pa, chunk, req.op, req.world};
         MemResult mres = params.through_l2 ? mem.access(issue, mreq)
@@ -122,6 +129,10 @@ DmaEngine::transfer(Tick when, const DmaRequest &req,
 
     stall_cycles.sample(static_cast<double>(total_stall));
     result.done = std::max(result.done, issue);
+    // Per-transfer controller overhead (crypto pipelines, MAC): the
+    // transfer does not complete until the controller releases it.
+    result.done += control->transferOverhead(result.done, first_pa,
+                                             req.bytes, req.op);
     tracer.emit(result.done, TraceCategory::dma, trace_name,
                 req.op == MemOp::read ? "read" : "write", " of ",
                 req.bytes, " B done: ", result.packets, " packets, ",
@@ -143,6 +154,10 @@ DmaEngine::transferPerRequest(Tick when, const DmaRequest &req,
     // completion max.
     Translation req_xl = control->translate(when, req.vaddr, req.bytes,
                                             req.op, req.world);
+    if (req_xl.ready < when) {
+        panic("access control returned ready tick ", req_xl.ready,
+              " before the translate tick ", when);
+    }
     if (!req_xl.ok) {
         ++denied_requests;
         tracer.emit(when, TraceCategory::dma, trace_name,
@@ -191,6 +206,8 @@ DmaEngine::transferPerRequest(Tick when, const DmaRequest &req,
     result.packets = packets;
     stall_cycles.sample(0.0);
     result.done = std::max(result.done, issue);
+    result.done += control->transferOverhead(result.done, req_xl.paddr,
+                                             req.bytes, req.op);
     tracer.emit(result.done, TraceCategory::dma, trace_name,
                 req.op == MemOp::read ? "read" : "write", " of ",
                 req.bytes, " B done: ", result.packets,
@@ -252,6 +269,11 @@ DmaEngine::transferBatch(
         if (per_request) {
             s.req_xl = control->translate(when, req.vaddr, req.bytes,
                                           req.op, req.world);
+            if (s.req_xl.ready < when) {
+                panic("access control returned ready tick ",
+                      s.req_xl.ready, " before the translate tick ",
+                      when);
+            }
             if (!s.req_xl.ok) {
                 ++denied_requests;
                 tracer.emit(when, TraceCategory::dma, trace_name,
@@ -294,6 +316,10 @@ DmaEngine::transferBatch(
                 std::min<Addr>(chunk, to_page_end));
             Translation xl = control->translate(
                 t_req, va, chunk, s.req->op, s.req->world);
+            if (xl.ready < t_req) {
+                panic("access control returned ready tick ", xl.ready,
+                      " before the translate tick ", t_req);
+            }
             t_req += 1;
             if (!xl.ok) {
                 ++denied_requests;
@@ -335,6 +361,16 @@ DmaEngine::transferBatch(
     }
 
     result.done = std::max(result.done, issue);
+    // Per-transfer controller overhead: the streams share one
+    // pipelined engine, so their tails overlap — the batch completes
+    // when the slowest stream's overhead drains.
+    Tick tail = 0;
+    for (const Stream &s : streams) {
+        tail = std::max(tail, control->transferOverhead(
+                                  result.done, s.req_xl.paddr,
+                                  s.req->bytes, s.req->op));
+    }
+    result.done += tail;
     tracer.emit(result.done, TraceCategory::dma, trace_name,
                 "batch of ", streams.size(), " streams done: ",
                 result.packets, " packets");

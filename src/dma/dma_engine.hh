@@ -8,6 +8,13 @@
  * The engine issues at most one packet per cycle; stalls come from
  * translation latency (IOTLB misses) and memory back-pressure, which
  * is exactly the contrast between the IOMMU baseline and NPU Guarder.
+ *
+ * Controller contract, enforced here: every Translation::ready the
+ * controller returns must be at or after the tick it was asked at
+ * (the engine panics otherwise), and after the packet stream drains
+ * the engine charges AccessControl::transferOverhead() once per
+ * request — zero for access-control backends, the crypto pipeline /
+ * MAC cost for encryption backends.
  */
 
 #ifndef SNPU_DMA_DMA_ENGINE_HH

@@ -6,29 +6,15 @@ namespace snpu
 {
 
 NpuGuarder::NpuGuarder(stats::Group &stats, GuarderParams params)
-    : params(params),
+    : ProtectionBackend("guarder", &stats), params(params),
       checking(params.checking_registers),
       translation(params.translation_registers),
-      checks(stats, "guarder_checks",
-             "translation+check operations (one per DMA request)"),
-      denials(stats, "guarder_denials", "DMA requests denied"),
       config_violations(stats, "guarder_config_violations",
                         "register writes rejected (non-secure caller)")
 {
     if (params.checking_registers == 0 ||
         params.translation_registers == 0) {
         fatal("guarder needs at least one register of each kind");
-    }
-}
-
-void
-NpuGuarder::attachTrace(TraceSink *sink, const std::string &who)
-{
-    if (sink) {
-        trace_name = who;
-        tracer.attach(sink);
-    } else {
-        tracer.detach();
     }
 }
 
@@ -67,12 +53,12 @@ Translation
 NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
                       MemOp op, World world)
 {
-    ++checks;
+    recordCheck(bytes);
     const Tick ready = when + params.check_latency;
 
     if (faults &&
         faults->shouldInject(FaultSite::guarder_check, when)) {
-        ++denials;
+        recordDeny(bytes);
         tracer.emit(when, TraceCategory::fault, trace_name,
                     "injected check fault: request at va 0x",
                     std::hex, vaddr, std::dec, " denied");
@@ -81,7 +67,7 @@ NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
 
     const TranslationRegister *tr = findTranslation(vaddr, bytes);
     if (!tr) {
-        ++denials;
+        recordDeny(bytes);
         tracer.emit(when, TraceCategory::guarder, trace_name,
                     "denied: no translation register covers va 0x",
                     std::hex, vaddr, std::dec, " +", bytes, " B");
@@ -90,7 +76,7 @@ NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
     const Addr paddr = tr->pa_base + (vaddr - tr->va_base);
 
     if (!findWindow(paddr, bytes, op, world)) {
-        ++denials;
+        recordDeny(bytes);
         tracer.emit(when, TraceCategory::guarder, trace_name,
                     "denied: no checking window grants ",
                     op == MemOp::read ? "read" : "write", " of pa 0x",
@@ -98,6 +84,41 @@ NpuGuarder::translate(Tick when, Addr vaddr, std::uint32_t bytes,
         return Translation{false, 0, ready};
     }
     return Translation{true, paddr, ready};
+}
+
+Status
+NpuGuarder::beginContext(const ProtectionContext &ctx, bool from_secure)
+{
+    if (ctx.bytes == 0) {
+        return Status::invalidArgument(
+            "guarder context must be non-empty");
+    }
+    if (!clearAll(from_secure)) {
+        return Status::privilegeDenied(
+            "guarder context setup requires secure privilege");
+    }
+    if (!setCheckingRegister(0, AddrRange{ctx.pa_base, ctx.bytes},
+                             GuardPerm::rw(), ctx.world, from_secure)) {
+        return Status::provisionFailed(
+            "guarder checking register rejected");
+    }
+    if (!setTranslationRegister(0, ctx.va_base, ctx.pa_base, ctx.bytes,
+                                from_secure)) {
+        return Status::provisionFailed(
+            "guarder translation register rejected");
+    }
+    recordContext();
+    return Status::ok();
+}
+
+Status
+NpuGuarder::endContext(bool from_secure)
+{
+    if (!clearAll(from_secure)) {
+        return Status::privilegeDenied(
+            "guarder context teardown requires secure privilege");
+    }
+    return Status::ok();
 }
 
 bool

@@ -76,9 +76,15 @@ struct GuarderParams
 };
 
 /**
- * The NPU Guarder. Implements AccessControl at request granularity.
+ * The NPU Guarder, registered as backend "guarder". Request-granular
+ * translation and checking; canonical checks/denials come from the
+ * base, rejected programming attempts export alongside.
+ *
+ * Fault injection keeps the historical FaultSite::guarder_check site
+ * (armed plans and traces stay compatible); an injected fault makes
+ * translate() deny the request exactly like a missing window would.
  */
-class NpuGuarder : public AccessControl
+class NpuGuarder : public ProtectionBackend
 {
   public:
     NpuGuarder(stats::Group &stats, GuarderParams params = {});
@@ -88,17 +94,33 @@ class NpuGuarder : public AccessControl
         return CheckGranularity::request;
     }
 
+    ProtectionCapabilities capabilities() const override
+    {
+        ProtectionCapabilities caps;
+        caps.granularity = CheckGranularity::request;
+        caps.translates = true;
+        caps.enforces = true;
+        caps.has_windows = true;
+        return caps;
+    }
+
     Translation translate(Tick when, Addr vaddr, std::uint32_t bytes,
                           MemOp op, World world) override;
 
-    std::uint64_t checkCount() const override
-    {
-        return static_cast<std::uint64_t>(checks.value());
-    }
-    std::uint64_t denyCount() const override
-    {
-        return static_cast<std::uint64_t>(denials.value());
-    }
+    /**
+     * The monitor's context-setter path: clear the register files,
+     * then program window 0 — one read-write checking window over
+     * the context's physical slice tagged with its world, and one
+     * translation register covering its VA range. Requires secure
+     * privilege (rejections count as config violations).
+     */
+    Status beginContext(const ProtectionContext &ctx,
+                        bool from_secure) override;
+
+    /** Context teardown: clear every register (clearAll). */
+    Status endContext(bool from_secure) override;
+
+    NpuGuarder *asGuarder() override { return this; }
 
     /**
      * Program a checking register. Only the secure configuration
@@ -135,23 +157,6 @@ class NpuGuarder : public AccessControl
         return static_cast<std::uint64_t>(config_violations.value());
     }
 
-    /**
-     * Arm (or disarm with nullptr) the fault injector: an injected
-     * guarder_check fault makes translate() deny the request exactly
-     * like a missing window would.
-     */
-    void armFaults(FaultInjector *inj) { faults = inj; }
-
-    /**
-     * Attach (or detach with nullptr) a trace sink, emitting as
-     * @p who (the SoC uses "guarder<tile>"). Denials, rejected
-     * configuration attempts and window programming trace under
-     * TraceCategory::guarder; injected check faults under
-     * TraceCategory::fault. The per-request happy path stays
-     * untraced — it runs once per DMA request.
-     */
-    void attachTrace(TraceSink *sink, const std::string &who);
-
   private:
     const TranslationRegister *findTranslation(Addr vaddr,
                                                std::uint32_t bytes) const;
@@ -161,12 +166,7 @@ class NpuGuarder : public AccessControl
     GuarderParams params;
     std::vector<CheckingRegister> checking;
     std::vector<TranslationRegister> translation;
-    FaultInjector *faults = nullptr;
-    Tracer tracer;
-    std::string trace_name;
 
-    stats::Scalar checks;
-    stats::Scalar denials;
     stats::Scalar config_violations;
 };
 

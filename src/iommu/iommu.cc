@@ -6,10 +6,9 @@ namespace snpu
 {
 
 Iommu::Iommu(stats::Group &stats, PageTable &table, IommuParams params)
-    : table(table), params(params), iotlb(params.iotlb_entries),
-      lookups(stats, "iommu_lookups", "IOTLB lookups (one per packet)"),
+    : ProtectionBackend("iommu", &stats), table(table), params(params),
+      iotlb(params.iotlb_entries),
       walk_count(stats, "iommu_walks", "page-table walks"),
-      denials(stats, "iommu_denials", "accesses denied (perm or S/NS)"),
       walk_latency(stats, "iommu_walk_latency", "cycles per page walk")
 {
 }
@@ -18,7 +17,7 @@ Translation
 Iommu::translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
                  World world)
 {
-    ++lookups;
+    recordCheck(bytes);
     const Addr vpn = vaddr / page_bytes;
     const Addr offset = vaddr % page_bytes;
 
@@ -26,6 +25,14 @@ Iommu::translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
         // The DMA engine splits requests into 64-byte packets that
         // never straddle a page in our layouts; treat it as a bug.
         panic("IOMMU packet crosses a page boundary");
+    }
+
+    if (injectedDenial(when)) {
+        recordDeny(bytes);
+        tracer.emit(when, TraceCategory::fault, trace_name,
+                    "injected check fault: packet at va 0x", std::hex,
+                    vaddr, std::dec, " denied");
+        return Translation{false, 0, when + params.hit_latency};
     }
 
     bool writable;
@@ -52,7 +59,7 @@ Iommu::translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
                 : table.walk(walk_start, vpn * page_bytes, pte);
         walk_latency.sample(static_cast<double>(walk_done - when));
         if (!pte.valid) {
-            ++denials;
+            recordDeny(bytes);
             return Translation{false, 0, walk_done};
         }
         writable = pte.writable;
@@ -64,15 +71,45 @@ Iommu::translate(Tick when, Addr vaddr, std::uint32_t bytes, MemOp op,
 
     // Permission and TrustZone S/NS checks.
     if (op == MemOp::write && !writable) {
-        ++denials;
+        recordDeny(bytes);
         return Translation{false, 0, ready};
     }
     if (secure && world != World::secure) {
-        ++denials;
+        recordDeny(bytes);
         return Translation{false, 0, ready};
     }
 
     return Translation{true, ppn * page_bytes + offset, ready};
+}
+
+Status
+Iommu::beginContext(const ProtectionContext &ctx, bool from_secure)
+{
+    (void)from_secure; // the driver (normal world) maps NPU pages
+    if (ctx.bytes == 0)
+        return Status::invalidArgument("IOMMU context must be non-empty");
+
+    const Addr aligned =
+        (ctx.bytes + page_bytes - 1) & ~Addr(page_bytes - 1);
+    // Pages may already be mapped from a previous run of the same
+    // buffers; remap of an identical range keeps the entries.
+    table.mapRange(ctx.va_base, ctx.pa_base, aligned, true,
+                   ctx.world == World::secure);
+    flushTlb();
+    recordContext();
+    tracer.emit(0, TraceCategory::security, trace_name,
+                "mapped context va 0x", std::hex, ctx.va_base,
+                " -> pa 0x", ctx.pa_base, std::dec, " +", aligned,
+                " B, IOTLB flushed");
+    return Status::ok();
+}
+
+Status
+Iommu::endContext(bool from_secure)
+{
+    (void)from_secure;
+    flushTlb();
+    return Status::ok();
 }
 
 void

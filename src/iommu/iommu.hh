@@ -1,6 +1,6 @@
 /**
  * @file
- * The IOMMU baseline: the access controller used by the "TrustZone
+ * The IOMMU baseline: the protection backend used by the "TrustZone
  * NPU" comparative system. Every 64-byte memory packet looks up the
  * IOTLB; a miss triggers a 3-level page walk through the timed memory
  * system. The TrustZone extension is the S bit carried in the PTE:
@@ -41,8 +41,12 @@ struct IommuParams
     bool walk_cache = false;
 };
 
-/** Per-packet IOMMU with a TrustZone S/NS extension. */
-class Iommu : public AccessControl
+/**
+ * Per-packet IOMMU with a TrustZone S/NS extension, registered as
+ * backend "iommu". Canonical checks/denials come from the base;
+ * walk counts and walk latency export alongside as backend extras.
+ */
+class Iommu : public ProtectionBackend
 {
   public:
     Iommu(stats::Group &stats, PageTable &table, IommuParams params = {});
@@ -52,17 +56,36 @@ class Iommu : public AccessControl
         return CheckGranularity::packet;
     }
 
+    ProtectionCapabilities capabilities() const override
+    {
+        ProtectionCapabilities caps;
+        caps.granularity = CheckGranularity::packet;
+        caps.translates = true;
+        caps.enforces = true;
+        caps.uses_page_table = true;
+        return caps;
+    }
+
     Translation translate(Tick when, Addr vaddr, std::uint32_t bytes,
                           MemOp op, World world) override;
 
-    std::uint64_t checkCount() const override
-    {
-        return static_cast<std::uint64_t>(lookups.value());
-    }
-    std::uint64_t denyCount() const override
-    {
-        return static_cast<std::uint64_t>(denials.value());
-    }
+    /**
+     * Driver-style provisioning: map the context's pages (secure
+     * contexts carry the TrustZone S bit) and invalidate the IOTLB.
+     * Remapping an already-mapped page keeps the existing entry —
+     * re-provisioning the same buffers is the common serve-path case.
+     */
+    Status beginContext(const ProtectionContext &ctx,
+                        bool from_secure) override;
+
+    /**
+     * World switch / context retirement: the IOTLB is invalidated.
+     * The page table itself is driver-owned and shared across tiles,
+     * so mappings stay.
+     */
+    Status endContext(bool from_secure) override;
+
+    Iommu *asIommu() override { return this; }
 
     /** Invalidate the IOTLB (world switch / driver remap). */
     void flushTlb();
@@ -80,9 +103,7 @@ class Iommu : public AccessControl
     /** Next tick the (pipelined) walker can accept a new walk. */
     Tick walker_free = 0;
 
-    stats::Scalar lookups;
     stats::Scalar walk_count;
-    stats::Scalar denials;
     stats::Average walk_latency;
 };
 

@@ -149,23 +149,10 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
     }
 
     auto provision = [&](const CompiledStream &st, std::uint32_t core) {
-        if (soc.hasGuarder()) {
-            NpuGuarder &guard = soc.guarder(core);
-            guard.clearAll(true);
-            guard.setCheckingRegister(
-                0, AddrRange{st.va_base, st.va_bytes + (1u << 20)},
-                GuardPerm::rw(), st.world, true);
-            guard.setTranslationRegister(
-                0, st.va_base, st.va_base, st.va_bytes + (1u << 20),
-                true);
-        } else if (soc.hasIommu()) {
-            soc.pageTable().mapRange(
-                st.va_base, st.va_base,
-                (st.va_bytes + (1u << 20) + page_bytes - 1) &
-                    ~Addr(page_bytes - 1),
-                true, st.world == World::secure);
-            soc.iommu(core).flushTlb();
-        }
+        soc.protection(core).beginContext(
+            ProtectionContext{st.va_base, st.va_base,
+                              st.va_bytes + (1u << 20), st.world},
+            true);
     };
 
     // All request instances, in global admission (arrival) order.
@@ -274,14 +261,14 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
 
         if (req.core >= 0) {
             // Post-fault hygiene: zero the rows the faulted context
-            // could have touched and revoke its guarder windows
-            // before any other tenant reuses the slot. Charged at
-            // one cycle per scrubbed wordline.
+            // could have touched and tear its protection context
+            // down (windows revoked, TLB flushed, region keys
+            // retired) before any other tenant reuses the slot.
+            // Charged at one cycle per scrubbed wordline.
             const Tick t0 = clock[core];
             NpuCore &tile = soc.npu().core(core);
             tile.scratchpad().secureReset(0, st.live_rows, true);
-            if (soc.hasGuarder())
-                soc.guarder(core).clearAll(true);
+            soc.protection(core).endContext(true);
             clock[core] += st.live_rows;
             result.recovery_overhead += clock[core] - t0;
             running[core] = -1;

@@ -25,6 +25,8 @@ faultSiteName(FaultSite site)
         return "monitor_alloc";
       case FaultSite::task_hang:
         return "task_hang";
+      case FaultSite::protection_check:
+        return "protection_check";
     }
     return "?";
 }

@@ -60,9 +60,13 @@ enum class FaultSite : std::uint8_t
     monitor_alloc,
     /** NPU: a dispatched task hangs until the watchdog fires. */
     task_hang,
+    /** Any protection backend: a translate() check denies the
+     *  request (the generic ProtectionBackend probe; the guarder
+     *  keeps its historical guarder_check site). */
+    protection_check,
 };
 
-constexpr std::size_t fault_site_count = 9;
+constexpr std::size_t fault_site_count = 10;
 
 const char *faultSiteName(FaultSite site);
 

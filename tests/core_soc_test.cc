@@ -92,7 +92,7 @@ TEST(SocSecurity, SnpuRequiresSecurePrivilege)
 TEST(SocSecurity, SnpuRequiresGuarderAccessControl)
 {
     SocParams params = makeSystem(SystemKind::snpu);
-    params.access_control = AccessControlKind::pass_through;
+    params.protection = "passthrough";
     EXPECT_THROW(Soc soc(params), FatalError);
 }
 

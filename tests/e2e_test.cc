@@ -150,7 +150,7 @@ TEST(EndToEnd, StatsDumpContainsAllSubsystems)
     soc.stats().dump(os);
     const std::string dump = os.str();
     for (const char *needle :
-         {"dram_bytes", "l2_hits", "dma_packets", "guarder_checks",
+         {"dram_bytes", "l2_hits", "dma_packets", "protection0.checks",
           "spad_reads", "noc_packets", "npu_instructions"}) {
         EXPECT_NE(dump.find(needle), std::string::npos)
             << "missing stat " << needle;
