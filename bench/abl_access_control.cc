@@ -45,6 +45,9 @@ normalized(SystemKind kind, const SystemOverrides &o, Tick baseline)
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("abl_access_control").json(&json_path).parse(argc, argv);
+
     banner("Ablation A", "DMA channels vs IOTLB thrash (resnet, "
                          "normalized to the unprotected NPU)");
 
@@ -109,5 +112,5 @@ main(int argc, char **argv)
     JsonReport report("abl_access_control");
     report.table("dma_channels", chan);
     report.table("walk_cache", walk);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

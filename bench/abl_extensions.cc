@@ -24,6 +24,9 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("abl_extensions").json(&json_path).parse(argc, argv);
+
     banner("Ablation C", "Hardware secure domains vs tag-bit cost");
 
     AreaModel model(makeSystem(SystemKind::snpu));
@@ -72,5 +75,5 @@ main(int argc, char **argv)
     JsonReport report("abl_extensions");
     report.table("domains", dom);
     report.table("encryption", enc);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

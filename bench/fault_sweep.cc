@@ -44,7 +44,7 @@ namespace
 constexpr std::uint32_t n_cores = 2;
 constexpr std::uint32_t n_requests = 6;
 constexpr std::uint32_t model_scale = 256;
-constexpr std::uint64_t arrival_seed = 11;
+std::uint64_t arrival_seed = 11;
 constexpr double offered_load = 0.4;
 
 struct TenantPlan
@@ -111,12 +111,12 @@ int
 main(int argc, char **argv)
 {
     unsigned jobs = 0;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
-            jobs = static_cast<unsigned>(
-                std::strtoul(argv[i] + 7, nullptr, 10));
-    }
-    const std::string json_path = bench::jsonPathArg(argc, argv);
+    std::string json_path;
+    bench::ArgSpec("fault_sweep")
+        .json(&json_path)
+        .jobs(&jobs)
+        .seed(&arrival_seed)
+        .parse(argc, argv);
 
     const SocParams params = makeSystem(SystemKind::snpu);
 

@@ -17,6 +17,9 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("fig01_utilization").json(&json_path).parse(argc, argv);
+
     banner("Figure 1", "FLOPS utilization of inference workloads "
                        "(single tile, Table II config)");
 
@@ -48,5 +51,5 @@ main(int argc, char **argv)
     JsonReport report("fig01_utilization");
     report.table("utilization", table);
     report.metric("mean_utilization_pct", total / count);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

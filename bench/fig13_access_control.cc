@@ -46,21 +46,18 @@ struct Series
     std::function<RunResult(ModelId)> run;
 };
 
-std::string
-protectionArg(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--protection=", 13) == 0)
-            return argv[i] + 13;
-    }
-    return "";
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    std::string filter;
+    ArgSpec("fig13_access_control")
+        .json(&json_path)
+        .protection(&filter)
+        .parse(argc, argv);
+
     // Isolate the access-control variable: the scratchpad-isolation
     // strawmen get their own experiments (Figs 14, 15), so all
     // systems here run a single task with the full scratchpad.
@@ -97,7 +94,6 @@ main(int argc, char **argv)
                           }});
     }
 
-    const std::string filter = protectionArg(argc, argv);
     if (!filter.empty()) {
         ProtectionRegistry &reg = ProtectionRegistry::global();
         if (!reg.known(filter)) {
@@ -244,5 +240,5 @@ main(int argc, char **argv)
     report.table("series_backends", backends);
     report.metric("protection_filter",
                   filter.empty() ? std::string("all") : filter);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

@@ -19,6 +19,10 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("fig14_flush_granularity").json(&json_path).parse(argc,
+                                                              argv);
+
     banner("Figure 14",
            "Normalized execution time under flushing granularities");
 
@@ -62,5 +66,5 @@ main(int argc, char **argv)
     JsonReport report("fig14_flush_granularity");
     report.table("flush_granularity", table);
     report.metric("worst_tile_slowdown_pct", worst);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

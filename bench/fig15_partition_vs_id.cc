@@ -113,10 +113,11 @@ class RunSweep
 int
 main(int argc, char **argv)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--protection=", 13) == 0)
-            g_protection = argv[i] + 13;
-    }
+    std::string json_path;
+    ArgSpec("fig15_partition_vs_id")
+        .json(&json_path)
+        .protection(&g_protection)
+        .parse(argc, argv);
     if (!g_protection.empty() &&
         !ProtectionRegistry::global().known(g_protection)) {
         std::fprintf(stderr,
@@ -237,5 +238,5 @@ main(int argc, char **argv)
     report.metric("protection", g_protection.empty()
                                     ? std::string("passthrough")
                                     : g_protection);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

@@ -44,6 +44,9 @@ transferLatency(NocMode mode, std::uint32_t rows)
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("fig16_noc_micro").json(&json_path).parse(argc, argv);
+
     banner("Figure 16", "NoC micro-test: transfer cost by method");
 
     Table lat({"lines", "software NoC", "unauthorized", "peephole",
@@ -76,5 +79,5 @@ main(int argc, char **argv)
     JsonReport report("fig16_noc_micro");
     report.table("latency_cycles", lat);
     report.table("bandwidth_gbps", bw);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

@@ -44,6 +44,9 @@ pipelineCycles(ModelId id, NocMode mode, std::uint32_t scale)
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("fig17_noc_app").json(&json_path).parse(argc, argv);
+
     banner("Figure 17", "Multi-core (4-tile pipeline) performance "
                         "by NoC method, normalized to unauthorized");
 
@@ -79,5 +82,5 @@ main(int argc, char **argv)
     JsonReport report("fig17_noc_app");
     report.table("pipeline_noc", table);
     report.metric("mean_gain_pct", total_gain / count);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

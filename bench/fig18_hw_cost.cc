@@ -18,6 +18,9 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("fig18_hw_cost").json(&json_path).parse(argc, argv);
+
     banner("Figure 18", "Additional FPGA resources per protection "
                         "mechanism (one tile)");
 
@@ -41,5 +44,5 @@ main(int argc, char **argv)
 
     JsonReport report("fig18_hw_cost");
     report.table("hw_cost", table);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

@@ -1,11 +1,12 @@
 /**
  * @file
  * Machine-readable output for the bench binaries: a small streaming
- * JSON writer plus the shared `--json=FILE` convention. Every bench
- * keeps its human-readable stdout untouched and, when the flag is
- * given, additionally writes one JSON document mirroring the printed
- * tables and headline metrics. The "wrote ..." note goes to stderr
- * so stdout stays byte-identical with and without the flag.
+ * JSON writer behind the shared `--json=FILE` convention (declared
+ * through ArgSpec::json in bench_util.hh). Every bench keeps its
+ * human-readable stdout untouched and, when the flag is given,
+ * additionally writes one JSON document mirroring the printed tables
+ * and headline metrics. The "wrote ..." note goes to stderr so
+ * stdout stays byte-identical with and without the flag.
  */
 
 #ifndef SNPU_BENCH_JSON_WRITER_HH
@@ -23,17 +24,6 @@
 
 namespace snpu::bench
 {
-
-/** Scan argv for `--json=FILE`; empty string when absent. */
-inline std::string
-jsonPathArg(int argc, char **argv)
-{
-    for (int i = 1; i < argc; ++i) {
-        if (std::strncmp(argv[i], "--json=", 7) == 0)
-            return argv[i] + 7;
-    }
-    return "";
-}
 
 /**
  * Streaming JSON writer with automatic comma placement. The caller

@@ -22,12 +22,17 @@
 
 #include "json_writer.hh"
 
+#include "core/systems.hh"
+#include "core/timing_cache.hh"
 #include "dma/dma_engine.hh"
 #include "guarder/guarder.hh"
 #include "iommu/iommu.hh"
 #include "mem/mem_system.hh"
 #include "mem/phys_mem.hh"
 #include "noc/mesh.hh"
+#include "npu/systolic_model.hh"
+#include "serve/arrivals.hh"
+#include "serve/server.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
@@ -312,6 +317,120 @@ BM_Sha256PerKiB(benchmark::State &state)
 }
 BENCHMARK(BM_Sha256PerKiB);
 
+/**
+ * The vectorized functional GEMM: one weight-stationary row MAC
+ * (dim activations against a dim x dim weight tile). One "item" is
+ * one multiply-accumulate.
+ */
+void
+BM_SystolicComputeRow(benchmark::State &state)
+{
+    SystolicParams p;
+    SystolicArray arr(p);
+    Rng rng(3);
+    std::vector<std::int8_t> w(static_cast<std::size_t>(p.dim) *
+                               p.dim);
+    for (auto &b : w)
+        b = static_cast<std::int8_t>(rng.next());
+    arr.preload(w.data());
+    std::vector<std::int8_t> a(p.dim);
+    for (auto &b : a)
+        b = static_cast<std::int8_t>(rng.next());
+    std::vector<std::int32_t> acc(p.dim, 0);
+    for (auto _ : state) {
+        arr.computeRow(a.data(), p.dim, acc.data(), true);
+        benchmark::DoNotOptimize(acc.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * p.dim *
+        p.dim);
+}
+BENCHMARK(BM_SystolicComputeRow);
+
+// ---------------------------------------------------------------
+// Serve-path macro-benchmarks
+// ---------------------------------------------------------------
+
+std::vector<TenantSpec>
+serveTenants()
+{
+    std::vector<TenantSpec> tenants;
+    const ModelId models[] = {ModelId::mobilenet, ModelId::yololite};
+    const World worlds[] = {World::secure, World::normal};
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        TenantSpec spec;
+        spec.name = std::string(modelName(models[t])) + "_" +
+                    std::to_string(t);
+        spec.task =
+            NpuTask::fromModel(models[t], worlds[t], static_cast<int>(t));
+        spec.task.model = spec.task.model.scaled(64);
+        Rng rng(17 + t);
+        spec.arrivals = poissonArrivals(rng, 200000.0, 4);
+        tenants.push_back(spec);
+    }
+    return tenants;
+}
+
+Tick
+serveWindow(benchmark::State &state)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    SnpuServer server(*soc, cfg);
+    ServeResult res = server.serve(serveTenants());
+    if (!res.ok())
+        state.SkipWithError(res.error().c_str());
+    return res.makespan;
+}
+
+/**
+ * One full serving window (secure + normal tenant, NPU Monitor
+ * admission, 2 tiles) executed live: the timing cache is emptied
+ * every iteration, so each segment runs through the detailed model.
+ * One "item" is one served request.
+ */
+void
+BM_ServeWindowColdCache(benchmark::State &state)
+{
+    for (auto _ : state) {
+        TimingCache::global().clear();
+        benchmark::DoNotOptimize(serveWindow(state));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ServeWindowColdCache);
+
+/**
+ * The same window replaying from a warm cache — the steady state of
+ * a sweep. The ratio to the cold-cache run is the memoization
+ * speedup on the serve path (the acceptance target lives in
+ * serve_throughput; this tracks the trajectory per PR).
+ */
+void
+BM_ServeWindowWarmCache(benchmark::State &state)
+{
+    TimingCache::global().clear();
+    {
+        // Populate the cache outside the timed region.
+        auto soc = buildSoc(SystemKind::snpu);
+        ServerConfig cfg;
+        cfg.num_cores = 2;
+        SnpuServer server(*soc, cfg);
+        ServeResult res = server.serve(serveTenants());
+        if (!res.ok())
+            state.SkipWithError(res.error().c_str());
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(serveWindow(state));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_ServeWindowWarmCache);
+
 // ---------------------------------------------------------------
 // JSON emission
 // ---------------------------------------------------------------
@@ -361,44 +480,103 @@ class JsonTeeReporter : public benchmark::ConsoleReporter
         benchmark::ConsoleReporter::ReportRuns(runs);
     }
 
-    /** Write `{"runs": [{label, benchmarks: [...]}]}` to @p path. */
+    /**
+     * Append this run to `{"runs": [...]}` at @p path. An existing
+     * document written by this reporter keeps its earlier runs (the
+     * per-PR perf trajectory); a missing or unrecognized file starts
+     * a fresh one.
+     */
     bool
     writeJson(const std::string &path, const std::string &label) const
     {
+        // Render this run's record into memory first.
+        char *buf = nullptr;
+        std::size_t len = 0;
+        std::FILE *ms = open_memstream(&buf, &len);
+        if (!ms) {
+            std::fprintf(stderr, "simspeed: out of memory\n");
+            return false;
+        }
+        {
+            snpu::bench::JsonWriter w(ms);
+            w.beginObject();
+            w.key("label");
+            w.value(label);
+            w.key("benchmarks");
+            w.beginArray();
+            for (const Entry &e : entries) {
+                w.beginObject();
+                w.key("name");
+                w.value(e.name);
+                w.key("iterations");
+                w.value(e.iterations);
+                w.key("ns_per_op");
+                w.value(e.ns_per_op);
+                w.key("ops_per_sec");
+                w.value(e.ops_per_sec);
+                w.key("items_per_sec");
+                w.value(e.items_per_sec);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        std::fclose(ms);
+        std::string run(buf, len);
+        std::free(buf);
+
+        // Merge with the existing document. The file format is owned
+        // by this writer, so "ends with ]}" identifies a well-formed
+        // earlier document to splice into.
+        std::string existing;
+        if (std::FILE *in = std::fopen(path.c_str(), "r")) {
+            char chunk[4096];
+            std::size_t n;
+            while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0)
+                existing.append(chunk, n);
+            std::fclose(in);
+        }
+        auto rstrip = [](std::string &s) {
+            while (!s.empty() &&
+                   std::isspace(static_cast<unsigned char>(s.back())))
+                s.pop_back();
+        };
+        rstrip(existing);
+
+        // Splice before the document's closing "]}"; tolerate the
+        // whitespace of hand- or tool-formatted files.
+        std::string doc;
+        if (!existing.empty() && existing.front() == '{' &&
+            existing.back() == '}' &&
+            existing.find("\"runs\"") != std::string::npos) {
+            std::string head =
+                existing.substr(0, existing.size() - 1);
+            rstrip(head);
+            if (!head.empty() && head.back() == ']') {
+                head.pop_back();
+                rstrip(head);
+                const bool first_run =
+                    !head.empty() && head.back() == '[';
+                doc = head + (first_run ? "" : ", ") + run + "]}\n";
+            }
+        }
+        if (doc.empty()) {
+            if (!existing.empty()) {
+                std::fprintf(stderr,
+                             "simspeed: %s is not a simspeed "
+                             "document, starting fresh\n",
+                             path.c_str());
+            }
+            doc = "{\"runs\": [" + run + "]}\n";
+        }
+
         std::FILE *f = std::fopen(path.c_str(), "w");
         if (!f) {
             std::fprintf(stderr, "simspeed: cannot write %s\n",
                          path.c_str());
             return false;
         }
-        snpu::bench::JsonWriter w(f);
-        w.beginObject();
-        w.key("runs");
-        w.beginArray();
-        w.beginObject();
-        w.key("label");
-        w.value(label);
-        w.key("benchmarks");
-        w.beginArray();
-        for (const Entry &e : entries) {
-            w.beginObject();
-            w.key("name");
-            w.value(e.name);
-            w.key("iterations");
-            w.value(e.iterations);
-            w.key("ns_per_op");
-            w.value(e.ns_per_op);
-            w.key("ops_per_sec");
-            w.value(e.ops_per_sec);
-            w.key("items_per_sec");
-            w.value(e.items_per_sec);
-            w.endObject();
-        }
-        w.endArray();
-        w.endObject();
-        w.endArray();
-        w.endObject();
-        std::fputc('\n', f);
+        std::fwrite(doc.data(), 1, doc.size(), f);
         std::fclose(f);
         return true;
     }
@@ -414,17 +592,14 @@ main(int argc, char **argv)
 {
     std::string json_path = "BENCH_simspeed.json";
     std::string label = "current";
-    std::vector<char *> keep;
-    keep.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        const std::string a = argv[i];
-        if (a.rfind("--json=", 0) == 0)
-            json_path = a.substr(7);
-        else if (a.rfind("--label=", 0) == 0)
-            label = a.substr(8);
-        else
-            keep.push_back(argv[i]);
-    }
+    std::vector<char *> keep =
+        snpu::bench::ArgSpec("simspeed")
+            .json(&json_path)
+            .option("--label", "label for the appended run record",
+                    &label)
+            .passthrough("any google-benchmark flag (forwarded, "
+                         "e.g. --benchmark_filter=REGEX)")
+            .parse(argc, argv);
     int kargc = static_cast<int>(keep.size());
     benchmark::Initialize(&kargc, keep.data());
     if (benchmark::ReportUnrecognizedArguments(kargc, keep.data()))

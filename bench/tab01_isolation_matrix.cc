@@ -41,6 +41,10 @@ scenario()
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("tab01_isolation_matrix").json(&json_path).parse(argc,
+                                                             argv);
+
     banner("Table I", "Isolation mechanisms for the scratchpad "
                       "(periodic secure task + background task)");
 
@@ -101,5 +105,5 @@ main(int argc, char **argv)
 
     JsonReport report("tab01_isolation_matrix");
     report.table("isolation_matrix", table);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

@@ -17,6 +17,9 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("tab02_soc_config").json(&json_path).parse(argc, argv);
+
     banner("Table II", "SoC configuration used in the evaluation");
 
     Soc soc(makeSystem(SystemKind::snpu));
@@ -51,5 +54,5 @@ main(int argc, char **argv)
 
     JsonReport report("tab02_soc_config");
     report.table("soc_config", table);
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

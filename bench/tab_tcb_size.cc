@@ -19,6 +19,9 @@ using namespace snpu::bench;
 int
 main(int argc, char **argv)
 {
+    std::string json_path;
+    ArgSpec("tab_tcb_size").json(&json_path).parse(argc, argv);
+
     banner("TCB size (§VI-F)",
            "Trusted computing base of the NPU software stack");
 
@@ -53,5 +56,5 @@ main(int argc, char **argv)
     report.table("tcb", table);
     report.metric("trusted_loc",
                   static_cast<double>(trustedLoc(inventory)));
-    return report.write(jsonPathArg(argc, argv)) ? 0 : 1;
+    return report.write(json_path) ? 0 : 1;
 }

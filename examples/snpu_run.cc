@@ -84,8 +84,15 @@ main(int argc, char **argv)
     // Protection backend override, validated against the registry
     // (access_control= is the legacy alias for the same key).
     std::string protection = cfg.getString("protection", "");
-    if (protection.empty())
+    if (protection.empty()) {
         protection = cfg.getString("access_control", "");
+        if (!protection.empty()) {
+            std::fprintf(stderr,
+                         "snpu_run: access_control= is deprecated, "
+                         "use protection= (see DESIGN.md for the "
+                         "removal plan)\n");
+        }
+    }
     if (!protection.empty()) {
         ProtectionRegistry &reg = ProtectionRegistry::global();
         if (!reg.known(protection)) {

@@ -103,8 +103,13 @@ main(int argc, char **argv)
     std::string protection = cfg.getString("protection", "guarder");
     {
         const std::string alias = cfg.getString("access_control", "");
-        if (!alias.empty())
+        if (!alias.empty()) {
+            std::fprintf(stderr,
+                         "snpu_serve: access_control= is deprecated, "
+                         "use protection= (see DESIGN.md for the "
+                         "removal plan)\n");
             protection = alias;
+        }
     }
     ProtectionRegistry &reg = ProtectionRegistry::global();
     if (!reg.known(protection)) {

@@ -120,24 +120,6 @@ Soc::pageTable()
     return *page_table;
 }
 
-Iommu &
-Soc::iommu(std::uint32_t core)
-{
-    Iommu *i = protection(core).asIommu();
-    if (!i)
-        panic("no IOMMU for core ", core);
-    return *i;
-}
-
-NpuGuarder &
-Soc::guarder(std::uint32_t core)
-{
-    NpuGuarder *g = protection(core).asGuarder();
-    if (!g)
-        panic("no guarder for core ", core);
-    return *g;
-}
-
 NpuMonitor &
 Soc::monitor()
 {
@@ -149,6 +131,7 @@ Soc::monitor()
 void
 Soc::armFaults(FaultInjector *inj)
 {
+    fault_injector = inj;
     for (std::uint32_t i = 0; i < cfg.tiles; ++i)
         device->core(i).armFaults(inj);
     for (auto &ctrl : controls)

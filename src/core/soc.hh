@@ -57,22 +57,10 @@ class Soc
     /** Page table shared by page-table backends ("iommu" tiles). */
     PageTable &pageTable();
 
-    /**
-     * Deprecated typed accessors, kept as thin shims over
-     * protection(core): they assert the backend kind (panic when the
-     * backend is not an IOMMU / guarder). New code should use
-     * protection(core).capabilities() instead of branching on kind.
-     */
-    Iommu &iommu(std::uint32_t core);
-    NpuGuarder &guarder(std::uint32_t core);
-
     /** The NPU Monitor (sNPU system only). */
     NpuMonitor &monitor();
 
     bool hasMonitor() const { return npu_monitor != nullptr; }
-    /** Deprecated: prefer protection(core).capabilities(). */
-    bool hasIommu() const { return cfg.protection == "iommu"; }
-    bool hasGuarder() const { return cfg.protection == "guarder"; }
 
     /**
      * Driver-visible world control. On the Normal NPU there is no
@@ -90,6 +78,13 @@ class Soc
      * hook site is a null-pointer check — zero simulation overhead.
      */
     void armFaults(FaultInjector *inj);
+
+    /**
+     * The currently armed fault injector (nullptr when none). The
+     * layer-timing cache checks this: any armed plan bypasses
+     * memoization so injected faults land on a live execution.
+     */
+    FaultInjector *armedFaults() const { return fault_injector; }
 
     /**
      * Attach (or detach with nullptr) a trace sink to every layer:
@@ -118,6 +113,7 @@ class Soc
     std::unique_ptr<NpuDevice> device;
     std::unique_ptr<NpuMonitor> npu_monitor;
     TraceSink *trace_sink = nullptr;
+    FaultInjector *fault_injector = nullptr;
 };
 
 } // namespace snpu

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Layer-timing memoization. The serving path executes the same
+ * compiled layer segments hundreds of times against identical tile
+ * state; after timing canonicalization (memory system drained,
+ * backend timing state reset) each such execution is a pure function
+ * of its LayerTimingKey. The cache records one live execution —
+ * elapsed cycles, the ExecResult payload, every stat delta below the
+ * SoC root, and the wordline-ID writes — and replays it on later
+ * hits, keeping the registry JSON byte-identical to a cache-off run.
+ *
+ * Canonicalization bracket (the timing-model contract): every
+ * memoized op — hit, miss, or bypass, cache on or off — begins from
+ * a canonical timing state (idle DRAM, invalid L2, cold IOTLB/
+ * counter caches), and live executions are re-canonicalized on exit
+ * so inter-op activity observes the same state in both modes.
+ * Cross-tile DRAM contention — the serving model's knee mechanism —
+ * is preserved in closed form: before canonicalizing, the bracket
+ * reads the channel backlog (nextFree() beyond the op's start),
+ * shifts the op's completion by it, and re-arms the channel with the
+ * op's recorded occupancy afterwards. The channel thus serializes at
+ * op granularity instead of per-access interleaving; see DESIGN.md
+ * §3g for the rationale and the accuracy re-validation.
+ *
+ * Bypass (bracket still applied, entry neither read nor written):
+ *  - SNPU_TIMING_CACHE=0 in the environment;
+ *  - a fault injector is armed on the SoC (injected faults must land
+ *    on a live execution);
+ *  - a trace sink is attached (trace records cannot be replayed);
+ *  - the SoC runs functionally (timing_only off: data side effects);
+ *  - the key says the op is uncacheable (flush/NoC/world ops).
+ * Non-ok executions are never cached.
+ */
+
+#ifndef SNPU_CORE_TIMING_CACHE_HH
+#define SNPU_CORE_TIMING_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/soc.hh"
+#include "spad/scratchpad.hh"
+
+namespace snpu
+{
+
+/** One memoized operation: everything a hit must replay. */
+struct TimingEntry
+{
+    /** Elapsed cycles (end - start of the live execution). */
+    Tick rel_end = 0;
+    /** ExecResult payload of the live execution (status was ok). */
+    std::uint64_t mac_busy = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t flush_cycles = 0;
+    /** Ad-hoc counter deltas surfaced through MemoizedExec::Outcome
+     *  (plain counters are not part of the stats tree). */
+    std::uint64_t check_requests = 0;
+    std::uint64_t dma_bytes = 0;
+    /** DRAM channel occupancy of the op (transfer cycles), charged
+     *  back to the shared channel after the op so cross-tile backlog
+     *  accumulates identically on hits and live runs. */
+    Tick dram_busy = 0;
+    /** Context-flush ops: clamped row count + save area to replay
+     *  the functional context save. */
+    std::uint32_t flush_live_rows = 0;
+    Addr flush_save_area = 0;
+    bool is_flush_op = false;
+    /** Every stat that changed below the SoC root, as sparse deltas. */
+    std::vector<stats::StatDelta> deltas;
+    /** Final wordline-ID state of the rows the op touched. */
+    std::vector<Scratchpad::WrittenRange> spad_ids;
+    std::vector<Scratchpad::WrittenRange> acc_ids;
+};
+
+/**
+ * Fingerprint of the SoC-level timing configuration (every SocParams
+ * field). Part of every LayerTimingKey; also available to other
+ * process-wide caches that must not leak state between differently
+ * configured SoCs.
+ */
+std::uint64_t socConfigFingerprint(const SocParams &p);
+
+/**
+ * The process-wide cache. Thread-safe: SweepRunner executes jobs on
+ * worker threads that all consult the same map. Entries are
+ * immutable after insertion; first insertion wins (two threads
+ * racing the same key record equivalent entries by construction).
+ */
+class TimingCache
+{
+  public:
+    static TimingCache &global();
+
+    /** SNPU_TIMING_CACHE environment gate (default on; "0" = off). */
+    static bool enabled();
+
+    std::shared_ptr<const TimingEntry> find(std::uint64_t key) const;
+    void insert(std::uint64_t key,
+                std::shared_ptr<const TimingEntry> entry);
+
+    /** Drop every entry (tests; config churn between experiments). */
+    void clear();
+
+    /**
+     * Hit/miss/bypass counters. Deliberately plain atomics, not
+     * stats: they must never appear in the registry JSON the
+     * cache-parity contract compares.
+     */
+    std::uint64_t hits() const { return n_hits.load(); }
+    std::uint64_t misses() const { return n_misses.load(); }
+    std::uint64_t bypasses() const { return n_bypasses.load(); }
+
+    void countHit() { n_hits.fetch_add(1, std::memory_order_relaxed); }
+    void countMiss()
+    {
+        n_misses.fetch_add(1, std::memory_order_relaxed);
+    }
+    void countBypass()
+    {
+        n_bypasses.fetch_add(1, std::memory_order_relaxed);
+    }
+
+  private:
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const TimingEntry>>
+        entries;
+    std::atomic<std::uint64_t> n_hits{0};
+    std::atomic<std::uint64_t> n_misses{0};
+    std::atomic<std::uint64_t> n_bypasses{0};
+};
+
+/**
+ * Memoizing execution front end for one SoC. Owns the DeltaCapture
+ * over the SoC's stat tree and applies the canonicalization bracket
+ * uniformly. The serve-path scheduler routes every segment execution
+ * and context flush through one of these; TaskRunner offers it as an
+ * opt-in (RunOptions::use_timing_cache).
+ */
+class MemoizedExec
+{
+  public:
+    explicit MemoizedExec(Soc &soc);
+
+    /** What run() yields beyond the ExecResult: deltas of the
+     *  ad-hoc (non-stats) counters callers read around a run. */
+    struct Outcome
+    {
+        ExecResult exec;
+        std::uint64_t check_requests = 0;
+        std::uint64_t dma_bytes = 0;
+        bool hit = false;
+    };
+
+    /**
+     * Execute @p prog on tile @p core at @p start, memoized.
+     * @p va_base/@p va_bytes bound the VA window the backend context
+     * fingerprint must cover (the stream's provisioned window).
+     */
+    Outcome run(std::uint32_t core, Tick start, const NpuProgram &prog,
+                const ExecOptions &eo, Addr va_base, Addr va_bytes);
+
+    /**
+     * The scheduler's context switch (flush + restore of
+     * @p live_rows through @p save_area), memoized. Returns the
+     * completion tick (the caller adds its resume penalty).
+     */
+    Tick contextFlush(std::uint32_t core, Tick start,
+                      std::uint32_t live_rows, Addr save_area);
+
+  private:
+    /** True when every op must run live (bracket still applied). */
+    bool mustBypass() const;
+    /** Reset all timing-visible state the ops could have warmed. */
+    void canonicalize(std::uint32_t core);
+
+    Soc &soc;
+    stats::DeltaCapture capture;
+    /** SoC-level timing configuration fingerprint (SocParams). */
+    std::uint64_t soc_fp = 0;
+};
+
+} // namespace snpu
+
+#endif // SNPU_CORE_TIMING_CACHE_HH

@@ -1,5 +1,7 @@
 #include "dma/access_control.hh"
 
+#include "sim/hashing.hh"
+
 namespace snpu
 {
 
@@ -78,6 +80,12 @@ ProtectionBackend::recordContext()
     ++n_contexts;
     if (exported)
         ++exported->contexts;
+}
+
+std::uint64_t
+ProtectionBackend::timingFingerprint() const
+{
+    return hashMix(fnv_offset, backend_name);
 }
 
 bool

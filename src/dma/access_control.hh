@@ -223,9 +223,42 @@ class ProtectionBackend : public AccessControl
     std::uint64_t contextCount() const { return n_contexts; }
 
     /**
-     * Kind-checked narrowing for the legacy typed accessors
-     * (Soc::iommu()/Soc::guarder() shims). nullptr when this backend
-     * is not that kind.
+     * Reset self-referential timing state (TLB contents, walker
+     * occupancy, counter caches) to the canonical post-construction
+     * state. Provisioned contexts, stats, and functional state stay.
+     * The layer-timing cache brackets every memoized op with this;
+     * backends with no hidden timing state keep the default nop.
+     */
+    virtual void canonicalizeTiming() {}
+
+    /**
+     * Fingerprint of everything about this backend that shapes op
+     * timing: the name plus the timing parameters. Two canonicalized
+     * backends with equal fingerprints (and equal context
+     * fingerprints) time any DMA stream identically.
+     */
+    virtual std::uint64_t timingFingerprint() const;
+
+    /**
+     * Fingerprint of provisioned-context state that affects timing
+     * of accesses within [va_base, va_base+bytes). Backends whose
+     * canonicalized timing depends only on the VA stream return 0;
+     * the IOMMU hashes the physical placement of the page-table
+     * nodes backing the range (walk traffic depends on it, and it
+     * varies with page-table allocation order).
+     */
+    virtual std::uint64_t contextFingerprint(Addr va_base, Addr bytes)
+    {
+        (void)va_base;
+        (void)bytes;
+        return 0;
+    }
+
+    /**
+     * Kind-checked narrowing for callers that genuinely need
+     * backend-specific state (IOMMU TLB internals, guarder register
+     * files). nullptr when this backend is not that kind. Generic
+     * code asks capabilities() instead of probing these.
      */
     virtual Iommu *asIommu() { return nullptr; }
     virtual NpuGuarder *asGuarder() { return nullptr; }

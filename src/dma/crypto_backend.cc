@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 #include "tee/hmac.hh"
 
@@ -256,6 +257,38 @@ CryptoBackend::regionTag(std::uint32_t slot) const
     if (slot >= regions.size() || !regions[slot].valid)
         return Digest{};
     return regions[slot].tag;
+}
+
+std::uint64_t
+CryptoBackend::timingFingerprint() const
+{
+    std::uint64_t h = ProtectionBackend::timingFingerprint();
+    h = hashMix(h, std::uint64_t(params.engine_latency));
+    h = hashMix(h, std::uint64_t(params.counter_cache_entries));
+    h = hashMix(h, std::uint64_t(params.counter_miss_penalty));
+    h = hashMix(h, std::uint64_t(params.mac_latency));
+    h = hashMix(h, params.mac_bytes_per_cycle);
+    h = hashMix(h, params.dma_bytes_per_cycle);
+    h = hashMix(h, std::uint64_t(params.check_latency));
+    h = hashMix(h, std::uint64_t(params.regions));
+    return h;
+}
+
+std::uint64_t
+CryptoBackend::contextFingerprint(Addr va_base, Addr bytes)
+{
+    (void)va_base;
+    (void)bytes;
+    std::uint64_t h = fnv_offset;
+    for (const KeyedRegion &r : regions) {
+        h = hashMix(h, std::uint64_t(r.valid));
+        if (!r.valid)
+            continue;
+        h = hashMix(h, r.base);
+        h = hashMix(h, r.size);
+        h = hashMix(h, std::uint64_t(r.world));
+    }
+    return h;
 }
 
 } // namespace snpu

@@ -108,6 +108,20 @@ class CryptoBackend : public ProtectionBackend
     /** Retire the active regions (their versions die with them). */
     Status endContext(bool from_secure) override;
 
+    /** Counter-cache contents are the only hidden timing state. */
+    void canonicalizeTiming() override
+    {
+        for (auto &entry : counter_cache)
+            entry.valid = false;
+    }
+
+    std::uint64_t timingFingerprint() const override;
+
+    /** Keyed-region geometry decides denials; versions are not
+     *  timing-visible, so they stay out of the fingerprint. */
+    std::uint64_t contextFingerprint(Addr va_base,
+                                     Addr bytes) override;
+
     std::uint64_t counterHits() const { return n_counter_hits; }
     std::uint64_t counterMisses() const { return n_counter_misses; }
     std::uint64_t versionBumps() const { return n_version_bumps; }

@@ -1,5 +1,6 @@
 #include "guarder/guarder.hh"
 
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 
 namespace snpu
@@ -195,6 +196,45 @@ NpuGuarder::clearAll(bool from_secure)
     tracer.emit(0, TraceCategory::guarder, trace_name,
                 "all registers cleared (context teardown)");
     return true;
+}
+
+std::uint64_t
+NpuGuarder::timingFingerprint() const
+{
+    std::uint64_t h = ProtectionBackend::timingFingerprint();
+    h = hashMix(h, std::uint64_t(params.checking_registers));
+    h = hashMix(h, std::uint64_t(params.translation_registers));
+    h = hashMix(h, std::uint64_t(params.check_latency));
+    return h;
+}
+
+std::uint64_t
+NpuGuarder::contextFingerprint(Addr va_base, Addr bytes)
+{
+    (void)va_base;
+    (void)bytes;
+    // Both register files in slot order: which window a VA hits (and
+    // the PA it translates to) is exactly this state.
+    std::uint64_t h = fnv_offset;
+    for (const CheckingRegister &cr : checking) {
+        h = hashMix(h, std::uint64_t(cr.valid));
+        if (!cr.valid)
+            continue;
+        h = hashMix(h, cr.range.base);
+        h = hashMix(h, cr.range.size);
+        h = hashMix(h, std::uint64_t(cr.perm.read));
+        h = hashMix(h, std::uint64_t(cr.perm.write));
+        h = hashMix(h, std::uint64_t(cr.world));
+    }
+    for (const TranslationRegister &tr : translation) {
+        h = hashMix(h, std::uint64_t(tr.valid));
+        if (!tr.valid)
+            continue;
+        h = hashMix(h, tr.va_base);
+        h = hashMix(h, tr.pa_base);
+        h = hashMix(h, tr.size);
+    }
+    return h;
 }
 
 } // namespace snpu

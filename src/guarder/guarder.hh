@@ -123,6 +123,16 @@ class NpuGuarder : public ProtectionBackend
     NpuGuarder *asGuarder() override { return this; }
 
     /**
+     * No hidden timing state: comparator latency is constant, so
+     * canonicalizeTiming() keeps the base nop. The register-file
+     * *contents* shape translation outcomes, so they fingerprint the
+     * provisioned context instead.
+     */
+    std::uint64_t timingFingerprint() const override;
+    std::uint64_t contextFingerprint(Addr va_base,
+                                     Addr bytes) override;
+
+    /**
      * Program a checking register. Only the secure configuration
      * path may call this; @p from_secure models that restriction.
      * @return false when rejected (insecure caller or bad slot).

@@ -1,5 +1,6 @@
 #include "iommu/iommu.hh"
 
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 
 namespace snpu
@@ -116,6 +117,18 @@ void
 Iommu::flushTlb()
 {
     iotlb.flushAll();
+}
+
+std::uint64_t
+Iommu::timingFingerprint() const
+{
+    std::uint64_t h = ProtectionBackend::timingFingerprint();
+    h = hashMix(h, std::uint64_t(params.iotlb_entries));
+    h = hashMix(h, std::uint64_t(params.hit_latency));
+    h = hashMix(h, std::uint64_t(params.fill_latency));
+    h = hashMix(h, std::uint64_t(params.walker_occupancy));
+    h = hashMix(h, std::uint64_t(params.walk_cache));
+    return h;
 }
 
 } // namespace snpu

@@ -87,6 +87,22 @@ class Iommu : public ProtectionBackend
 
     Iommu *asIommu() override { return this; }
 
+    /** IOTLB contents and walker occupancy are timing state. */
+    void canonicalizeTiming() override
+    {
+        flushTlb();
+        walker_free = 0;
+    }
+
+    std::uint64_t timingFingerprint() const override;
+
+    /** Walk timing follows the physical page-table layout. */
+    std::uint64_t contextFingerprint(Addr va_base,
+                                     Addr bytes) override
+    {
+        return table.layoutFingerprint(va_base, bytes);
+    }
+
     /** Invalidate the IOTLB (world switch / driver remap). */
     void flushTlb();
 

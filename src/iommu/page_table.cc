@@ -1,5 +1,6 @@
 #include "iommu/page_table.hh"
 
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 
 namespace snpu
@@ -169,6 +170,45 @@ PageTable::walkCached(Tick when, Addr vaddr, Pte &pte)
     if (pte.valid)
         pte.paddr &= ~Addr(page_bytes - 1);
     return res.done;
+}
+
+std::uint64_t
+PageTable::layoutFingerprint(Addr va_base, Addr bytes) const
+{
+    std::uint64_t h = fnv_offset;
+    const Addr first = va_base & ~Addr(page_bytes - 1);
+    const Addr last = va_base + bytes;
+    // Pages sharing a leaf node share the non-leaf chain; resolve it
+    // once per leaf-node-sized VA region (2 MiB) instead of per page.
+    const int leaf_shift = 12 + bits_per_level;
+    Addr leaf_node = 0;
+    Addr chain_va = ~Addr(0);
+    for (Addr va = first; va < last; va += page_bytes) {
+        if ((va >> leaf_shift) != (chain_va >> leaf_shift)) {
+            chain_va = va;
+            Addr node = root_node;
+            bool resolved = true;
+            for (int level = 0; level < levels - 1; ++level) {
+                const Addr ea = entryAddr(node, index(va, level));
+                h = hashMix(h, ea);
+                const Pte pte = Pte::decode(mem.data().read64(ea));
+                if (!pte.valid) {
+                    resolved = false;
+                    break;
+                }
+                node = pte.paddr;
+            }
+            leaf_node = resolved ? node : 0;
+        }
+        if (!leaf_node) {
+            h = hashMix(h, ~std::uint64_t(0));
+            continue;
+        }
+        const Addr leaf = entryAddr(leaf_node, index(va, levels - 1));
+        h = hashMix(h, leaf);
+        h = hashMix(h, mem.data().read64(leaf));
+    }
+    return h;
 }
 
 Tick

@@ -86,6 +86,18 @@ class PageTable
     /** Number of table nodes allocated. */
     std::uint32_t nodesAllocated() const { return nodes_used; }
 
+    /**
+     * Fingerprint of the physical layout backing [va_base,
+     * va_base+bytes): the entry addresses touched by a walk of every
+     * page plus the raw leaf PTEs. Table nodes are bump-allocated,
+     * so two tables mapping the same VA range can place entries at
+     * different physical addresses depending on mapping order — and
+     * walk timing (L2 sets, DRAM stream) follows the addresses. The
+     * layer-timing cache folds this into the IOMMU's context
+     * fingerprint so entries never alias across layouts.
+     */
+    std::uint64_t layoutFingerprint(Addr va_base, Addr bytes) const;
+
   private:
     Addr allocNode();
     static std::uint32_t index(Addr vaddr, int level);

@@ -46,6 +46,7 @@ DramModel::access(Tick when, std::uint32_t bytes, MemOp op)
         carry_bytes = 0;
 
     next_free = start + transfer;
+    busy_cycles += transfer;
     return start + params.access_latency + transfer;
 }
 

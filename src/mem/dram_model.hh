@@ -12,6 +12,7 @@
 #ifndef SNPU_MEM_DRAM_MODEL_HH
 #define SNPU_MEM_DRAM_MODEL_HH
 
+#include <algorithm>
 #include <cstdint>
 
 #include "mem/mem_types.hh"
@@ -51,6 +52,23 @@ class DramModel
     /** Forget all queueing state (between experiments). */
     void reset() { next_free = 0; carry_bytes = 0.0; }
 
+    /**
+     * Cumulative channel occupancy in transfer cycles — an odometer
+     * (monotonic, deliberately not a stat and survives reset()).
+     * Callers measure an operation's occupancy as a delta.
+     */
+    Tick busyCycles() const { return busy_cycles; }
+
+    /**
+     * Re-arm the channel as busy until @p free_at. The memoization
+     * bracket uses this to restore the channel backlog it drained:
+     * the op's recorded occupancy is charged back in one piece.
+     */
+    void rebase(Tick free_at)
+    {
+        next_free = std::max(next_free, free_at);
+    }
+
     std::uint64_t totalBytes() const
     {
         return static_cast<std::uint64_t>(bytes_moved.value());
@@ -61,6 +79,8 @@ class DramModel
     Tick next_free = 0;
     /** Fractional-cycle accumulator so bandwidth is exact. */
     double carry_bytes = 0.0;
+    /** Odometer of transfer cycles (see busyCycles()). */
+    Tick busy_cycles = 0;
 
     stats::Scalar reads;
     stats::Scalar writes;

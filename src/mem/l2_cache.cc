@@ -46,7 +46,7 @@ L2Cache::accessLine(Tick when, Addr line_addr, MemOp op, World world)
     Line *victim = set_base;
     for (std::uint32_t w = 0; w < params.ways; ++w) {
         Line &line = set_base[w];
-        if (line.valid && line.tag == tag) {
+        if (live(line) && line.tag == tag) {
             ++hit_count;
             line.lru = ++lru_clock;
             if (op == MemOp::write)
@@ -54,9 +54,9 @@ L2Cache::accessLine(Tick when, Addr line_addr, MemOp op, World world)
             line.world = world;
             return start + params.hit_latency;
         }
-        if (!line.valid) {
+        if (!live(line)) {
             victim = &line;
-        } else if (victim->valid && line.lru < victim->lru) {
+        } else if (live(*victim) && line.lru < victim->lru) {
             victim = &line;
         }
     }
@@ -64,7 +64,7 @@ L2Cache::accessLine(Tick when, Addr line_addr, MemOp op, World world)
     // Miss: evict (write back if dirty), then fill from DRAM.
     ++miss_count;
     Tick ready = start + params.hit_latency;
-    if (victim->valid && victim->dirty) {
+    if (live(*victim) && victim->dirty) {
         ++writebacks;
         Tick wb = dram.access(ready, line_bytes, MemOp::write);
         if (crypto)
@@ -79,6 +79,7 @@ L2Cache::accessLine(Tick when, Addr line_addr, MemOp op, World world)
     victim->dirty = (op == MemOp::write);
     victim->tag = tag;
     victim->lru = ++lru_clock;
+    victim->epoch = epoch;
     victim->world = world;
     return ready;
 }
@@ -113,8 +114,7 @@ L2Cache::access(Tick when, const MemRequest &req)
 void
 L2Cache::invalidateAll()
 {
-    for (auto &line : lines)
-        line = Line{};
+    ++epoch;
     std::fill(bank_free.begin(), bank_free.end(), 0);
 }
 

@@ -52,7 +52,13 @@ class L2Cache
      */
     MemResult access(Tick when, const MemRequest &req);
 
-    /** Drop all cached lines (write-backs are not simulated here). */
+    /**
+     * Drop all cached lines (write-backs are not simulated here) and
+     * clear the bank occupancy, O(1): invalidation bumps the cache
+     * epoch and a line is live only while its epoch matches. The
+     * timing-memoization brackets call this around every cached op,
+     * so it must not walk 32k lines each time.
+     */
     void invalidateAll();
 
     std::uint64_t hits() const
@@ -71,12 +77,17 @@ class L2Cache
         bool dirty = false;
         Addr tag = 0;
         std::uint64_t lru = 0;
+        std::uint64_t epoch = 0;
         World world = World::normal;
     };
 
     std::uint32_t numSets() const { return num_sets; }
     std::uint32_t bankOf(Addr line_addr) const;
     Tick accessLine(Tick when, Addr line_addr, MemOp op, World world);
+    bool live(const Line &line) const
+    {
+        return line.valid && line.epoch == epoch;
+    }
 
     L2Params params;
     DramModel &dram;
@@ -86,6 +97,7 @@ class L2Cache
     std::vector<Line> lines;           // num_sets * ways
     std::vector<Tick> bank_free;       // per-bank next-free tick
     std::uint64_t lru_clock = 0;
+    std::uint64_t epoch = 0;           // lines live iff epochs match
 
     stats::Scalar hit_count;
     stats::Scalar miss_count;

@@ -58,6 +58,13 @@ class MemCryptoEngine
     /** Extra latency for a DRAM-side access to @p paddr. */
     Tick accessPenalty(Addr paddr);
 
+    /** Drop all cached counter lines (timing canonicalization). */
+    void resetTiming()
+    {
+        for (auto &entry : cache)
+            entry.valid = false;
+    }
+
     std::uint64_t counterHits() const
     {
         return static_cast<std::uint64_t>(hits.value());

@@ -63,6 +63,22 @@ class MemSystem
     L2Cache &l2() { return _l2; }
     MemCryptoEngine &cryptoEngine() { return _crypto; }
 
+    /**
+     * Reset all hidden timing state (DRAM channel occupancy, L2
+     * contents, counter cache) to the canonical drained state. The
+     * layer-timing cache brackets every memoizable op with this in
+     * both cache modes, so an op always starts — and, via the
+     * post-op bracket, ends — from the same memory-system state
+     * whether it runs live or replays. Functional bytes and stats
+     * are untouched.
+     */
+    void canonicalizeTiming()
+    {
+        _dram.reset();
+        _l2.invalidateAll();
+        _crypto.resetTiming();
+    }
+
     std::uint64_t partitionViolations() const
     {
         return static_cast<std::uint64_t>(violations.value());

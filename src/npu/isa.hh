@@ -91,6 +91,16 @@ struct NpuProgram
     std::uint32_t spad_rows_used = 0;
     /** Live working-set rows at a tile boundary (flush cost model). */
     std::uint32_t tile_live_rows = 0;
+
+    /**
+     * Lazily computed timing-cache identity (workload/layer_timing).
+     * Mutable caches only: the program itself is immutable once
+     * compiled, so the fingerprint never needs invalidation.
+     */
+    mutable std::uint64_t timing_fp = 0;
+    mutable bool timing_fp_valid = false;
+    /** False when the program contains ops the cache cannot replay. */
+    mutable bool timing_cacheable = true;
 };
 
 } // namespace snpu

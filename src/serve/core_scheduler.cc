@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
+#include "core/timing_cache.hh"
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 #include "workload/compiler.hh"
+#include "workload/layer_timing.hh"
 
 namespace snpu
 {
@@ -14,20 +20,33 @@ namespace
 
 constexpr Tick no_tick = std::numeric_limits<Tick>::max();
 
-/** Compiled per-layer segments of one stream plus its arena. */
-struct CompiledStream
+/**
+ * The immutable output of compiling one stream: per-layer segments
+ * plus the arena window they were laid out in. Shared across
+ * scheduler runs through the process-wide segment cache — sweeps
+ * compile each (model, capacity, arena) combination once instead of
+ * once per sweep point, and the shared programs carry their memoized
+ * timing fingerprints with them.
+ */
+struct SegmentSet
 {
     std::vector<NpuProgram> segments;
     std::uint32_t live_rows = 0;
     Addr va_base = 0;
     Addr va_bytes = 0;
+};
+
+/** Compiled stream: shared segments plus per-run scheduling state. */
+struct CompiledStream
+{
+    std::shared_ptr<const SegmentSet> code;
     World world = World::normal;
     int priority = 0;
     std::int32_t pinned_core = -1;
     Tick deadline = 0;
 };
 
-CompiledStream
+std::shared_ptr<const SegmentSet>
 compileSegments(Soc &soc, const NpuTask &task, std::uint32_t rows,
                 std::uint32_t row_base, Addr &cursor)
 {
@@ -37,25 +56,60 @@ compileSegments(Soc &soc, const NpuTask &task, std::uint32_t rows,
     cp.spad_rows = rows;
     cp.spad_row_base = row_base;
     cp.acc_rows = core.coreParams().acc_rows;
-    TilingCompiler compiler(cp);
 
-    CompiledStream out;
-    out.world = task.world;
-    out.priority = task.priority;
-    out.va_base = cursor;
+    // Compilation is a pure function of (model, compiler params,
+    // arena cursor): reuse earlier output whenever all three match.
+    // Unlike the timing cache this needs no bypass conditions —
+    // identical inputs produce identical programs no matter what the
+    // timing side of the run looks like.
+    std::uint64_t key = fnv_offset;
+    key = hashMix(key, modelFingerprint(task.model));
+    key = hashMix(key, std::uint64_t(task.world));
+    key = hashMix(key, std::uint64_t(cp.dim));
+    key = hashMix(key, std::uint64_t(cp.spad_rows));
+    key = hashMix(key, std::uint64_t(cp.spad_row_base));
+    key = hashMix(key, std::uint64_t(cp.acc_rows));
+    key = hashMix(key, cursor);
+
+    static std::mutex mu;
+    static std::unordered_map<std::uint64_t,
+                              std::shared_ptr<const SegmentSet>>
+        cache;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = cache.find(key);
+        if (it != cache.end()) {
+            cursor = it->second->va_base + it->second->va_bytes;
+            return it->second;
+        }
+    }
+
+    auto out = std::make_shared<SegmentSet>();
+    TilingCompiler compiler(cp);
+    out->va_base = cursor;
     for (const LayerSpec &layer : task.model.layers) {
         ModelSpec single;
         single.name = layer.name;
         single.layers = {layer};
         Addr footprint = 0;
-        out.segments.push_back(
+        out->segments.push_back(
             compiler.compileModel(single, cursor, &footprint));
         cursor += (footprint + 0xfffff) & ~Addr(0xfffff);
-        out.live_rows = std::max(out.live_rows,
-                                 out.segments.back().spad_rows_used);
+        out->live_rows = std::max(out->live_rows,
+                                  out->segments.back().spad_rows_used);
     }
-    out.va_bytes = cursor - out.va_base;
-    return out;
+    out->va_bytes = cursor - out->va_base;
+
+    // Fingerprint eagerly while this thread still owns the programs:
+    // once published, the memoized fingerprint fields must not be
+    // written concurrently by racing readers.
+    for (const NpuProgram &prog : out->segments)
+        programFingerprint(prog);
+
+    std::lock_guard<std::mutex> lock(mu);
+    // First insertion wins; a racing thread compiled the same thing.
+    auto [it, inserted] = cache.emplace(key, std::move(out));
+    return it->second;
 }
 
 /** One request instance's scheduling state. */
@@ -133,10 +187,14 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             base = s * slice;
             rows = s + 1 == nstreams ? full_rows - base : slice;
         }
-        compiled.push_back(compileSegments(soc, streams[s].task, rows,
-                                           base, cursor));
-        compiled.back().pinned_core = streams[s].pinned_core;
-        compiled.back().deadline = streams[s].deadline;
+        CompiledStream cs;
+        cs.code = compileSegments(soc, streams[s].task, rows, base,
+                                  cursor);
+        cs.world = streams[s].task.world;
+        cs.priority = streams[s].task.priority;
+        cs.pinned_core = streams[s].pinned_core;
+        cs.deadline = streams[s].deadline;
+        compiled.push_back(std::move(cs));
         if (streams[s].pinned_core >= 0 &&
             static_cast<std::uint32_t>(streams[s].pinned_core) >=
                 num_cores) {
@@ -148,10 +206,15 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             streams[s].arrivals.size(), 0);
     }
 
+    // Every segment execution and context flush goes through the
+    // memoizing front end: identical (segment, tile state) pairs
+    // replay a recorded execution instead of re-simulating it.
+    MemoizedExec memo(soc);
+
     auto provision = [&](const CompiledStream &st, std::uint32_t core) {
         soc.protection(core).beginContext(
-            ProtectionContext{st.va_base, st.va_base,
-                              st.va_bytes + (1u << 20), st.world},
+            ProtectionContext{st.code->va_base, st.code->va_base,
+                              st.code->va_bytes + (1u << 20), st.world},
             true);
     };
 
@@ -219,17 +282,12 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             const Addr save_area =
                 save_base + static_cast<Addr>(core) * (1u << 20);
             const Tick t0 = clock[core];
-            NpuCore &tile = soc.npu().core(core);
-            clock[core] = tile.flusher().flush(
-                clock[core], prev.live_rows, save_area,
-                World::normal);
             // The displaced context streams back from DRAM on the
             // same path, and the switch waits for it: save and
             // restore both sit on the preempting request's critical
             // path.
-            clock[core] = tile.flusher().restore(
-                clock[core], prev.live_rows, save_area,
-                World::normal);
+            clock[core] = memo.contextFlush(
+                core, clock[core], prev.code->live_rows, save_area);
             clock[core] += resume_penalty;
             result.flush_overhead += clock[core] - t0;
         }
@@ -267,9 +325,9 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             // Charged at one cycle per scrubbed wordline.
             const Tick t0 = clock[core];
             NpuCore &tile = soc.npu().core(core);
-            tile.scratchpad().secureReset(0, st.live_rows, true);
+            tile.scratchpad().secureReset(0, st.code->live_rows, true);
             soc.protection(core).endContext(true);
-            clock[core] += st.live_rows;
+            clock[core] += st.code->live_rows;
             result.recovery_overhead += clock[core] - t0;
             running[core] = -1;
             segs_since_switch[core] = 0;
@@ -443,8 +501,11 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         const CompiledStream &st = compiled[req.stream];
         ExecOptions eo;
         eo.noc = NocMode::unauthorized;
-        ExecResult exec = soc.npu().core(core).run(
-            clock[core], st.segments[req.next_seg], eo);
+        ExecResult exec =
+            memo.run(core, clock[core], st.code->segments[req.next_seg],
+                     eo, st.code->va_base,
+                     st.code->va_bytes + (1u << 20))
+                .exec;
         if (!exec.ok()) {
             if (!hooks.fail) {
                 // Legacy contract: without a recovery hook the first
@@ -466,11 +527,11 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         }
         clock[core] = exec.end;
         executed[core] = true;
-        useful_macs += st.segments[req.next_seg].ideal_macs;
+        useful_macs += st.code->segments[req.next_seg].ideal_macs;
         ++segs_since_switch[core];
         ++req.next_seg;
 
-        if (req.next_seg == st.segments.size()) {
+        if (req.next_seg == st.code->segments.size()) {
             inprog[core].erase(std::find(inprog[core].begin(),
                                          inprog[core].end(), pick));
             StreamOutcome &out = result.streams[req.stream];

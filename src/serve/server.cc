@@ -1,11 +1,17 @@
 #include "serve/server.hh"
 
 #include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <utility>
 
 #include "core/task_runner.hh"
+#include "core/timing_cache.hh"
+#include "sim/hashing.hh"
 #include "sim/logging.hh"
 #include "tee/monitor/npu_monitor.hh"
+#include "workload/layer_timing.hh"
 
 namespace snpu
 {
@@ -113,19 +119,42 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     // One validated SecureTask template per secure tenant: the
     // program the verifier would measure and a ciphertext sized like
     // the tenant's weights. Each admitted secure request submits a
-    // copy into the monitor's queue.
-    std::vector<SecureTask> templates(ntenants);
+    // copy into the monitor's queue. Template construction (compile,
+    // measure, encrypt) is a pure function of (model, tenant slot,
+    // SoC configuration) — the monitor's sealed key is a per-config
+    // constant — so sweeps share one template across points through a
+    // process-wide cache.
+    std::vector<std::shared_ptr<const SecureTask>> templates(ntenants);
     if (any_secure) {
+        static std::mutex tpl_mu;
+        static std::unordered_map<std::uint64_t,
+                                  std::shared_ptr<const SecureTask>>
+            tpl_cache;
+        const std::uint64_t soc_fp = socConfigFingerprint(soc.params());
         TaskRunner runner(soc);
         for (std::uint32_t s = 0; s < ntenants; ++s) {
             if (tenants[s].task.world != World::secure)
                 continue;
-            SecureTask &tpl = templates[s];
-            tpl.program = runner.compile(tenants[s].task);
-            tpl.expected_measurement =
-                CodeVerifier::measure(tpl.program);
-            tpl.topology = NocTopology{1, 1};
-            tpl.proposed_cores = {0};
+            std::uint64_t key = fnv_offset;
+            key = hashMix(key, soc_fp);
+            key = hashMix(key,
+                          modelFingerprint(tenants[s].task.model));
+            key = hashMix(key, std::uint64_t(s));
+            {
+                std::lock_guard<std::mutex> lock(tpl_mu);
+                auto it = tpl_cache.find(key);
+                if (it != tpl_cache.end()) {
+                    templates[s] = it->second;
+                    continue;
+                }
+            }
+
+            auto tpl = std::make_shared<SecureTask>();
+            tpl->program = runner.compile(tenants[s].task);
+            tpl->expected_measurement =
+                CodeVerifier::measure(tpl->program);
+            tpl->topology = NocTopology{1, 1};
+            tpl->proposed_cores = {0};
 
             std::vector<std::uint8_t> weights(
                 std::min<std::uint64_t>(
@@ -135,11 +164,15 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             AesBlock iv{};
             iv[0] = static_cast<std::uint8_t>(s + 1);
             Digest mac{};
-            tpl.encrypted_model =
+            tpl->encrypted_model =
                 soc.monitor().verifier().encryptModel(weights, iv,
                                                       mac);
-            tpl.model_mac = mac;
-            tpl.model_iv = iv;
+            tpl->model_mac = mac;
+            tpl->model_iv = iv;
+
+            std::lock_guard<std::mutex> lock(tpl_mu);
+            auto [it, inserted] = tpl_cache.emplace(key, std::move(tpl));
+            templates[s] = it->second;
         }
     }
 
@@ -218,7 +251,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         }
         if (tenants[s].task.world == World::secure) {
             const std::uint64_t id =
-                soc.monitor().submit(templates[s]);
+                soc.monitor().submit(*templates[s]);
             if (id == 0) { // monitor queue overflow
                 ++ts.rejected;
                 tracer.emit(now, TraceCategory::serve, trace_name,
@@ -251,7 +284,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         SecureTask *task = soc.monitor().queue().find(it->second);
         if (task != nullptr)
             task->state = SecureTaskState::loaded;
-        const Tick cost = monitorLaunchCost(templates[s]);
+        const Tick cost = monitorLaunchCost(*templates[s]);
         stats_.tenant(s).monitor_cycles += static_cast<double>(cost);
         tracer.emit(now, TraceCategory::serve, trace_name,
                     "request ", tenants[s].name, "#", i,

@@ -96,6 +96,16 @@ Scalar::json(std::ostream &os) const
     jsonNumber(os, _value);
 }
 
+bool
+Scalar::captureDelta(StatDelta &out) const
+{
+    if (_value == cap_value)
+        return false;
+    out.kind = 0;
+    out.a = _value - cap_value;
+    return true;
+}
+
 void
 Average::sample(double v)
 {
@@ -106,8 +116,54 @@ Average::sample(double v)
         _min = std::min(_min, v);
         _max = std::max(_max, v);
     }
+    if (cap_armed) {
+        if (_count == cap_count) {
+            win_min = v;
+            win_max = v;
+        } else {
+            win_min = std::min(win_min, v);
+            win_max = std::max(win_max, v);
+        }
+    }
     _sum += v;
     ++_count;
+}
+
+void
+Average::captureBegin()
+{
+    cap_armed = true;
+    cap_count = _count;
+    cap_sum = _sum;
+    win_min = 0;
+    win_max = 0;
+}
+
+bool
+Average::captureDelta(StatDelta &out) const
+{
+    if (_count == cap_count)
+        return false;
+    out.kind = 1;
+    out.a = static_cast<double>(_count - cap_count);
+    out.b = _sum - cap_sum;
+    out.c = win_min;
+    out.d = win_max;
+    return true;
+}
+
+void
+Average::applyDelta(const StatDelta &d)
+{
+    if (_count == 0) {
+        _min = d.c;
+        _max = d.d;
+    } else {
+        _min = std::min(_min, d.c);
+        _max = std::max(_max, d.d);
+    }
+    _count += static_cast<std::uint64_t>(d.a);
+    _sum += d.b;
 }
 
 std::string
@@ -255,6 +311,52 @@ Histogram::reset()
     _count = 0;
     _nonfinite = 0;
     _sum = 0;
+}
+
+void
+Histogram::captureBegin()
+{
+    cap_counts = counts;
+    cap_underflow = _underflow;
+    cap_overflow = _overflow;
+    cap_count = _count;
+    cap_nonfinite = _nonfinite;
+    cap_sum = _sum;
+}
+
+bool
+Histogram::captureDelta(StatDelta &out) const
+{
+    if (_count == cap_count)
+        return false;
+    out.kind = 2;
+    out.a = static_cast<double>(_count - cap_count);
+    out.b = _sum - cap_sum;
+    out.c = static_cast<double>(_underflow - cap_underflow);
+    out.d = static_cast<double>(_overflow - cap_overflow);
+    out.e = static_cast<double>(_nonfinite - cap_nonfinite);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const std::uint64_t before =
+            i < cap_counts.size() ? cap_counts[i] : 0;
+        if (counts[i] != before)
+            out.buckets.emplace_back(
+                static_cast<std::uint32_t>(i), counts[i] - before);
+    }
+    return true;
+}
+
+void
+Histogram::applyDelta(const StatDelta &d)
+{
+    _count += static_cast<std::uint64_t>(d.a);
+    _sum += d.b;
+    _underflow += static_cast<std::uint64_t>(d.c);
+    _overflow += static_cast<std::uint64_t>(d.d);
+    _nonfinite += static_cast<std::uint64_t>(d.e);
+    for (const auto &[idx, delta] : d.buckets) {
+        if (idx < counts.size())
+            counts[idx] += delta;
+    }
 }
 
 Group::Group(Group &parent, std::string name)
@@ -439,6 +541,85 @@ Registry::resetAll()
 {
     for (auto *g : groups_)
         g->resetAll();
+}
+
+std::uint64_t
+DeltaCapture::hashPath(const std::string &path)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : path) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+namespace
+{
+
+void
+walkStats(
+    const Group &g, const std::string &prefix,
+    std::vector<std::pair<std::uint64_t, StatBase *>> &out)
+{
+    for (StatBase *s : g.all()) {
+        out.emplace_back(DeltaCapture::hashPath(prefix + s->name()),
+                         s);
+    }
+    for (const Group *child : g.children())
+        walkStats(*child, prefix + child->name() + '.', out);
+}
+
+} // namespace
+
+DeltaCapture::DeltaCapture(Group &root)
+{
+    walkStats(root, "", in_order);
+    by_path = in_order;
+    std::sort(by_path.begin(), by_path.end(),
+              [](const auto &l, const auto &r) {
+                  return l.first < r.first;
+              });
+    for (std::size_t i = 1; i < by_path.size(); ++i) {
+        if (by_path[i].first == by_path[i - 1].first)
+            panic("stat path hash collision under group '",
+                  root.name(), "'");
+    }
+}
+
+void
+DeltaCapture::begin()
+{
+    for (auto &[hash, stat] : in_order)
+        stat->captureBegin();
+}
+
+void
+DeltaCapture::collect(std::vector<StatDelta> &out) const
+{
+    for (const auto &[hash, stat] : in_order) {
+        StatDelta d;
+        if (stat->captureDelta(d)) {
+            d.path = hash;
+            out.push_back(std::move(d));
+        }
+    }
+}
+
+void
+DeltaCapture::apply(const std::vector<StatDelta> &deltas)
+{
+    for (const StatDelta &d : deltas) {
+        const auto it = std::lower_bound(
+            by_path.begin(), by_path.end(), d.path,
+            [](const auto &entry, std::uint64_t hash) {
+                return entry.first < hash;
+            });
+        if (it == by_path.end() || it->first != d.path)
+            panic("stat delta replay: no stat with path hash ",
+                  d.path);
+        it->second->applyDelta(d);
+    }
 }
 
 } // namespace snpu::stats

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace snpu::stats
@@ -27,6 +28,33 @@ class Group;
 
 /** Write @p s as a JSON string literal (quotes + escapes). */
 void jsonEscape(std::ostream &os, const std::string &s);
+
+/**
+ * Sparse, replayable change record for one stat: everything that
+ * happened to it between captureBegin() and captureDelta(), in a
+ * form that applyDelta() can replay onto a stat in any prior state
+ * and land on the exact value a live run would have produced. All
+ * recorded quantities are integer tick/count sums (exact in a double
+ * below 2^53), so replay reproduces JSON output byte for byte.
+ */
+struct StatDelta
+{
+    /** FNV-1a hash of the dotted path below the capture root. */
+    std::uint64_t path = 0;
+    /** 0 = Scalar, 1 = Average, 2 = Histogram. */
+    std::uint8_t kind = 0;
+    /**
+     * Kind-specific payload:
+     *  - Scalar:    a = value delta
+     *  - Average:   a = count delta, b = sum delta,
+     *               c/d = min/max over the captured window
+     *  - Histogram: a = count delta, b = sum delta, c = underflow
+     *               delta, d = overflow delta, e = nonfinite delta
+     */
+    double a = 0, b = 0, c = 0, d = 0, e = 0;
+    /** Histogram only: sparse (bucket index, count delta) pairs. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> buckets;
+};
 
 /** Common interface for all statistics. */
 class StatBase
@@ -49,6 +77,18 @@ class StatBase
 
     /** Reset to the just-constructed state. */
     virtual void reset() = 0;
+
+    /** Arm delta capture: the current state becomes the baseline. */
+    virtual void captureBegin() = 0;
+
+    /**
+     * Fill @p out (except the path) with the change since the last
+     * captureBegin(); false when the stat did not change.
+     */
+    virtual bool captureDelta(StatDelta &out) const = 0;
+
+    /** Replay a captured delta onto the current state. */
+    virtual void applyDelta(const StatDelta &d) = 0;
 
   private:
     Group *_group = nullptr;
@@ -73,8 +113,13 @@ class Scalar : public StatBase
     void json(std::ostream &os) const override;
     void reset() override { _value = 0; }
 
+    void captureBegin() override { cap_value = _value; }
+    bool captureDelta(StatDelta &out) const override;
+    void applyDelta(const StatDelta &d) override { _value += d.a; }
+
   private:
     double _value = 0;
+    double cap_value = 0;
 };
 
 /** Streaming mean/min/max over observed samples. */
@@ -97,11 +142,26 @@ class Average : public StatBase
     void json(std::ostream &os) const override;
     void reset() override;
 
+    void captureBegin() override;
+    bool captureDelta(StatDelta &out) const override;
+    void applyDelta(const StatDelta &d) override;
+
   private:
     std::uint64_t _count = 0;
     double _sum = 0;
     double _min = 0;
     double _max = 0;
+    /**
+     * Capture window: min/max cannot be recovered from before/after
+     * snapshots (the replay target may already hold tighter extrema
+     * than the capture-time state did), so sample() keeps window
+     * extrema while a capture is armed.
+     */
+    bool cap_armed = false;
+    std::uint64_t cap_count = 0;
+    double cap_sum = 0;
+    double win_min = 0;
+    double win_max = 0;
 };
 
 /** Fixed-width bucket histogram with underflow/overflow buckets. */
@@ -148,6 +208,10 @@ class Histogram : public StatBase
     void json(std::ostream &os) const override;
     void reset() override;
 
+    void captureBegin() override;
+    bool captureDelta(StatDelta &out) const override;
+    void applyDelta(const StatDelta &d) override;
+
   private:
     double lo;
     double hi;
@@ -157,6 +221,13 @@ class Histogram : public StatBase
     std::uint64_t _count = 0;
     std::uint64_t _nonfinite = 0;
     double _sum = 0;
+    /** Capture baseline (bucket snapshot is lazy-allocated). */
+    std::vector<std::uint64_t> cap_counts;
+    std::uint64_t cap_underflow = 0;
+    std::uint64_t cap_overflow = 0;
+    std::uint64_t cap_count = 0;
+    std::uint64_t cap_nonfinite = 0;
+    double cap_sum = 0;
 };
 
 /**
@@ -243,6 +314,38 @@ class Registry
 
   private:
     std::vector<Group *> groups_;
+};
+
+/**
+ * Delta capture over a whole stat tree. Built once per tree, it
+ * walks the subtree and indexes every stat by the FNV-1a hash of its
+ * dotted path below the root (the path, not the pointer, so a delta
+ * captured on one SoC instance replays onto any identically shaped
+ * one). begin()/collect() bracket a simulated operation on a miss;
+ * apply() replays the collected deltas on a hit.
+ */
+class DeltaCapture
+{
+  public:
+    explicit DeltaCapture(Group &root);
+
+    /** Arm every stat in the tree (baseline = current state). */
+    void begin();
+
+    /** Append one StatDelta per stat that changed since begin(). */
+    void collect(std::vector<StatDelta> &out) const;
+
+    /** Replay deltas; panics on a path with no stat in this tree. */
+    void apply(const std::vector<StatDelta> &deltas);
+
+    /** FNV-1a hash of a dotted stat path (exposed for tests). */
+    static std::uint64_t hashPath(const std::string &path);
+
+  private:
+    /** (path hash, stat) sorted by hash for binary-search apply. */
+    std::vector<std::pair<std::uint64_t, StatBase *>> by_path;
+    /** Registration-order walk, for deterministic collect order. */
+    std::vector<std::pair<std::uint64_t, StatBase *>> in_order;
 };
 
 } // namespace snpu::stats

@@ -1,5 +1,6 @@
 #include "spad/scratchpad.hh"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -108,6 +109,7 @@ Scratchpad::read(World reader, std::uint32_t row, std::uint8_t *dst)
                 id_state[row] != World::secure) {
                 id_state[row] = World::secure;
                 ++id_flips;
+                recordWrite(row); // secure read claims the line
             }
         }
         break;
@@ -166,6 +168,7 @@ Scratchpad::write(World writer, std::uint32_t row, const std::uint8_t *src)
         break;
     }
 
+    recordWrite(row);
     if (src) {
         std::memcpy(data.data() +
                         static_cast<std::size_t>(row) * params.row_bytes,
@@ -191,6 +194,7 @@ Scratchpad::secureReset(std::uint32_t first, std::uint32_t count,
                 "secure reset: scrubbed rows [", first, ", ",
                 first + count, ")");
     for (std::uint32_t row = first; row < first + count; ++row) {
+        recordWrite(row);
         if (id_state[row] == World::secure) {
             id_state[row] = World::normal;
             ++id_flips;
@@ -252,6 +256,38 @@ Scratchpad::rawSetId(std::uint32_t row, World w)
     if (row >= params.rows)
         panic("rawSetId: row out of range");
     id_state[row] = w;
+    recordWrite(row);
+}
+
+void
+Scratchpad::beginWriteRecord()
+{
+    if (write_mark.size() != params.rows)
+        write_mark.assign(params.rows, 0);
+    recording = true;
+    written_rows.clear();
+}
+
+void
+Scratchpad::endWriteRecord(std::vector<WrittenRange> &out)
+{
+    recording = false;
+    std::sort(written_rows.begin(), written_rows.end());
+    for (std::size_t i = 0; i < written_rows.size();) {
+        const std::uint32_t row = written_rows[i];
+        const World w = id_state[row];
+        std::uint32_t count = 1;
+        while (i + count < written_rows.size() &&
+               written_rows[i + count] == row + count &&
+               id_state[row + count] == w) {
+            ++count;
+        }
+        out.push_back(WrittenRange{row, count, w});
+        i += count;
+    }
+    for (const std::uint32_t row : written_rows)
+        write_mark[row] = 0;
+    written_rows.clear();
 }
 
 } // namespace snpu

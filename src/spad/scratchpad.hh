@@ -126,6 +126,32 @@ class Scratchpad
     const std::uint8_t *rawRow(std::uint32_t row) const;
     void rawSetId(std::uint32_t row, World w);
 
+    /** The whole per-row ID image (layer-timing cache key input). */
+    const std::vector<World> &idImage() const { return id_state; }
+
+    /** A recorded run of rows left holding the same wordline ID. */
+    struct WrittenRange
+    {
+        std::uint32_t first = 0;
+        std::uint32_t count = 0;
+        World world = World::normal;
+    };
+
+    /**
+     * Arm written-row recording: every row an access or scrub
+     * touches from here to endWriteRecord() is remembered (one
+     * branch per access while armed, nothing when disarmed). The
+     * layer-timing cache uses this to capture the ID-image effect of
+     * a memoized op so a hit can replay it with rawSetId().
+     */
+    void beginWriteRecord();
+
+    /**
+     * Compact the recorded rows into ranges annotated with each
+     * row's final ID, append them to @p out, and disarm.
+     */
+    void endWriteRecord(std::vector<WrittenRange> &out);
+
     /**
      * Arm (or disarm with nullptr) the fault injector. Armed sites:
      * spad_id_mismatch (a read is denied as if the wordline ID did
@@ -152,10 +178,20 @@ class Scratchpad
 
   private:
     bool partitionAllows(World w, std::uint32_t row) const;
+    void recordWrite(std::uint32_t row)
+    {
+        if (recording && !write_mark[row]) {
+            write_mark[row] = 1;
+            written_rows.push_back(row);
+        }
+    }
 
     SpadParams params;
     std::vector<std::uint8_t> data;   // rows * row_bytes
     std::vector<World> id_state;      // per row
+    bool recording = false;
+    std::vector<std::uint8_t> write_mark; // lazily sized to rows
+    std::vector<std::uint32_t> written_rows;
     FaultInjector *faults = nullptr;
     Tracer tracer;
     std::string trace_name;

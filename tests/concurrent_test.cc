@@ -112,8 +112,8 @@ TEST(Concurrent, CrossWorldTenantsTriggerNoViolations)
         smallTask(ModelId::yololite, World::normal), 8192);
     ASSERT_TRUE(res.ok()) << res.error();
     EXPECT_EQ(soc->mem().partitionViolations(), 0u);
-    EXPECT_EQ(soc->guarder(0).denyCount(), 0u);
-    EXPECT_EQ(soc->guarder(1).denyCount(), 0u);
+    EXPECT_EQ(soc->protection(0).denyCount(), 0u);
+    EXPECT_EQ(soc->protection(1).denyCount(), 0u);
 }
 
 } // namespace

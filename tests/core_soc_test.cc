@@ -18,11 +18,14 @@ TEST(SocBuild, NormalNpu)
 {
     Soc soc(makeSystem(SystemKind::normal_npu));
     EXPECT_FALSE(soc.hasMonitor());
-    EXPECT_FALSE(soc.hasIommu());
-    EXPECT_FALSE(soc.hasGuarder());
     EXPECT_THROW(soc.monitor(), PanicError);
-    EXPECT_THROW(soc.iommu(0), PanicError);
-    EXPECT_THROW(soc.guarder(0), PanicError);
+    // The passthrough backend neither enforces nor translates, and
+    // narrows to neither backend-specific type.
+    const auto caps = soc.protection(0).capabilities();
+    EXPECT_FALSE(caps.enforces);
+    EXPECT_FALSE(caps.translates);
+    EXPECT_EQ(soc.protection(0).asIommu(), nullptr);
+    EXPECT_EQ(soc.protection(0).asGuarder(), nullptr);
     EXPECT_EQ(soc.npu().tiles(), 10u);
 }
 
@@ -30,18 +33,17 @@ TEST(SocBuild, TrustzoneNpu)
 {
     Soc soc(makeSystem(SystemKind::trustzone_npu));
     EXPECT_FALSE(soc.hasMonitor());
-    EXPECT_TRUE(soc.hasIommu());
-    soc.iommu(9); // one per tile
+    EXPECT_TRUE(soc.protection(0).capabilities().uses_page_table);
+    EXPECT_NE(soc.protection(9).asIommu(), nullptr); // one per tile
     soc.pageTable();
-    EXPECT_THROW(soc.iommu(10), PanicError);
+    EXPECT_THROW(soc.protection(10), PanicError);
 }
 
 TEST(SocBuild, Snpu)
 {
     Soc soc(makeSystem(SystemKind::snpu));
     EXPECT_TRUE(soc.hasMonitor());
-    EXPECT_TRUE(soc.hasGuarder());
-    soc.guarder(9);
+    EXPECT_NE(soc.protection(9).asGuarder(), nullptr);
     soc.monitor();
     EXPECT_THROW(soc.pageTable(), PanicError);
 }

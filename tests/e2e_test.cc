@@ -121,8 +121,10 @@ TEST(EndToEnd, GuarderWindowsSurviveRealWorkload)
     task.model = task.model.scaled(8);
     RunResult res = runner.run(task);
     ASSERT_TRUE(res.ok()) << res.error();
-    EXPECT_EQ(soc.guarder(0).denyCount(), 0u);
-    EXPECT_GT(soc.guarder(0).checkCount(), 0u);
+    NpuGuarder *g = soc.protection(0).asGuarder();
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->denyCount(), 0u);
+    EXPECT_GT(g->checkCount(), 0u);
 }
 
 TEST(EndToEnd, TrustzoneIommuMapsSurviveRealWorkload)
@@ -133,9 +135,11 @@ TEST(EndToEnd, TrustzoneIommuMapsSurviveRealWorkload)
     task.model = task.model.scaled(8);
     RunResult res = runner.run(task);
     ASSERT_TRUE(res.ok()) << res.error();
-    EXPECT_EQ(soc.iommu(0).denyCount(), 0u);
-    EXPECT_GT(soc.iommu(0).walks(), 0u);
-    EXPECT_GT(soc.iommu(0).tlb().hits(), soc.iommu(0).walks());
+    Iommu *iommu = soc.protection(0).asIommu();
+    ASSERT_NE(iommu, nullptr);
+    EXPECT_EQ(iommu->denyCount(), 0u);
+    EXPECT_GT(iommu->walks(), 0u);
+    EXPECT_GT(iommu->tlb().hits(), iommu->walks());
 }
 
 TEST(EndToEnd, StatsDumpContainsAllSubsystems)

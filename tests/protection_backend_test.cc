@@ -195,19 +195,18 @@ TEST(SocProtection, CapabilitiesDescribeEachBackend)
     EXPECT_FALSE(p_caps.encrypts);
 }
 
-TEST(SocProtection, TypedShimsAssertBackendKind)
+TEST(SocProtection, NarrowingReturnsNullOnKindMismatch)
 {
     SocParams params = makeSystem(SystemKind::normal_npu);
     params.protection = "crypto";
     Soc soc(params);
     EXPECT_EQ(soc.protection(0).name(), "crypto");
-    EXPECT_THROW(soc.iommu(0), PanicError);
-    EXPECT_THROW(soc.guarder(0), PanicError);
+    EXPECT_EQ(soc.protection(0).asIommu(), nullptr);
+    EXPECT_EQ(soc.protection(0).asGuarder(), nullptr);
 
     Soc snpu_soc(makeSystem(SystemKind::snpu));
-    EXPECT_EQ(&snpu_soc.guarder(0),
-              snpu_soc.protection(0).asGuarder());
-    EXPECT_THROW(snpu_soc.iommu(0), PanicError);
+    EXPECT_NE(snpu_soc.protection(0).asGuarder(), nullptr);
+    EXPECT_EQ(snpu_soc.protection(0).asIommu(), nullptr);
 }
 
 // ---------------------------------------------------------------- //
