@@ -60,16 +60,43 @@ const std::vector<TenantPlan> plans = {
     {ModelId::resnet, World::normal},
 };
 
+/**
+ * Backends under injected faults (PR 5 follow-on): the Guarder on
+ * the sNPU system, and the crypto engine on the normal system —
+ * the DMA/hang/bit-flip sites and the recovery machinery are
+ * backend-independent, so both must degrade gracefully (the
+ * guarder_check site simply never probes without a Guarder, and
+ * crypto runs carry no secure world absent the NPU Monitor).
+ */
+const std::vector<std::string> backends = {"guarder", "crypto"};
+
+SocParams
+paramsFor(const std::string &backend)
+{
+    if (backend == "guarder")
+        return makeSystem(SystemKind::snpu);
+    SocParams params = makeSystem(SystemKind::normal_npu);
+    params.protection = backend;
+    return params;
+}
+
+World
+worldFor(const TenantPlan &plan, const std::string &backend)
+{
+    return backend == "guarder" ? plan.world : World::normal;
+}
+
 std::vector<TenantSpec>
-makeTenants(const std::vector<double> &service)
+makeTenants(const std::string &backend,
+            const std::vector<double> &service)
 {
     std::vector<TenantSpec> tenants(plans.size());
     for (std::uint32_t t = 0; t < plans.size(); ++t) {
         TenantSpec &spec = tenants[t];
         spec.name = std::string(modelName(plans[t].model)) + "_" +
                     std::to_string(t);
-        spec.task = NpuTask::fromModel(plans[t].model,
-                                       plans[t].world);
+        spec.task = NpuTask::fromModel(
+            plans[t].model, worldFor(plans[t], backend));
         spec.task.model = spec.task.model.scaled(model_scale);
         const double gap = meanGapForLoad(
             offered_load, static_cast<std::uint32_t>(plans.size()),
@@ -118,35 +145,41 @@ main(int argc, char **argv)
         .seed(&arrival_seed)
         .parse(argc, argv);
 
-    const SocParams params = makeSystem(SystemKind::snpu);
-
     SweepRunner runner(SweepOptions{jobs});
     std::fprintf(stderr, "fault_sweep: %u host threads "
                          "(--jobs=N or SNPU_JOBS to override)\n",
                  runner.threads());
 
-    // Unloaded service time per tenant (for the arrival process).
+    // Unloaded service time per backend x tenant (for the arrival
+    // process; the crypto engine's service times differ).
     std::vector<std::function<double(SweepContext &)>> profile_jobs;
-    profile_jobs.reserve(plans.size());
-    for (const TenantPlan &plan : plans) {
-        profile_jobs.push_back([&params, plan](SweepContext &) {
-            NpuTask task = NpuTask::fromModel(plan.model, plan.world);
-            task.model = task.model.scaled(model_scale);
-            return SnpuServer::profiledServiceCycles(params, task);
-        });
+    profile_jobs.reserve(backends.size() * plans.size());
+    for (const std::string &backend : backends) {
+        for (const TenantPlan &plan : plans) {
+            profile_jobs.push_back([&backend, plan](SweepContext &) {
+                NpuTask task = NpuTask::fromModel(
+                    plan.model, worldFor(plan, backend));
+                task.model = task.model.scaled(model_scale);
+                return SnpuServer::profiledServiceCycles(
+                    paramsFor(backend), task);
+            });
+        }
     }
     const auto profiled = runner.map<double>(profile_jobs);
 
-    std::vector<double> service;
-    double max_service = 0.0;
-    for (const auto &outcome : profiled) {
-        if (!outcome.ok()) {
-            std::fprintf(stderr, "profiling failed: %s\n",
-                         outcome.status.toString().c_str());
-            return 1;
+    std::vector<std::vector<double>> service(backends.size());
+    std::vector<double> max_service(backends.size(), 0.0);
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (std::size_t t = 0; t < plans.size(); ++t) {
+            const auto &outcome = profiled[b * plans.size() + t];
+            if (!outcome.ok()) {
+                std::fprintf(stderr, "profiling failed: %s\n",
+                             outcome.status.toString().c_str());
+                return 1;
+            }
+            service[b].push_back(outcome.value);
+            max_service[b] = std::max(max_service[b], outcome.value);
         }
-        service.push_back(outcome.value);
-        max_service = std::max(max_service, outcome.value);
     }
 
     const std::vector<SchedPolicy> policies = {
@@ -161,46 +194,54 @@ main(int argc, char **argv)
     };
 
     std::vector<std::function<Point(SweepContext &)>> point_jobs;
-    point_jobs.reserve(policies.size() * rates.size());
-    for (SchedPolicy policy : policies) {
-        for (double rate : rates) {
-            point_jobs.push_back([&params, &service, max_service,
-                                  policy, rate](SweepContext &ctx) {
-                Soc soc(params);
-                ServerConfig cfg;
-                cfg.policy = policy;
-                cfg.num_cores = n_cores;
-                cfg.latency_hist_max = 64.0 * max_service;
-                cfg.latency_hist_buckets = 2048;
-                cfg.fault_injection = true;
-                cfg.fault_plan = makePlan(rate, ctx.seed());
-                cfg.default_deadline = static_cast<Tick>(
-                    48.0 * max_service);
-                cfg.max_retries = 2;
-                cfg.retry_backoff = 500;
-                cfg.quarantine_threshold = 8;
-                SnpuServer server(soc, cfg);
-                Point point;
-                point.res = server.serve(makeTenants(service));
-                point.fires = server.faultInjector()->fireCount();
-                return point;
-            });
+    point_jobs.reserve(backends.size() * policies.size() *
+                       rates.size());
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (SchedPolicy policy : policies) {
+            for (double rate : rates) {
+                point_jobs.push_back(
+                    [&, b, policy, rate](SweepContext &ctx) {
+                        Soc soc(paramsFor(backends[b]));
+                        ServerConfig cfg;
+                        cfg.policy = policy;
+                        cfg.num_cores = n_cores;
+                        cfg.latency_hist_max =
+                            64.0 * max_service[b];
+                        cfg.latency_hist_buckets = 2048;
+                        cfg.fault_injection = true;
+                        cfg.fault_plan = makePlan(rate, ctx.seed());
+                        cfg.default_deadline = static_cast<Tick>(
+                            48.0 * max_service[b]);
+                        cfg.max_retries = 2;
+                        cfg.retry_backoff = 500;
+                        cfg.quarantine_threshold = 8;
+                        SnpuServer server(soc, cfg);
+                        Point point;
+                        point.res = server.serve(
+                            makeTenants(backends[b], service[b]));
+                        point.fires =
+                            server.faultInjector()->fireCount();
+                        return point;
+                    });
+            }
         }
     }
     const auto points = runner.map<Point>(point_jobs);
 
-    std::printf("fault_sweep: %zu tenants (1 secure) on %u tiles, "
-                "%u req/tenant, scale=%u, load=%.2f\n"
+    std::printf("fault_sweep: %zu tenants (1 secure under the "
+                "guarder) on %u tiles, %u req/tenant, scale=%u, "
+                "load=%.2f\n"
                 "deadline=48x service, retries=2, backoff=500, "
                 "quarantine after 8 consecutive faults\n\n",
                 plans.size(), n_cores, n_requests, model_scale,
                 offered_load);
-    std::printf("%-13s %7s %6s %5s %5s %5s %5s %4s %5s %10s\n",
-                "policy", "rate", "fires", "done", "fail", "retry",
-                "tmout", "rej", "quar", "recovery");
+    std::printf("%-8s %-13s %7s %6s %5s %5s %5s %5s %4s %5s %10s\n",
+                "backend", "policy", "rate", "fires", "done", "fail",
+                "retry", "tmout", "rej", "quar", "recovery");
 
     struct PointRecord
     {
+        const char *backend;
         const char *policy;
         double rate;
         std::uint64_t fires;
@@ -210,49 +251,59 @@ main(int argc, char **argv)
     std::vector<PointRecord> records;
 
     bool clean_baseline = true;
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        for (std::size_t ri = 0; ri < rates.size(); ++ri) {
-            const auto &point = points[p * rates.size() + ri];
-            if (!point.ok()) {
-                std::fprintf(stderr, "%s at rate %.2f failed: %s\n",
-                             schedPolicyName(policies[p]), rates[ri],
-                             point.status.toString().c_str());
-                return 1;
-            }
-            const ServeResult &res = point.value.res;
-            if (!res.ok()) {
-                std::fprintf(stderr, "%s at rate %.2f failed: %s\n",
-                             schedPolicyName(policies[p]), rates[ri],
-                             res.error().c_str());
-                return 1;
-            }
-            std::uint32_t done = 0, fail = 0, retry = 0, tmout = 0,
-                          rej = 0, quar = 0;
-            for (const TenantReport &rep : res.tenants) {
-                done += rep.completed;
-                fail += rep.failed;
-                retry += rep.retries;
-                tmout += rep.timeouts;
-                rej += rep.rejected;
-                quar += rep.quarantined ? 1 : 0;
-            }
-            if (rates[ri] == 0.0 &&
-                (point.value.fires != 0 || fail != 0))
-                clean_baseline = false;
-            records.push_back({schedPolicyName(policies[p]),
-                               rates[ri], point.value.fires, done,
-                               fail, retry, tmout, rej, quar,
-                               res.recovery_overhead});
-            std::printf("%-13s %7.4f %6llu %5u %5u %5u %5u %4u "
-                        "%5u %10llu\n",
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            for (std::size_t ri = 0; ri < rates.size(); ++ri) {
+                const auto &point =
+                    points[(b * policies.size() + p) * rates.size() +
+                           ri];
+                if (!point.ok()) {
+                    std::fprintf(
+                        stderr, "%s/%s at rate %.2f failed: %s\n",
+                        backends[b].c_str(),
                         schedPolicyName(policies[p]), rates[ri],
-                        static_cast<unsigned long long>(
-                            point.value.fires),
-                        done, fail, retry, tmout, rej, quar,
-                        static_cast<unsigned long long>(
-                            res.recovery_overhead));
+                        point.status.toString().c_str());
+                    return 1;
+                }
+                const ServeResult &res = point.value.res;
+                if (!res.ok()) {
+                    std::fprintf(stderr,
+                                 "%s/%s at rate %.2f failed: %s\n",
+                                 backends[b].c_str(),
+                                 schedPolicyName(policies[p]),
+                                 rates[ri], res.error().c_str());
+                    return 1;
+                }
+                std::uint32_t done = 0, fail = 0, retry = 0,
+                              tmout = 0, rej = 0, quar = 0;
+                for (const TenantReport &rep : res.tenants) {
+                    done += rep.completed;
+                    fail += rep.failed;
+                    retry += rep.retries;
+                    tmout += rep.timeouts;
+                    rej += rep.rejected;
+                    quar += rep.quarantined ? 1 : 0;
+                }
+                if (rates[ri] == 0.0 &&
+                    (point.value.fires != 0 || fail != 0))
+                    clean_baseline = false;
+                records.push_back({backends[b].c_str(),
+                                   schedPolicyName(policies[p]),
+                                   rates[ri], point.value.fires,
+                                   done, fail, retry, tmout, rej,
+                                   quar, res.recovery_overhead});
+                std::printf("%-8s %-13s %7.4f %6llu %5u %5u %5u "
+                            "%5u %4u %5u %10llu\n",
+                            backends[b].c_str(),
+                            schedPolicyName(policies[p]), rates[ri],
+                            static_cast<unsigned long long>(
+                                point.value.fires),
+                            done, fail, retry, tmout, rej, quar,
+                            static_cast<unsigned long long>(
+                                res.recovery_overhead));
+            }
+            std::printf("\n");
         }
-        std::printf("\n");
     }
 
     std::printf("rate-0 baseline %s: armed injector fired nothing "
@@ -274,6 +325,8 @@ main(int argc, char **argv)
         w.beginArray();
         for (const PointRecord &r : records) {
             w.beginObject();
+            w.key("backend");
+            w.value(r.backend);
             w.key("policy");
             w.value(r.policy);
             w.key("rate");

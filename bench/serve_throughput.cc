@@ -4,9 +4,11 @@
  * multi-tenant serving engine (paper Table I at serving scale).
  *
  * Eight tenants (two of them secure, paying the NPU-Monitor path)
- * multiplex on two tiles. For each isolation policy the sweep
- * raises the offered load and tracks the aggregate p99 latency,
- * normalized to the tenants' unloaded service times. A point is
+ * multiplex on two tiles. For each protection backend (the sNPU
+ * Guarder, and the crypto engine whose counter-cache pressure only
+ * shows under multi-tenant load) and each isolation policy, the
+ * sweep raises the offered load and tracks the aggregate p99
+ * latency, normalized to that backend's unloaded service times. A point is
  * "sustained" while the p99 slowdown stays under the knee threshold
  * and nothing is dropped at admission.
  *
@@ -77,16 +79,43 @@ const std::vector<TenantPlan> plans = {
     {ModelId::resnet, World::normal},
 };
 
+/**
+ * Serve-path backends under contention (PR 5 follow-on): the
+ * Guarder on the sNPU system, and the memory-encryption engine on
+ * the otherwise-unprotected system — its per-packet counter-cache
+ * and MAC bandwidth now show up under multi-tenant load, not just
+ * in fig13's single-task runs.
+ */
+const std::vector<std::string> backends = {"guarder", "crypto"};
+
+SocParams
+paramsFor(const std::string &backend)
+{
+    if (backend == "guarder")
+        return makeSystem(SystemKind::snpu);
+    SocParams params = makeSystem(SystemKind::normal_npu);
+    params.protection = backend;
+    return params;
+}
+
+/** Secure tenants need the NPU Monitor, which only sNPU carries. */
+World
+worldFor(const TenantPlan &plan, const std::string &backend)
+{
+    return backend == "guarder" ? plan.world : World::normal;
+}
+
 std::vector<TenantSpec>
-makeTenants(const std::vector<double> &service, double load)
+makeTenants(const std::string &backend,
+            const std::vector<double> &service, double load)
 {
     std::vector<TenantSpec> tenants(plans.size());
     for (std::uint32_t t = 0; t < plans.size(); ++t) {
         TenantSpec &spec = tenants[t];
         spec.name = std::string(modelName(plans[t].model)) + "_" +
                     std::to_string(t);
-        spec.task = NpuTask::fromModel(plans[t].model,
-                                       plans[t].world);
+        spec.task = NpuTask::fromModel(
+            plans[t].model, worldFor(plans[t], backend));
         spec.task.model = spec.task.model.scaled(model_scale);
         const double gap = meanGapForLoad(
             load, static_cast<std::uint32_t>(plans.size()), n_cores,
@@ -110,8 +139,6 @@ main(int argc, char **argv)
         .seed(&seed)
         .parse(argc, argv);
 
-    const SocParams params = makeSystem(SystemKind::snpu);
-
     // Every sweep point is an independent simulation (own SoC, own
     // arrival Rng), so the grid fans out across host cores. Results
     // are collected in submission order and printed afterwards:
@@ -122,31 +149,41 @@ main(int argc, char **argv)
                          "(--jobs=N or SNPU_JOBS to override)\n",
                  runner.threads());
 
-    // Unloaded service time per tenant, through the same per-layer
-    // segment path the scheduler runs.
+    // Unloaded service time per backend x tenant, through the same
+    // per-layer segment path the scheduler runs (the crypto engine
+    // inflates service times, so its arrival process must be
+    // calibrated against its own unloaded baseline).
     std::vector<std::function<double(SweepContext &)>> profile_jobs;
-    profile_jobs.reserve(plans.size());
-    for (const TenantPlan &plan : plans) {
-        profile_jobs.push_back([&params, plan](SweepContext &) {
-            NpuTask task = NpuTask::fromModel(plan.model, plan.world);
-            task.model = task.model.scaled(model_scale);
-            return SnpuServer::profiledServiceCycles(params, task);
-        });
+    profile_jobs.reserve(backends.size() * plans.size());
+    for (const std::string &backend : backends) {
+        for (const TenantPlan &plan : plans) {
+            profile_jobs.push_back([&backend, plan](SweepContext &) {
+                NpuTask task = NpuTask::fromModel(
+                    plan.model, worldFor(plan, backend));
+                task.model = task.model.scaled(model_scale);
+                return SnpuServer::profiledServiceCycles(
+                    paramsFor(backend), task);
+            });
+        }
     }
     const auto profiled = runner.map<double>(profile_jobs);
 
-    std::vector<double> service;
-    double max_service = 0.0;
-    double service_sum = 0.0;
-    for (const auto &outcome : profiled) {
-        if (!outcome.ok()) {
-            std::fprintf(stderr, "profiling failed: %s\n",
-                         outcome.status.toString().c_str());
-            return 1;
+    // [backend][tenant] service cycles, plus per-backend extremes.
+    std::vector<std::vector<double>> service(backends.size());
+    std::vector<double> max_service(backends.size(), 0.0);
+    std::vector<double> service_sum(backends.size(), 0.0);
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (std::size_t t = 0; t < plans.size(); ++t) {
+            const auto &outcome = profiled[b * plans.size() + t];
+            if (!outcome.ok()) {
+                std::fprintf(stderr, "profiling failed: %s\n",
+                             outcome.status.toString().c_str());
+                return 1;
+            }
+            service[b].push_back(outcome.value);
+            max_service[b] = std::max(max_service[b], outcome.value);
+            service_sum[b] += outcome.value;
         }
-        service.push_back(outcome.value);
-        max_service = std::max(max_service, outcome.value);
-        service_sum += outcome.value;
     }
 
     const std::vector<SchedPolicy> policies = {
@@ -155,38 +192,44 @@ main(int argc, char **argv)
     const std::vector<double> loads = {0.3, 0.5, 0.7, 0.9, 1.0,
                                        1.1, 1.2, 1.3};
 
-    // Phase 2: the full policy x load grid, one job per point.
+    // Phase 2: the backend x policy x load grid, one job per point.
     std::vector<std::function<ServeResult(SweepContext &)>> point_jobs;
-    point_jobs.reserve(policies.size() * loads.size());
-    for (SchedPolicy policy : policies) {
-        for (double load : loads) {
-            point_jobs.push_back([&params, &service, max_service,
-                                  policy, load](SweepContext &) {
-                Soc soc(params);
-                ServerConfig cfg;
-                cfg.policy = policy;
-                cfg.num_cores = n_cores;
-                cfg.latency_hist_max = 32.0 * max_service;
-                cfg.latency_hist_buckets = 2048;
-                SnpuServer server(soc, cfg);
-                return server.serve(makeTenants(service, load));
-            });
+    point_jobs.reserve(backends.size() * policies.size() *
+                       loads.size());
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (SchedPolicy policy : policies) {
+            for (double load : loads) {
+                point_jobs.push_back(
+                    [&, b, policy, load](SweepContext &) {
+                        Soc soc(paramsFor(backends[b]));
+                        ServerConfig cfg;
+                        cfg.policy = policy;
+                        cfg.num_cores = n_cores;
+                        cfg.latency_hist_max =
+                            32.0 * max_service[b];
+                        cfg.latency_hist_buckets = 2048;
+                        SnpuServer server(soc, cfg);
+                        return server.serve(makeTenants(
+                            backends[b], service[b], load));
+                    });
+            }
         }
     }
     const auto points = runner.map<ServeResult>(point_jobs);
 
-    std::printf("serve_throughput: %zu tenants (2 secure) on %u "
-                "tiles, %u req/tenant, scale=%u\n"
+    std::printf("serve_throughput: %zu tenants (2 secure under the "
+                "guarder) on %u tiles, %u req/tenant, scale=%u\n"
                 "knee: aggregate p99 > %.1fx unloaded service, or "
                 "admission drops\n\n",
                 plans.size(), n_cores, n_requests, model_scale,
                 knee_slowdown);
-    std::printf("%-13s %5s %10s %9s %4s %10s %10s  %s\n", "policy",
-                "load", "thru/Mcy", "p99 slow", "rej", "flush",
-                "monitor", "verdict");
+    std::printf("%-8s %-13s %5s %10s %9s %4s %10s %10s  %s\n",
+                "backend", "policy", "load", "thru/Mcy", "p99 slow",
+                "rej", "flush", "monitor", "verdict");
 
     struct PointRecord
     {
+        const char *backend;
         const char *policy;
         double load;
         double thru;
@@ -198,78 +241,96 @@ main(int argc, char **argv)
     };
     std::vector<PointRecord> records;
 
-    std::vector<double> sustained(policies.size(), 0.0);
-    for (std::size_t p = 0; p < policies.size(); ++p) {
-        bool kneed = false;
-        for (std::size_t li = 0; li < loads.size(); ++li) {
-            const double load = loads[li];
-            const auto &point = points[p * loads.size() + li];
-            if (!point.ok()) {
-                std::fprintf(stderr, "%s at load %.2f failed: %s\n",
-                             schedPolicyName(policies[p]), load,
-                             point.status.toString().c_str());
-                return 1;
-            }
-            const ServeResult &res = point.value;
-            if (!res.ok()) {
-                std::fprintf(stderr, "%s at load %.2f failed: %s\n",
-                             schedPolicyName(policies[p]), load,
-                             res.error().c_str());
-                return 1;
-            }
+    // [backend][policy] max sustained load.
+    std::vector<std::vector<double>> sustained(
+        backends.size(), std::vector<double>(policies.size(), 0.0));
+    for (std::size_t b = 0; b < backends.size(); ++b) {
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            bool kneed = false;
+            for (std::size_t li = 0; li < loads.size(); ++li) {
+                const double load = loads[li];
+                const auto &point =
+                    points[(b * policies.size() + p) * loads.size() +
+                           li];
+                if (!point.ok()) {
+                    std::fprintf(
+                        stderr, "%s/%s at load %.2f failed: %s\n",
+                        backends[b].c_str(),
+                        schedPolicyName(policies[p]), load,
+                        point.status.toString().c_str());
+                    return 1;
+                }
+                const ServeResult &res = point.value;
+                if (!res.ok()) {
+                    std::fprintf(stderr,
+                                 "%s/%s at load %.2f failed: %s\n",
+                                 backends[b].c_str(),
+                                 schedPolicyName(policies[p]), load,
+                                 res.error().c_str());
+                    return 1;
+                }
 
-            // Service-weighted aggregate p99: every tenant's tail
-            // counts in proportion to the work it asked for.
-            double p99_sum = 0.0;
-            std::uint32_t rejects = 0;
-            std::uint32_t completed = 0;
-            for (const TenantReport &rep : res.tenants) {
-                p99_sum += static_cast<double>(rep.p99);
-                rejects += rep.rejected;
-                completed += rep.completed;
-            }
-            const double slowdown = p99_sum / service_sum;
-            const double thru =
-                res.makespan ? static_cast<double>(completed) *
-                                   1.0e6 /
-                                   static_cast<double>(res.makespan)
-                             : 0.0;
+                // Service-weighted aggregate p99: every tenant's
+                // tail counts in proportion to the work it asked
+                // for.
+                double p99_sum = 0.0;
+                std::uint32_t rejects = 0;
+                std::uint32_t completed = 0;
+                for (const TenantReport &rep : res.tenants) {
+                    p99_sum += static_cast<double>(rep.p99);
+                    rejects += rep.rejected;
+                    completed += rep.completed;
+                }
+                const double slowdown = p99_sum / service_sum[b];
+                const double thru =
+                    res.makespan
+                        ? static_cast<double>(completed) * 1.0e6 /
+                              static_cast<double>(res.makespan)
+                        : 0.0;
 
-            const bool ok_point =
-                slowdown <= knee_slowdown && rejects == 0;
-            // The knee is the first failing load: past it the
-            // open-loop backlog makes every later point moot.
-            if (ok_point && !kneed)
-                sustained[p] = load;
-            kneed |= !ok_point;
-            records.push_back({schedPolicyName(policies[p]), load,
-                               thru, slowdown, rejects,
-                               res.flush_overhead,
-                               res.monitor_overhead, ok_point});
-            std::printf("%-13s %5.2f %10.3f %8.2fx %4u %10llu "
-                        "%10llu  %s\n",
-                        schedPolicyName(policies[p]), load, thru,
-                        slowdown, rejects,
-                        static_cast<unsigned long long>(
-                            res.flush_overhead),
-                        static_cast<unsigned long long>(
-                            res.monitor_overhead),
-                        ok_point ? "sustained" : "past knee");
+                const bool ok_point =
+                    slowdown <= knee_slowdown && rejects == 0;
+                // The knee is the first failing load: past it the
+                // open-loop backlog makes every later point moot.
+                if (ok_point && !kneed)
+                    sustained[b][p] = load;
+                kneed |= !ok_point;
+                records.push_back({backends[b].c_str(),
+                                   schedPolicyName(policies[p]),
+                                   load, thru, slowdown, rejects,
+                                   res.flush_overhead,
+                                   res.monitor_overhead, ok_point});
+                std::printf("%-8s %-13s %5.2f %10.3f %8.2fx %4u "
+                            "%10llu %10llu  %s\n",
+                            backends[b].c_str(),
+                            schedPolicyName(policies[p]), load, thru,
+                            slowdown, rejects,
+                            static_cast<unsigned long long>(
+                                res.flush_overhead),
+                            static_cast<unsigned long long>(
+                                res.monitor_overhead),
+                            ok_point ? "sustained" : "past knee");
+            }
+            std::printf("\n");
         }
-        std::printf("\n");
     }
 
     std::printf("max sustained offered load before the p99 knee:\n");
-    for (std::size_t p = 0; p < policies.size(); ++p)
-        std::printf("  %-13s %.2f\n",
-                    schedPolicyName(policies[p]), sustained[p]);
+    for (std::size_t b = 0; b < backends.size(); ++b)
+        for (std::size_t p = 0; p < policies.size(); ++p)
+            std::printf("  %-8s %-13s %.2f\n", backends[b].c_str(),
+                        schedPolicyName(policies[p]),
+                        sustained[b][p]);
 
-    const double id = sustained[3];
-    const bool dominates = id > sustained[0] && id > sustained[2];
-    std::printf("\nid_based %s flush_fine (%.2f) and partition "
-                "(%.2f) at %.2f\n",
+    // The Table I dominance claim is about the sNPU system, so the
+    // exit gate reads the guarder rows (backends[0]).
+    const double id = sustained[0][3];
+    const bool dominates =
+        id > sustained[0][0] && id > sustained[0][2];
+    std::printf("\nguarder id_based %s flush_fine (%.2f) and "
+                "partition (%.2f) at %.2f\n",
                 dominates ? "dominates" : "does NOT dominate",
-                sustained[0], sustained[2], id);
+                sustained[0][0], sustained[0][2], id);
 
     if (!json_path.empty()) {
         std::FILE *f = std::fopen(json_path.c_str(), "w");
@@ -289,6 +350,8 @@ main(int argc, char **argv)
         w.beginArray();
         for (const PointRecord &r : records) {
             w.beginObject();
+            w.key("backend");
+            w.value(r.backend);
             w.key("policy");
             w.value(r.policy);
             w.key("load");
@@ -310,9 +373,14 @@ main(int argc, char **argv)
         w.endArray();
         w.key("max_sustained_load");
         w.beginObject();
-        for (std::size_t p = 0; p < policies.size(); ++p) {
-            w.key(schedPolicyName(policies[p]));
-            w.value(sustained[p]);
+        for (std::size_t b = 0; b < backends.size(); ++b) {
+            w.key(backends[b]);
+            w.beginObject();
+            for (std::size_t p = 0; p < policies.size(); ++p) {
+                w.key(schedPolicyName(policies[p]));
+                w.value(sustained[b][p]);
+            }
+            w.endObject();
         }
         w.endObject();
         w.key("id_based_dominates");

@@ -38,6 +38,7 @@
 #include "sim/stats.hh"
 #include "spad/scratchpad.hh"
 #include "tee/sha256.hh"
+#include "workload/model_zoo.hh"
 
 namespace
 {
@@ -430,6 +431,53 @@ BM_ServeWindowWarmCache(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 8);
 }
 BENCHMARK(BM_ServeWindowWarmCache);
+
+std::vector<TenantSpec>
+decodeTenants()
+{
+    std::vector<TenantSpec> tenants;
+    const World worlds[] = {World::secure, World::normal};
+    for (std::uint32_t t = 0; t < 2; ++t) {
+        TenantSpec spec;
+        spec.name = "decode_" + std::to_string(t);
+        spec.task.name = spec.name;
+        spec.task.world = worlds[t];
+        spec.arrivals.assign(2, 0);
+        spec.queue_capacity = 2;
+        spec.decode_tokens = 8;
+        spec.decoder = makeDecoder(DecoderId::tinygpt);
+        tenants.push_back(spec);
+    }
+    return tenants;
+}
+
+/**
+ * A continuous-batching decode window (secure + normal tinygpt
+ * tenant, 2 requests x 8 tokens each, 2 tiles): prefill plus
+ * per-token re-enqueue, with every token paying a KV-cache
+ * allocation through the monitor's caching pool. Steady-state decode
+ * replays one shape, so this is the serve path where both the timing
+ * cache and the pool allocator earn their keep. One "item" is one
+ * generated token.
+ */
+void
+BM_ServeWindowDecode(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto soc = buildSoc(SystemKind::snpu);
+        ServerConfig cfg;
+        cfg.num_cores = 2;
+        cfg.latency_hist_max = 4.0e7;
+        SnpuServer server(*soc, cfg);
+        ServeResult res = server.serve(decodeTenants());
+        if (!res.ok())
+            state.SkipWithError(res.error().c_str());
+        benchmark::DoNotOptimize(res.makespan);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 2 * 2 * 8);
+}
+BENCHMARK(BM_ServeWindowDecode);
 
 // ---------------------------------------------------------------
 // JSON emission

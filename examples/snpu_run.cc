@@ -9,8 +9,7 @@
  *   model=googlenet|alexnet|yololite|mobilenet|resnet|bert (resnet)
  *   system=normal|trustzone|snpu            (snpu)
  *   protection=<backend name>               (system default)
- *     any registered backend: passthrough|iommu|guarder|crypto;
- *     access_control= is accepted as a legacy alias
+ *     any registered backend: passthrough|iommu|guarder|crypto
  *   world=normal|secure                     (normal)
  *   iotlb=<entries>                         (32, trustzone only)
  *   walk_cache=0|1                          (0)
@@ -81,18 +80,16 @@ main(int argc, char **argv)
 
     SocParams params = makeSystem(kind);
 
-    // Protection backend override, validated against the registry
-    // (access_control= is the legacy alias for the same key).
-    std::string protection = cfg.getString("protection", "");
-    if (protection.empty()) {
-        protection = cfg.getString("access_control", "");
-        if (!protection.empty()) {
-            std::fprintf(stderr,
-                         "snpu_run: access_control= is deprecated, "
-                         "use protection= (see DESIGN.md for the "
-                         "removal plan)\n");
-        }
+    // Protection backend override, validated against the registry.
+    // The access_control= alias completed its deprecation cycle
+    // (DESIGN.md §3f): reject it with the migration hint instead of
+    // silently ignoring a key that used to select the backend.
+    if (!cfg.getString("access_control", "").empty()) {
+        std::fprintf(stderr, "snpu_run: access_control= was removed; "
+                             "use protection=\n");
+        return 2;
     }
+    std::string protection = cfg.getString("protection", "");
     if (!protection.empty()) {
         ProtectionRegistry &reg = ProtectionRegistry::global();
         if (!reg.known(protection)) {

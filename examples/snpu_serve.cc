@@ -17,9 +17,8 @@
  *   load=<fraction of ideal capacity> (0.7)
  *   isolation=fine|coarse|partition|id (id)
  *   protection=<backend name>         (guarder)
- *     any registered backend; access_control= is a legacy alias.
- *     Non-guarder backends serve without the NPU Monitor, so
- *     secure= then defaults to 0.
+ *     any registered backend. Non-guarder backends serve without
+ *     the NPU Monitor, so secure= then defaults to 0.
  *   requests=<per tenant>             (16)
  *   secure=<first k tenants secure>   (tenants/2)
  *   capacity=<admission queue depth>  (8)
@@ -97,20 +96,17 @@ main(int argc, char **argv)
     const auto requests =
         static_cast<std::uint32_t>(cfg.getInt("requests", 16));
 
-    // Protection backend selection (access_control= is the legacy
-    // alias). Secure tenants need the NPU Monitor, which only the
-    // guarder system carries, so non-guarder runs default secure=0.
-    std::string protection = cfg.getString("protection", "guarder");
-    {
-        const std::string alias = cfg.getString("access_control", "");
-        if (!alias.empty()) {
-            std::fprintf(stderr,
-                         "snpu_serve: access_control= is deprecated, "
-                         "use protection= (see DESIGN.md for the "
-                         "removal plan)\n");
-            protection = alias;
-        }
+    // Protection backend selection. Secure tenants need the NPU
+    // Monitor, which only the guarder system carries, so non-guarder
+    // runs default secure=0. The access_control= alias completed its
+    // deprecation cycle (DESIGN.md §3f): reject it with the
+    // migration hint instead of silently ignoring it.
+    if (!cfg.getString("access_control", "").empty()) {
+        std::fprintf(stderr, "snpu_serve: access_control= was "
+                             "removed; use protection=\n");
+        return 2;
     }
+    std::string protection = cfg.getString("protection", "guarder");
     ProtectionRegistry &reg = ProtectionRegistry::global();
     if (!reg.known(protection)) {
         std::fprintf(stderr,

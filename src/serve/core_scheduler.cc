@@ -44,6 +44,15 @@ struct CompiledStream
     int priority = 0;
     std::int32_t pinned_core = -1;
     Tick deadline = 0;
+    /** Compiled decode-step shapes (generating streams). */
+    std::vector<std::shared_ptr<const SegmentSet>> decode_code;
+    std::vector<std::uint32_t> step_shape;
+    std::uint32_t decode_tokens = 0;
+    /** Scratchpad rows any phase of this stream may touch. */
+    std::uint32_t live_rows = 0;
+    /** Protection window covering prefill + every decode shape. */
+    Addr win_base = 0;
+    Addr win_bytes = 0;
 };
 
 std::shared_ptr<const SegmentSet>
@@ -122,6 +131,10 @@ struct Request
     std::int32_t core = -1; //!< tile it was dispatched to; -1 = none
     Tick ready = 0;         //!< earliest dispatchable tick (retries)
     std::uint32_t attempts = 0;
+    /** Generation phase: 0 = prefill, t >= 1 = decode step t. */
+    std::uint32_t token = 0;
+    /** token_dispatch already charged for the current step. */
+    bool token_paid = false;
 };
 
 /** Watchdog grace for hung requests on deadline-free streams. */
@@ -194,6 +207,43 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         cs.priority = streams[s].task.priority;
         cs.pinned_core = streams[s].pinned_core;
         cs.deadline = streams[s].deadline;
+        cs.live_rows = cs.code->live_rows;
+        cs.win_base = cs.code->va_base;
+        cs.win_bytes = cs.code->va_bytes;
+        if (streams[s].decode_tokens > 0) {
+            if (streams[s].decode_step_shape.size() !=
+                streams[s].decode_tokens) {
+                result.status = Status::invalidArgument(
+                    "decode_step_shape must map every token");
+                return result;
+            }
+            NpuTask step_task = streams[s].task;
+            for (const ModelSpec &shape : streams[s].decode_shapes) {
+                step_task.model = shape;
+                cs.decode_code.push_back(compileSegments(
+                    soc, step_task, rows, base, cursor));
+            }
+            for (std::uint32_t shape :
+                 streams[s].decode_step_shape) {
+                if (shape >= cs.decode_code.size()) {
+                    result.status = Status::invalidArgument(
+                        "decode_step_shape indexes a missing shape");
+                    return result;
+                }
+            }
+            cs.step_shape = streams[s].decode_step_shape;
+            cs.decode_tokens = streams[s].decode_tokens;
+            // The protection window and scrub extent must cover
+            // every phase: the context persists across decode steps.
+            Addr win_end = cs.win_base + cs.win_bytes;
+            for (const auto &dc : cs.decode_code) {
+                cs.win_base = std::min(cs.win_base, dc->va_base);
+                win_end =
+                    std::max(win_end, dc->va_base + dc->va_bytes);
+                cs.live_rows = std::max(cs.live_rows, dc->live_rows);
+            }
+            cs.win_bytes = win_end - cs.win_base;
+        }
         compiled.push_back(std::move(cs));
         if (streams[s].pinned_core >= 0 &&
             static_cast<std::uint32_t>(streams[s].pinned_core) >=
@@ -213,8 +263,8 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
 
     auto provision = [&](const CompiledStream &st, std::uint32_t core) {
         soc.protection(core).beginContext(
-            ProtectionContext{st.code->va_base, st.code->va_base,
-                              st.code->va_bytes + (1u << 20), st.world},
+            ProtectionContext{st.win_base, st.win_base,
+                              st.win_bytes + (1u << 20), st.world},
             true);
     };
 
@@ -287,7 +337,7 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             // restore both sit on the preempting request's critical
             // path.
             clock[core] = memo.contextFlush(
-                core, clock[core], prev.code->live_rows, save_area);
+                core, clock[core], prev.live_rows, save_area);
             clock[core] += resume_penalty;
             result.flush_overhead += clock[core] - t0;
         }
@@ -325,15 +375,19 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             // Charged at one cycle per scrubbed wordline.
             const Tick t0 = clock[core];
             NpuCore &tile = soc.npu().core(core);
-            tile.scratchpad().secureReset(0, st.code->live_rows, true);
+            tile.scratchpad().secureReset(0, st.live_rows, true);
             soc.protection(core).endContext(true);
-            clock[core] += st.code->live_rows;
+            clock[core] += st.live_rows;
             result.recovery_overhead += clock[core] - t0;
             running[core] = -1;
             segs_since_switch[core] = 0;
         }
         req.core = -1;
         req.next_seg = 0;
+        // A retry restarts the whole generation: prefill again, KV
+        // blocks for the faulted attempt were revoked by the scrub.
+        req.token = 0;
+        req.token_paid = false;
         ++req.attempts;
 
         StreamOutcome &out = result.streams[req.stream];
@@ -452,8 +506,24 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             const int pb = compiled[b.stream].priority;
             const bool fa = a.core == static_cast<int>(core);
             const bool fb = b.core == static_cast<int>(core);
-            if (pa != pb ? pa > pb
-                         : (fa != fb ? fa : a.arrival < b.arrival))
+            bool better;
+            if (pa != pb) {
+                better = pa > pb;
+            } else {
+                // Continuous batching: a decode step in flight beats
+                // a fresh context, and among decode candidates the
+                // tenant with the fewest generated tokens goes first
+                // so token progress round-robins across tenants.
+                const bool da = a.token > 0;
+                const bool db = b.token > 0;
+                if (da != db)
+                    better = da;
+                else if (da && a.token != b.token)
+                    better = a.token < b.token;
+                else
+                    better = fa != fb ? fa : a.arrival < b.arrival;
+            }
+            if (better)
                 pick = c;
         }
 
@@ -499,12 +569,33 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         contextSwitch(core, req.stream);
 
         const CompiledStream &st = compiled[req.stream];
+        const SegmentSet &code =
+            req.token == 0
+                ? *st.code
+                : *st.decode_code[st.step_shape[req.token - 1]];
+
+        // Per-token secure-memory path: the KV block for this decode
+        // step is allocated (and charged) before its first segment.
+        if (req.token > 0 && req.next_seg == 0 && !req.token_paid) {
+            req.token_paid = true;
+            if (hooks.token_dispatch) {
+                TokenVerdict verdict = hooks.token_dispatch(
+                    req.stream, req.instance, req.token - 1,
+                    clock[core]);
+                clock[core] += verdict.cycles;
+                result.token_alloc_overhead += verdict.cycles;
+                if (!verdict.status.isOk()) {
+                    failRequest(core, pick, std::move(verdict.status));
+                    continue;
+                }
+            }
+        }
+
         ExecOptions eo;
         eo.noc = NocMode::unauthorized;
         ExecResult exec =
-            memo.run(core, clock[core], st.code->segments[req.next_seg],
-                     eo, st.code->va_base,
-                     st.code->va_bytes + (1u << 20))
+            memo.run(core, clock[core], code.segments[req.next_seg],
+                     eo, st.win_base, st.win_bytes + (1u << 20))
                 .exec;
         if (!exec.ok()) {
             if (!hooks.fail) {
@@ -527,11 +618,28 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         }
         clock[core] = exec.end;
         executed[core] = true;
-        useful_macs += st.code->segments[req.next_seg].ideal_macs;
+        useful_macs += code.segments[req.next_seg].ideal_macs;
         ++segs_since_switch[core];
         ++req.next_seg;
 
-        if (req.next_seg == st.code->segments.size()) {
+        if (req.next_seg == code.segments.size()) {
+            // Phase boundary: the prefill or one decode step retired.
+            if (st.decode_tokens > 0) {
+                if (hooks.token)
+                    hooks.token(req.stream, req.instance, req.token,
+                                clock[core]);
+                if (req.token > 0)
+                    ++result.streams[req.stream].tokens;
+                if (req.token < st.decode_tokens) {
+                    // Re-enqueue for the next token: the request
+                    // stays bound to this tile and competes at token
+                    // granularity with every other tenant.
+                    ++req.token;
+                    req.next_seg = 0;
+                    req.token_paid = false;
+                    continue;
+                }
+            }
             inprog[core].erase(std::find(inprog[core].begin(),
                                          inprog[core].end(), pick));
             StreamOutcome &out = result.streams[req.stream];

@@ -61,6 +61,27 @@ struct ExecStream
      * the watchdog at arrival + deadline.
      */
     Tick deadline = 0;
+
+    /**
+     * Generated tokens per request (continuous batching). 0 keeps the
+     * classic whole-inference stream. When > 0, @p task.model is the
+     * prefill phase; after it retires, each token runs one decode
+     * step and the request re-enters the backlog, so decode steps
+     * from many tenants interleave at token granularity.
+     */
+    std::uint32_t decode_tokens = 0;
+    /** Unique decode-step models (one per padded KV context). */
+    std::vector<ModelSpec> decode_shapes;
+    /** Shape index token t executes; size == decode_tokens. */
+    std::vector<std::uint32_t> decode_step_shape;
+};
+
+/** Outcome of a per-token dispatch hook (KV allocation path). */
+struct TokenVerdict
+{
+    Status status = Status::ok();
+    /** Cycles charged to the tile before the step runs. */
+    Tick cycles = 0;
 };
 
 /**
@@ -106,6 +127,26 @@ struct SchedHooks
                        Tick now, const Status &why,
                        std::uint32_t attempts)>
         fail;
+    /**
+     * Called before decode step @p token (0-based) of a generating
+     * request runs — the per-token secure-memory path. The returned
+     * cycles (KV-block allocation) are charged to the tile and
+     * accounted in token_alloc_overhead; a non-ok status fails the
+     * request (the fail hook then decides on a retry, which restarts
+     * the whole generation).
+     */
+    std::function<TokenVerdict(std::uint32_t stream,
+                               std::uint32_t instance,
+                               std::uint32_t token, Tick now)>
+        token_dispatch;
+    /**
+     * Called when a generation phase retires: token 0 is the prefill
+     * (its tick is the stream's time to first token), token t >= 1 is
+     * decode step t.
+     */
+    std::function<void(std::uint32_t stream, std::uint32_t instance,
+                       std::uint32_t token, Tick now)>
+        token;
 };
 
 /** Sentinel returned by SchedHooks::fail: do not retry. */
@@ -128,6 +169,8 @@ struct StreamOutcome
     std::uint32_t retries = 0;
     /** Terminal failures whose Status was StatusCode::timeout. */
     std::uint32_t timeouts = 0;
+    /** Decode steps retired (generating streams only). */
+    std::uint64_t tokens = 0;
 };
 
 /** Whole-schedule outcome across all streams and tiles. */
@@ -143,6 +186,9 @@ struct NSchedResult : ExecOutcome
     Tick dispatch_overhead = 0;
     /** Cycles spent on post-fault hygiene (scrub + window revoke). */
     Tick recovery_overhead = 0;
+    /** Cycles charged through the token_dispatch hook (per-token
+     *  KV allocation on the monitor path). */
+    Tick token_alloc_overhead = 0;
     std::vector<StreamOutcome> streams;
 };
 

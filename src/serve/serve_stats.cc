@@ -5,7 +5,7 @@ namespace snpu
 
 TenantStats::TenantStats(stats::Group &group,
                          const std::string &tenant, double latency_hi,
-                         std::size_t latency_buckets)
+                         std::size_t latency_buckets, double token_hi)
     : completed(group, "serve_" + tenant + "_completed",
                 "requests served to completion"),
       rejected(group, "serve_" + tenant + "_rejected",
@@ -26,14 +26,25 @@ TenantStats::TenantStats(stats::Group &group,
                   "admission-queue depth at arrival"),
       latency(group, "serve_" + tenant + "_latency",
               "request latency (cycles)", 0.0, latency_hi,
-              latency_buckets)
+              latency_buckets),
+      tokens(group, "serve_" + tenant + "_tokens",
+             "decode tokens retired"),
+      kv_alloc_cycles(group, "serve_" + tenant + "_kv_alloc_cycles",
+                      "per-token KV allocation cycles"),
+      ttft(group, "serve_" + tenant + "_ttft",
+           "time to first token (cycles)", 0.0, latency_hi,
+           latency_buckets),
+      token_latency(group, "serve_" + tenant + "_token_latency",
+                    "inter-token latency (cycles)", 0.0, token_hi,
+                    latency_buckets)
 {}
 
 TenantStats &
 ServeStats::add(const std::string &tenant, double latency_hi,
-                std::size_t latency_buckets)
+                std::size_t latency_buckets, double token_hi)
 {
-    tenants_.emplace_back(group, tenant, latency_hi, latency_buckets);
+    tenants_.emplace_back(group, tenant, latency_hi, latency_buckets,
+                          token_hi);
     return tenants_.back();
 }
 

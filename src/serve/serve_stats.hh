@@ -24,7 +24,8 @@ namespace snpu
 struct TenantStats
 {
     TenantStats(stats::Group &group, const std::string &tenant,
-                double latency_hi, std::size_t latency_buckets);
+                double latency_hi, std::size_t latency_buckets,
+                double token_hi);
 
     stats::Scalar completed;
     stats::Scalar rejected;
@@ -44,6 +45,14 @@ struct TenantStats
     stats::Average queue_depth;
     /** Request latency (completion - arrival), in cycles. */
     stats::Histogram latency;
+    /** Decode tokens retired (generating tenants only). */
+    stats::Scalar tokens;
+    /** Modeled per-token KV-allocation cycles (pool or first-fit). */
+    stats::Scalar kv_alloc_cycles;
+    /** Time to first token: arrival through prefill completion. */
+    stats::Histogram ttft;
+    /** Inter-token latency: gap between decode-step completions. */
+    stats::Histogram token_latency;
 };
 
 /**
@@ -59,7 +68,7 @@ class ServeStats
 
     /** Create the stat family for a new tenant. */
     TenantStats &add(const std::string &tenant, double latency_hi,
-                     std::size_t latency_buckets);
+                     std::size_t latency_buckets, double token_hi);
 
     TenantStats &tenant(std::size_t i) { return tenants_.at(i); }
     const TenantStats &tenant(std::size_t i) const

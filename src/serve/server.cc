@@ -114,7 +114,49 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     const auto ntenants = static_cast<std::uint32_t>(tenants.size());
     for (const TenantSpec &t : tenants)
         stats_.add(t.name, cfg.latency_hist_max,
-                   cfg.latency_hist_buckets);
+                   cfg.latency_hist_buckets, cfg.token_hist_max);
+
+    // The per-token secure-memory path. Under the NPU Monitor the KV
+    // pool is the monitor's own (secure arena); otherwise a
+    // server-local pool over an unused slice of the normal arena
+    // (below the scheduler's save areas at base + 16 MiB).
+    bool any_gen = false;
+    for (const TenantSpec &t : tenants)
+        any_gen |= t.decode_tokens > 0;
+    if (any_gen) {
+        if (soc.hasMonitor()) {
+            kv_pool = &soc.monitor().kvPool();
+        } else {
+            const AddrRange &arena =
+                soc.mem().map().npuArena(World::normal);
+            local_kv_arena = std::make_unique<TrustedAllocator>(
+                AddrRange{arena.base + (8u << 20), 8u << 20});
+            local_kv_pool =
+                std::make_unique<CachingTrustedAllocator>(
+                    *local_kv_arena, soc.stats(), "serve_kv_pool");
+            kv_pool = local_kv_pool.get();
+        }
+        kv_pool->setCaching(cfg.kv_pool_caching);
+    }
+
+    std::vector<ExecStream> streams;
+    streams.reserve(ntenants);
+    for (const TenantSpec &t : tenants) {
+        ExecStream stream;
+        stream.task = t.task;
+        stream.arrivals = t.arrivals;
+        stream.deadline =
+            t.deadline ? t.deadline : cfg.default_deadline;
+        if (t.decode_tokens > 0) {
+            stream.task.model = makePrefill(t.decoder);
+            DecodeSchedule plan =
+                makeDecodeSchedule(t.decoder, t.decode_tokens);
+            stream.decode_shapes = std::move(plan.shapes);
+            stream.decode_step_shape = std::move(plan.step_shape);
+            stream.decode_tokens = t.decode_tokens;
+        }
+        streams.push_back(std::move(stream));
+    }
 
     // One validated SecureTask template per secure tenant: the
     // program the verifier would measure and a ciphertext sized like
@@ -138,7 +180,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             std::uint64_t key = fnv_offset;
             key = hashMix(key, soc_fp);
             key = hashMix(key,
-                          modelFingerprint(tenants[s].task.model));
+                          modelFingerprint(streams[s].task.model));
             key = hashMix(key, std::uint64_t(s));
             {
                 std::lock_guard<std::mutex> lock(tpl_mu);
@@ -150,7 +192,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             }
 
             auto tpl = std::make_shared<SecureTask>();
-            tpl->program = runner.compile(tenants[s].task);
+            tpl->program = runner.compile(streams[s].task);
             tpl->expected_measurement =
                 CodeVerifier::measure(tpl->program);
             tpl->topology = NocTopology{1, 1};
@@ -158,7 +200,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
 
             std::vector<std::uint8_t> weights(
                 std::min<std::uint64_t>(
-                    tenants[s].task.model.weightBytes(), 64u << 10));
+                    streams[s].task.model.weightBytes(), 64u << 10));
             for (std::size_t i = 0; i < weights.size(); ++i)
                 weights[i] = static_cast<std::uint8_t>(i * 131 + s);
             AesBlock iv{};
@@ -181,17 +223,6 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     if (cfg.fault_injection) {
         injector = std::make_unique<FaultInjector>(cfg.fault_plan);
         soc.armFaults(injector.get());
-    }
-
-    std::vector<ExecStream> streams;
-    streams.reserve(ntenants);
-    for (const TenantSpec &t : tenants) {
-        ExecStream stream;
-        stream.task = t.task;
-        stream.arrivals = t.arrivals;
-        stream.deadline =
-            t.deadline ? t.deadline : cfg.default_deadline;
-        streams.push_back(std::move(stream));
     }
 
     std::vector<std::uint32_t> depth(ntenants, 0);
@@ -227,6 +258,27 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             task->state = SecureTaskState::rejected;
         soc.monitor().queue().retire();
         queued.erase(it);
+    };
+
+    // Per-request KV ledger: the prefill block plus one block per
+    // generated token. Frees happen at monitor-side retirement, off
+    // the tile clock.
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::vector<Addr>>
+        kv_held;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Status>
+        kv_defer; // prefill KV allocation failed at dispatch
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Tick>
+        last_token;
+
+    auto releaseKv = [&](std::uint32_t s, std::uint32_t i) {
+        const auto it = kv_held.find({s, i});
+        if (it != kv_held.end()) {
+            for (Addr block : it->second)
+                kv_pool->free(block);
+            kv_held.erase(it);
+        }
+        last_token.erase({s, i});
     };
 
     SchedHooks hooks;
@@ -273,26 +325,49 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     hooks.dispatch = [&](std::uint32_t s, std::uint32_t i,
                          Tick now) -> Tick {
         spans[s][i].dispatched = now;
+        Tick cost = 0;
+        if (tenants[s].decode_tokens > 0 && kv_pool) {
+            // Prefill KV: the prompt's K/V rows in one block. A
+            // failure can only surface through dispatch_check, so
+            // park the verdict there.
+            const Addr bytes =
+                static_cast<Addr>(tenants[s].decoder.prompt) *
+                tenants[s].decoder.kvBytesPerToken();
+            AllocOutcome out = kv_pool->alloc(bytes);
+            stats_.tenant(s).kv_alloc_cycles +=
+                static_cast<double>(out.cycles);
+            cost += out.cycles;
+            if (out.addr == 0) {
+                kv_defer[{s, i}] = Status::resourceExhausted(
+                    "monitor: prefill KV allocation failed");
+            } else {
+                kv_held[{s, i}].push_back(out.addr);
+            }
+        }
         const auto it = queued.find({s, i});
         if (it == queued.end()) {
             // Normal world: no monitor on the path.
             tracer.emit(now, TraceCategory::serve, trace_name,
                         "request ", tenants[s].name, "#", i,
                         " dispatched (no monitor charge)");
-            return 0;
+            return cost;
         }
         SecureTask *task = soc.monitor().queue().find(it->second);
         if (task != nullptr)
             task->state = SecureTaskState::loaded;
-        const Tick cost = monitorLaunchCost(*templates[s]);
-        stats_.tenant(s).monitor_cycles += static_cast<double>(cost);
+        const Tick monitor_cost = monitorLaunchCost(*templates[s]);
+        stats_.tenant(s).monitor_cycles +=
+            static_cast<double>(monitor_cost);
         tracer.emit(now, TraceCategory::serve, trace_name,
                     "request ", tenants[s].name, "#", i,
-                    " dispatched, monitor charge ", cost, " cycles");
-        return cost;
+                    " dispatched, monitor charge ", monitor_cost,
+                    " cycles");
+        return cost + monitor_cost;
     };
     hooks.complete = [&](std::uint32_t s, std::uint32_t i, Tick now) {
         TenantStats &ts = stats_.tenant(s);
+        if (kv_pool)
+            releaseKv(s, i);
         ++ts.completed;
         ts.latency.sample(static_cast<double>(
             now - tenants[s].arrivals[i]));
@@ -323,6 +398,12 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         tracer.emit(now, TraceCategory::serve, trace_name,
                     "request ", tenants[s].name, "#", i,
                     " exec start");
+        const auto dit = kv_defer.find({s, i});
+        if (dit != kv_defer.end()) {
+            Status why = dit->second;
+            kv_defer.erase(dit);
+            return why;
+        }
         // The serving path models the monitor launch as a cost, so
         // the monitor's own fault sites are probed here, where a
         // real launchNext() would verify and allocate.
@@ -355,6 +436,10 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         const bool breaker_open =
             cfg.quarantine_threshold > 0 &&
             ++consecutive[s] >= cfg.quarantine_threshold;
+        // A failed attempt abandons its generation: its KV blocks go
+        // back to the pool (a retry re-allocates from prefill).
+        if (kv_pool)
+            releaseKv(s, i);
         if (!breaker_open && retryable(why.code()) &&
             attempts <= cfg.max_retries) {
             ++ts.retries;
@@ -378,11 +463,62 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             quarantined[s] = true;
             ++ts.quarantines;
         }
+        if (kv_pool && tenants[s].decode_tokens > 0) {
+            // Post-fault scrub hygiene: revoke every idle pooled
+            // slab so the faulted context's KV bytes are re-zeroed
+            // by the monitor before any reuse.
+            kv_pool->flush();
+        }
         tracer.emit(now, TraceCategory::serve, trace_name,
                     "request ", tenants[s].name, "#", i,
                     " failed terminally after ", attempts,
                     " attempt(s): ", why.message());
         return sched_no_retry;
+    };
+    hooks.token_dispatch = [&](std::uint32_t s, std::uint32_t i,
+                               std::uint32_t token,
+                               Tick now) -> TokenVerdict {
+        TokenVerdict verdict;
+        // Like dispatch_check, the monitor's allocator fault site is
+        // probed here — per token, where a real per-token allocation
+        // would fail.
+        if (injector && tenants[s].task.world == World::secure &&
+            injector->shouldInject(FaultSite::monitor_alloc, now)) {
+            verdict.status = Status::resourceExhausted(
+                "monitor: KV allocation failed (injected)");
+            return verdict;
+        }
+        if (!kv_pool)
+            return verdict;
+        AllocOutcome out =
+            kv_pool->alloc(tenants[s].decoder.kvBytesPerToken());
+        verdict.cycles = out.cycles;
+        stats_.tenant(s).kv_alloc_cycles +=
+            static_cast<double>(out.cycles);
+        if (out.addr == 0) {
+            verdict.status = Status::resourceExhausted(
+                "monitor: KV pool exhausted");
+            return verdict;
+        }
+        kv_held[{s, i}].push_back(out.addr);
+        return verdict;
+    };
+    hooks.token = [&](std::uint32_t s, std::uint32_t i,
+                      std::uint32_t token, Tick now) {
+        TenantStats &ts = stats_.tenant(s);
+        if (token == 0) {
+            ts.ttft.sample(
+                static_cast<double>(now - tenants[s].arrivals[i]));
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " first token, ttft ",
+                        now - tenants[s].arrivals[i], " cycles");
+        } else {
+            ++ts.tokens;
+            ts.token_latency.sample(
+                static_cast<double>(now - last_token[{s, i}]));
+        }
+        last_token[{s, i}] = now;
     };
 
     NCoreScheduler sched(soc, cfg.policy, cfg.num_cores,
@@ -403,6 +539,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     result.flush_overhead = nres.flush_overhead;
     result.monitor_overhead = nres.dispatch_overhead;
     result.recovery_overhead = nres.recovery_overhead;
+    result.token_alloc_overhead = nres.token_alloc_overhead;
 
     result.tenants.resize(ntenants);
     bool any_clipped = false;
@@ -432,6 +569,20 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         rep.faults_observed =
             static_cast<std::uint32_t>(ts.faults_observed.value());
         rep.quarantined = quarantined[s];
+        rep.tokens = out.tokens;
+        rep.kv_alloc_cycles =
+            static_cast<Tick>(ts.kv_alloc_cycles.value());
+        if (tenants[s].decode_tokens > 0) {
+            rep.ttft_p50 = static_cast<Tick>(ts.ttft.percentile(0.50));
+            rep.ttft_p95 = static_cast<Tick>(ts.ttft.percentile(0.95));
+            rep.ttft_p99 = static_cast<Tick>(ts.ttft.percentile(0.99));
+            rep.token_p50 =
+                static_cast<Tick>(ts.token_latency.percentile(0.50));
+            rep.token_p95 =
+                static_cast<Tick>(ts.token_latency.percentile(0.95));
+            rep.token_p99 =
+                static_cast<Tick>(ts.token_latency.percentile(0.99));
+        }
 
         // Span summary: admission->dispatch wait and exec cycles,
         // over requests that completed.

@@ -39,6 +39,8 @@
 #include "serve/serve_stats.hh"
 #include "sim/fault_injector.hh"
 #include "sim/trace.hh"
+#include "tee/monitor/trusted_allocator.hh"
+#include "workload/model_zoo.hh"
 
 namespace snpu
 {
@@ -58,6 +60,17 @@ struct TenantSpec
      * ServerConfig::default_deadline (and 0 there disables).
      */
     Tick deadline = 0;
+
+    /**
+     * Generated tokens per request. 0 keeps the classic
+     * whole-inference tenant. When > 0, @p decoder describes the
+     * transformer (task.model is replaced by its prefill phase) and
+     * each request runs prefill + decode_tokens decode steps under
+     * continuous batching, with KV blocks allocated per token
+     * through the serving KV pool.
+     */
+    std::uint32_t decode_tokens = 0;
+    DecoderSpec decoder{};
 };
 
 /** Per-tenant serving outcome, extracted from the tenant's stats. */
@@ -106,6 +119,19 @@ struct TenantReport
      * the clamped histogram bound, not a real quantile.
      */
     bool p99_clipped = false;
+
+    /** Decode tokens retired (generating tenants only). */
+    std::uint64_t tokens = 0;
+    /** Time to first token (arrival through prefill completion). */
+    Tick ttft_p50 = 0;
+    Tick ttft_p95 = 0;
+    Tick ttft_p99 = 0;
+    /** Inter-token latency across this tenant's decode steps. */
+    Tick token_p50 = 0;
+    Tick token_p95 = 0;
+    Tick token_p99 = 0;
+    /** Per-token KV allocation cycles charged to this tenant. */
+    Tick kv_alloc_cycles = 0;
 };
 
 /** Whole-window serving outcome. */
@@ -119,6 +145,8 @@ struct ServeResult : ExecOutcome
     Tick monitor_overhead = 0;
     /** Cycles spent on post-fault hygiene (scrub + window revoke). */
     Tick recovery_overhead = 0;
+    /** Per-token KV allocation cycles across all decode steps. */
+    Tick token_alloc_overhead = 0;
     std::vector<TenantReport> tenants;
 };
 
@@ -152,6 +180,15 @@ struct ServerConfig
      * before the circuit breaker quarantines it. 0 disables.
      */
     std::uint32_t quarantine_threshold = 0;
+
+    /**
+     * Serve per-token KV blocks from the caching pool (the fast
+     * path). Off, every KV allocation pays the first-fit walk — the
+     * baseline bench/token_throughput compares against.
+     */
+    bool kv_pool_caching = true;
+    /** Inter-token latency histogram range (cycles). */
+    double token_hist_max = 2.0e5;
 };
 
 /** The serving engine. */
@@ -182,6 +219,14 @@ class SnpuServer
     }
 
     /**
+     * The serving KV pool (valid after serve(); nullptr when no
+     * tenant generates). Under the NPU Monitor this is the monitor's
+     * own kvPool(); otherwise a server-local pool over a slice of
+     * the normal arena, registered as "serve_kv_pool".
+     */
+    const CachingTrustedAllocator *kvPool() const { return kv_pool; }
+
+    /**
      * Ideal service cycles of one request of @p task on a
      * @p dim x @p dim systolic array — a compute-bound lower bound.
      */
@@ -203,6 +248,11 @@ class SnpuServer
     ServerConfig cfg;
     ServeStats stats_;
     std::unique_ptr<FaultInjector> injector;
+    /** Server-local KV pool for systems without the NPU Monitor.
+     *  Members (not serve() locals) so exported stats stay live. */
+    std::unique_ptr<TrustedAllocator> local_kv_arena;
+    std::unique_ptr<CachingTrustedAllocator> local_kv_pool;
+    CachingTrustedAllocator *kv_pool = nullptr;
     bool served = false;
     /**
      * Serve-path span tracing: when the SoC carries a trace sink,

@@ -19,8 +19,16 @@ NpuMonitor::NpuMonitor(stats::Group &stats, MemSystem &mem,
       context_setter(device, std::move(guarders)),
       pmp_unit(16),
       launches(stats, "monitor_launches", "secure task launches"),
-      rejected(stats, "monitor_rejected", "secure launches rejected")
+      rejected(stats, "monitor_rejected", "secure launches rejected"),
+      arena_reserved(stats, "monitor_arena_reserved",
+                     "bytes held out of the secure arena (incl. "
+                     "pool-cached blocks)"),
+      arena_peak(stats, "monitor_arena_peak",
+                 "high-water of monitor_arena_reserved"),
+      kv_pool(trusted_alloc, stats, "monitor_pool")
 {
+    trusted_alloc.bindStats(&arena_reserved, &arena_peak);
+
     // PMP entry 0: the monitor's own memory (modeled as the secure
     // NPU arena's first MiB) is machine-mode only.
     PmpEntry guard_entry;

@@ -86,6 +86,15 @@ class NpuMonitor
 
     SecureTaskQueue &queue() { return task_queue; }
     TrustedAllocator &allocator() { return trusted_alloc; }
+
+    /**
+     * Pool-caching fast path over the secure arena for per-token
+     * KV-cache blocks ("monitor_pool" in the stats tree). Serving
+     * code allocates decode-step KV through this instead of paying a
+     * trampoline + first-fit walk per token; fault/quarantine paths
+     * call kvPool().flush() so scrub hygiene revokes pooled blocks.
+     */
+    CachingTrustedAllocator &kvPool() { return kv_pool; }
     CodeVerifier &verifier() { return code_verifier; }
     SecureLoader &loader() { return secure_loader; }
     ContextSetter &contexts() { return context_setter; }
@@ -134,6 +143,12 @@ class NpuMonitor
 
     stats::Scalar launches;
     stats::Scalar rejected;
+    /** Arena pressure: O(1) reserved / high-water counters, kept
+     *  distinct from bytesAllocated() so pool caching cannot hide
+     *  exhaustion. */
+    stats::Scalar arena_reserved;
+    stats::Scalar arena_peak;
+    CachingTrustedAllocator kv_pool;
 };
 
 } // namespace snpu

@@ -1,5 +1,7 @@
 #include "tee/monitor/trusted_allocator.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace snpu
@@ -15,6 +17,24 @@ TrustedAllocator::TrustedAllocator(AddrRange arena, Addr alignment)
     free_list.push_back(FreeBlock{arena.base, arena.size});
 }
 
+void
+TrustedAllocator::bindStats(stats::Scalar *reserved,
+                            stats::Scalar *peak)
+{
+    stat_reserved = reserved;
+    stat_peak = peak;
+    publish();
+}
+
+void
+TrustedAllocator::publish()
+{
+    if (stat_reserved)
+        *stat_reserved = static_cast<double>(_reserved);
+    if (stat_peak)
+        *stat_peak = static_cast<double>(_peak_reserved);
+}
+
 Addr
 TrustedAllocator::alloc(Addr bytes)
 {
@@ -22,7 +42,9 @@ TrustedAllocator::alloc(Addr bytes)
         return 0;
     bytes = (bytes + alignment - 1) & ~(alignment - 1);
 
+    _last_alloc_walk = 0;
     for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+        ++_last_alloc_walk;
         if (it->size < bytes)
             continue;
         const Addr base = it->base;
@@ -33,6 +55,9 @@ TrustedAllocator::alloc(Addr bytes)
             it->size -= bytes;
         }
         allocations[base] = bytes;
+        _reserved += bytes;
+        _peak_reserved = std::max(_peak_reserved, _reserved);
+        publish();
         return base;
     }
     return 0;
@@ -46,11 +71,16 @@ TrustedAllocator::free(Addr addr)
         return false;
     const Addr size = it->second;
     allocations.erase(it);
+    _reserved -= size;
+    publish();
 
     // Insert sorted and coalesce with neighbours.
+    _last_free_walk = 0;
     auto pos = free_list.begin();
-    while (pos != free_list.end() && pos->base < addr)
+    while (pos != free_list.end() && pos->base < addr) {
         ++pos;
+        ++_last_free_walk;
+    }
     pos = free_list.insert(pos, FreeBlock{addr, size});
 
     if (pos != free_list.begin()) {
@@ -120,6 +150,328 @@ TrustedAllocator::bytesAllocated() const
     for (const auto &[base, size] : allocations)
         total += size;
     return total;
+}
+
+// ---------------------------------------------------------------
+// CachingTrustedAllocator
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Requests at or below this use the small pool. */
+constexpr Addr small_limit = 64u << 10;
+/** Small pool size-class granularity. */
+constexpr Addr small_round = 512;
+/** Large pool size-class granularity (also the small slab size). */
+constexpr Addr large_round = 64u << 10;
+
+} // namespace
+
+CachingTrustedAllocator::PoolStats::PoolStats(stats::Group &g,
+                                              const std::string &pool)
+    : current(g, pool + "_current_bytes",
+              "client-live bytes in the " + pool + " pool"),
+      peak(g, pool + "_peak_bytes",
+           "high-water of live bytes in the " + pool + " pool"),
+      allocated(g, pool + "_allocated_bytes",
+                "cumulative bytes allocated from the " + pool +
+                    " pool"),
+      freed(g, pool + "_freed_bytes",
+            "cumulative bytes freed to the " + pool + " pool")
+{}
+
+void
+CachingTrustedAllocator::PoolStats::onAlloc(Addr bytes)
+{
+    current += static_cast<double>(bytes);
+    allocated += static_cast<double>(bytes);
+    if (current.value() > peak.value())
+        peak = current.value();
+}
+
+void
+CachingTrustedAllocator::PoolStats::onFree(Addr bytes)
+{
+    current += -static_cast<double>(bytes);
+    freed += static_cast<double>(bytes);
+}
+
+CachingTrustedAllocator::CachingTrustedAllocator(
+    TrustedAllocator &arena, stats::Group &parent,
+    const std::string &name)
+    : CachingTrustedAllocator(arena, parent, name, CostModel{})
+{}
+
+CachingTrustedAllocator::CachingTrustedAllocator(
+    TrustedAllocator &arena, stats::Group &parent,
+    const std::string &name, CostModel cost)
+    : arena_(arena), cost(cost), group(parent, name),
+      small_stats(group, "small"), large_stats(group, "large"),
+      stat_hits(group, "pool_hits",
+                "allocations served from a pooled block"),
+      stat_misses(group, "pool_misses",
+                  "allocations that walked the arena"),
+      stat_splits(group, "pool_splits",
+                  "pooled blocks split to fit a smaller request"),
+      stat_coalesces(group, "pool_coalesces",
+                     "adjacent pooled blocks merged"),
+      stat_flushes(group, "pool_flushes",
+                   "explicit pool invalidations (scrub path)"),
+      stat_reclaims(group, "pool_reclaims",
+                    "emergency flushes on arena exhaustion"),
+      stat_cached_bytes(group, "cached_bytes",
+                        "bytes parked in the pools"),
+      stat_cycles(group, "alloc_cycles",
+                  "modeled allocator cycles charged to callers")
+{}
+
+Addr
+CachingTrustedAllocator::roundSize(Addr bytes, bool &small) const
+{
+    small = bytes <= small_limit;
+    const Addr step = small ? small_round : large_round;
+    return (bytes + step - 1) & ~(step - 1);
+}
+
+void
+CachingTrustedAllocator::poolInsert(Addr base, Addr size, bool small)
+{
+    auto &pool = small ? pool_small : pool_large;
+    pool[size].insert(base);
+    stat_cached_bytes += static_cast<double>(size);
+}
+
+void
+CachingTrustedAllocator::poolErase(Addr base, Addr size, bool small)
+{
+    auto &pool = small ? pool_small : pool_large;
+    auto it = pool.find(size);
+    if (it == pool.end())
+        panic("pool class ", size, " missing");
+    it->second.erase(base);
+    if (it->second.empty())
+        pool.erase(it);
+    stat_cached_bytes += -static_cast<double>(size);
+}
+
+AllocOutcome
+CachingTrustedAllocator::arenaAlloc(Addr rounded, bool small)
+{
+    // Small requests carve slabs so several blocks share one arena
+    // allocation; large requests get a slab of their own.
+    const Addr slab_bytes = small ? large_round : rounded;
+    Addr slab = arena_.alloc(slab_bytes);
+    Tick cycles = cost.monitor_call + cost.walk_base +
+                  cost.walk_per_block * arena_.lastAllocWalk();
+    if (slab == 0) {
+        // Reclaim: hand idle pooled slabs back and retry once — the
+        // pool must never turn reusable memory into an exhaustion
+        // verdict the arena would not have given.
+        ++n_reclaims;
+        ++stat_reclaims;
+        flush();
+        slab = arena_.alloc(slab_bytes);
+        cycles += cost.monitor_call + cost.walk_base +
+                  cost.walk_per_block * arena_.lastAllocWalk();
+        if (slab == 0)
+            return AllocOutcome{0, cycles, false};
+    }
+    slabs[slab] = slab_bytes;
+
+    Block blk;
+    blk.size = rounded;
+    blk.slab = slab;
+    blk.live = true;
+    blocks[slab] = blk;
+    if (slab_bytes > rounded) {
+        Block rest;
+        rest.size = slab_bytes - rounded;
+        rest.slab = slab;
+        rest.live = false;
+        blocks[slab + rounded] = rest;
+        poolInsert(slab + rounded, rest.size, small);
+    }
+    return AllocOutcome{slab, cycles, false};
+}
+
+AllocOutcome
+CachingTrustedAllocator::alloc(Addr bytes)
+{
+    if (bytes == 0)
+        return {};
+    bool small = false;
+    const Addr rounded = roundSize(bytes, small);
+    PoolStats &ps = small ? small_stats : large_stats;
+
+    AllocOutcome out;
+    if (!caching_on) {
+        // First-fit baseline: every call is a monitor trip.
+        out.addr = arena_.alloc(rounded);
+        out.cycles = cost.monitor_call + cost.walk_base +
+                     cost.walk_per_block * arena_.lastAllocWalk();
+        ++n_misses;
+        ++stat_misses;
+        if (out.addr != 0) {
+            live_bytes += rounded;
+            ps.onAlloc(rounded);
+        }
+        stat_cycles += static_cast<double>(out.cycles);
+        return out;
+    }
+
+    auto &pool = small ? pool_small : pool_large;
+    auto cls = pool.lower_bound(rounded);
+    if (cls != pool.end()) {
+        // Fast path: pop the lowest-addressed cached block of the
+        // smallest sufficient class; split off the remainder.
+        const Addr base = *cls->second.begin();
+        const Addr size = cls->first;
+        poolErase(base, size, small);
+        Block &blk = blocks.at(base);
+        blk.live = true;
+        if (size > rounded) {
+            blk.size = rounded;
+            Block rest;
+            rest.size = size - rounded;
+            rest.slab = blk.slab;
+            rest.live = false;
+            blocks[base + rounded] = rest;
+            poolInsert(base + rounded, rest.size, small);
+            ++n_splits;
+            ++stat_splits;
+        }
+        out.addr = base;
+        out.cycles = cost.pool_hit;
+        out.pool_hit = true;
+        ++n_hits;
+        ++stat_hits;
+    } else {
+        out = arenaAlloc(rounded, small);
+        ++n_misses;
+        ++stat_misses;
+    }
+    if (out.addr != 0) {
+        live_bytes += rounded;
+        ps.onAlloc(rounded);
+    }
+    stat_cycles += static_cast<double>(out.cycles);
+    return out;
+}
+
+Tick
+CachingTrustedAllocator::free(Addr addr)
+{
+    auto it = blocks.find(addr);
+    if (it == blocks.end() || !it->second.live) {
+        // Blocks handed out with caching disabled live only in the
+        // arena's books.
+        if (arena_.free(addr)) {
+            // Requested sizes were already rounded at alloc time, so
+            // the arena's size is the pool-accounted one.
+            const Tick cycles =
+                cost.monitor_call + cost.walk_base +
+                cost.walk_per_block * arena_.lastFreeWalk();
+            stat_cycles += static_cast<double>(cycles);
+            return cycles;
+        }
+        return 0;
+    }
+
+    Block &blk = it->second;
+    blk.live = false;
+    const bool small = blk.size <= small_limit;
+    const Addr freed_size = blk.size;
+    live_bytes -= freed_size;
+    (small ? small_stats : large_stats).onFree(freed_size);
+
+    // Coalesce with address-adjacent cached blocks of the same slab.
+    Addr base = addr;
+    Addr size = blk.size;
+    const Addr slab = blk.slab;
+    auto next = std::next(it);
+    if (next != blocks.end() && !next->second.live &&
+        next->second.slab == slab && base + size == next->first) {
+        poolErase(next->first, next->second.size,
+                  next->second.size <= small_limit);
+        size += next->second.size;
+        blocks.erase(next);
+        ++n_coalesces;
+        ++stat_coalesces;
+    }
+    if (it != blocks.begin()) {
+        auto prev = std::prev(it);
+        if (!prev->second.live && prev->second.slab == slab &&
+            prev->first + prev->second.size == base) {
+            poolErase(prev->first, prev->second.size,
+                      prev->second.size <= small_limit);
+            base = prev->first;
+            size += prev->second.size;
+            blocks.erase(prev);
+            blocks.erase(it);
+            ++n_coalesces;
+            ++stat_coalesces;
+        }
+    }
+    Block merged;
+    merged.size = size;
+    merged.slab = slab;
+    merged.live = false;
+    blocks[base] = merged;
+    poolInsert(base, size, size <= small_limit);
+
+    const Tick cycles = cost.pool_free;
+    stat_cycles += static_cast<double>(cycles);
+    return cycles;
+}
+
+Addr
+CachingTrustedAllocator::flush()
+{
+    ++n_flushes;
+    ++stat_flushes;
+    Addr released = 0;
+    for (auto sit = slabs.begin(); sit != slabs.end();) {
+        const Addr slab = sit->first;
+        const Addr slab_size = sit->second;
+        bool idle = true;
+        for (auto bit = blocks.lower_bound(slab);
+             bit != blocks.end() && bit->first < slab + slab_size;
+             ++bit) {
+            if (bit->second.live) {
+                idle = false;
+                break;
+            }
+        }
+        if (!idle) {
+            ++sit;
+            continue;
+        }
+        for (auto bit = blocks.lower_bound(slab);
+             bit != blocks.end() && bit->first < slab + slab_size;) {
+            poolErase(bit->first, bit->second.size,
+                      bit->second.size <= small_limit);
+            bit = blocks.erase(bit);
+        }
+        arena_.free(slab);
+        released += slab_size;
+        sit = slabs.erase(sit);
+    }
+    return released;
+}
+
+void
+CachingTrustedAllocator::setCaching(bool on)
+{
+    if (caching_on && !on)
+        flush();
+    caching_on = on;
+}
+
+Addr
+CachingTrustedAllocator::cachedBytes() const
+{
+    return static_cast<Addr>(stat_cached_bytes.value());
 }
 
 } // namespace snpu

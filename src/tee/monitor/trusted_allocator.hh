@@ -4,6 +4,18 @@
  * model/input/output buffers of secure tasks — with a first-fit
  * free-list allocator, and tracks scratchpad row reservations so no
  * two secure tasks overlap in the scratchpad.
+ *
+ * Layered on top is CachingTrustedAllocator, the per-token
+ * secure-memory fast path: a size-class pool cache in the
+ * NPUCachingAllocator mold. A free does not return the block to the
+ * arena; it parks it in a small- or large-pool free list keyed by
+ * rounded size, so the next same-sized request is a pool lookup
+ * instead of a trampoline call into the monitor plus a first-fit
+ * walk. Cached neighbours coalesce, larger cached blocks split to
+ * serve smaller requests, and flush() hands every idle slab back to
+ * the arena — the invalidation point the fault-injection and
+ * quarantine-scrub paths use so a faulted context's blocks are
+ * re-zeroed by the monitor before anyone reuses them.
  */
 
 #ifndef SNPU_TEE_MONITOR_TRUSTED_ALLOCATOR_HH
@@ -12,9 +24,11 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "mem/address_map.hh"
+#include "sim/stats.hh"
 #include "sim/types.hh"
 
 namespace snpu
@@ -57,9 +71,38 @@ class TrustedAllocator
 
     Addr bytesFree() const;
     Addr bytesAllocated() const;
+
+    /**
+     * Bytes currently held out of the arena (aligned block sizes).
+     * Equal to bytesAllocated() when the arena is used directly, but
+     * maintained as an O(1) running counter — and, crucially, it
+     * counts blocks a pool cache parks as still *reserved*: caching
+     * cannot make arena pressure invisible.
+     */
+    Addr bytesReserved() const { return _reserved; }
+
+    /** High-water mark of bytesReserved() over the lifetime. */
+    Addr peakReserved() const { return _peak_reserved; }
+
+    /**
+     * Free blocks the last alloc() walked before finding (or failing
+     * to find) a fit — the observable behind the first-fit cost
+     * model. free() tracks its sorted-insert scan the same way.
+     */
+    std::uint32_t lastAllocWalk() const { return _last_alloc_walk; }
+    std::uint32_t lastFreeWalk() const { return _last_free_walk; }
+
+    /**
+     * Mirror reserved/peak into externally owned stats (e.g. the
+     * monitor's group) on every alloc/free; nullptr detaches.
+     */
+    void bindStats(stats::Scalar *reserved, stats::Scalar *peak);
+
     const AddrRange &arena() const { return _arena; }
 
   private:
+    void publish();
+
     struct FreeBlock
     {
         Addr base;
@@ -71,6 +114,167 @@ class TrustedAllocator
     std::list<FreeBlock> free_list;
     std::map<Addr, Addr> allocations; // base -> size
     std::multimap<std::uint64_t, SpadReservation> spad_map;
+
+    Addr _reserved = 0;
+    Addr _peak_reserved = 0;
+    std::uint32_t _last_alloc_walk = 0;
+    std::uint32_t _last_free_walk = 0;
+    stats::Scalar *stat_reserved = nullptr;
+    stats::Scalar *stat_peak = nullptr;
+};
+
+/** One allocator call's result under the caching layer. */
+struct AllocOutcome
+{
+    Addr addr = 0;
+    /** Modeled cycles the call cost on the requesting core. */
+    Tick cycles = 0;
+    /** True when a pooled block served the request (fast path). */
+    bool pool_hit = false;
+};
+
+/**
+ * Pool-caching fast path over a TrustedAllocator arena.
+ *
+ * Two pools, split at small_limit: small requests round to 512 B and
+ * carve 64 KiB slabs (several KV blocks share one monitor
+ * allocation); large requests round to 64 KiB and map one slab per
+ * block. Every slab stays reserved in the underlying arena until
+ * flush() — which releases only fully idle slabs — so
+ * TrustedAllocator::bytesReserved() keeps reporting true arena
+ * pressure while clients see pool-speed alloc/free.
+ *
+ * Cost model (modeled cycles, returned per call): a pool hit is a
+ * size-class list pop in the untrusted runtime; a miss pays the
+ * trampoline round trip into the monitor plus the first-fit walk the
+ * arena actually performed. With caching disabled every call is a
+ * miss — that is the first-fit baseline the token-throughput bench
+ * compares against. Reused blocks are scrubbed off the critical path
+ * (the monitor zeroes parked blocks in idle cycles); the fault paths
+ * must not rely on that and call flush(), which revokes the slabs so
+ * reallocation re-zeroes synchronously.
+ *
+ * Per-pool current/peak/allocated/freed byte counters plus
+ * hit/miss/split/coalesce/flush counters register as a child
+ * stats::Group under @p parent, so they appear in the registry JSON
+ * next to the monitor's counters.
+ */
+class CachingTrustedAllocator
+{
+  public:
+    struct CostModel
+    {
+        /** Trampoline round trip for any call reaching the arena. */
+        Tick monitor_call = 100;
+        /** First-fit walk: entry + per-free-block-inspected. */
+        Tick walk_base = 40;
+        Tick walk_per_block = 8;
+        /** Pool fast path: size-class lookup + list pop/push. */
+        Tick pool_hit = 12;
+        Tick pool_free = 8;
+    };
+
+    CachingTrustedAllocator(TrustedAllocator &arena,
+                            stats::Group &parent,
+                            const std::string &name);
+    CachingTrustedAllocator(TrustedAllocator &arena,
+                            stats::Group &parent,
+                            const std::string &name, CostModel cost);
+
+    /**
+     * Enable or disable the pool cache. Disabled, every call
+     * delegates straight to the arena at first-fit cost (the
+     * baseline); disabling also flushes, so no stale pooled block
+     * survives a mode switch.
+     */
+    void setCaching(bool on);
+    bool caching() const { return caching_on; }
+
+    /** Allocate @p bytes; addr 0 on exhaustion (after a reclaim). */
+    AllocOutcome alloc(Addr bytes);
+
+    /** Free a block; returns the modeled cycle cost. */
+    Tick free(Addr addr);
+
+    /**
+     * Release every fully idle slab back to the arena (live blocks
+     * pin their slab). The scrub/invalidation point: returned bytes
+     * are re-zeroed by the arena path on their next allocation.
+     * @return bytes released.
+     */
+    Addr flush();
+
+    /** Bytes parked in the pools (cached, not client-live). */
+    Addr cachedBytes() const;
+    /** Client-live bytes allocated through this cache. */
+    Addr liveBytes() const { return live_bytes; }
+
+    std::uint64_t hits() const { return n_hits; }
+    std::uint64_t misses() const { return n_misses; }
+    std::uint64_t splitCount() const { return n_splits; }
+    std::uint64_t coalesceCount() const { return n_coalesces; }
+    std::uint64_t flushCount() const { return n_flushes; }
+    /** Emergency flushes triggered by arena exhaustion. */
+    std::uint64_t reclaimCount() const { return n_reclaims; }
+
+    TrustedAllocator &arena() { return arena_; }
+
+  private:
+    /** Size-class rounding; also decides the pool. */
+    Addr roundSize(Addr bytes, bool &small) const;
+    AllocOutcome arenaAlloc(Addr rounded, bool small);
+    void poolInsert(Addr base, Addr size, bool small);
+    void poolErase(Addr base, Addr size, bool small);
+
+    struct Block
+    {
+        Addr size = 0;
+        Addr slab = 0;  //!< base of the arena slab this block tiles
+        bool live = false;
+    };
+
+    struct PoolStats
+    {
+        PoolStats(stats::Group &g, const std::string &pool);
+        stats::Scalar current;   //!< client-live bytes now
+        stats::Scalar peak;      //!< high-water of current
+        stats::Scalar allocated; //!< cumulative bytes handed out
+        stats::Scalar freed;     //!< cumulative bytes returned
+        void onAlloc(Addr bytes);
+        void onFree(Addr bytes);
+    };
+
+    TrustedAllocator &arena_;
+    CostModel cost;
+    bool caching_on = true;
+
+    /** All blocks, address-ordered; they tile the live slabs. */
+    std::map<Addr, Block> blocks;
+    /** slab base -> slab size (arena allocations we hold). */
+    std::map<Addr, Addr> slabs;
+    /** size -> cached block bases (lowest address first). */
+    std::map<Addr, std::set<Addr>> pool_small;
+    std::map<Addr, std::set<Addr>> pool_large;
+
+    Addr live_bytes = 0;
+    std::uint64_t n_hits = 0;
+    std::uint64_t n_misses = 0;
+    std::uint64_t n_splits = 0;
+    std::uint64_t n_coalesces = 0;
+    std::uint64_t n_flushes = 0;
+    std::uint64_t n_reclaims = 0;
+
+    stats::Group group;
+    PoolStats small_stats;
+    PoolStats large_stats;
+    stats::Scalar stat_hits;
+    stats::Scalar stat_misses;
+    stats::Scalar stat_splits;
+    stats::Scalar stat_coalesces;
+    stats::Scalar stat_flushes;
+    stats::Scalar stat_reclaims;
+    stats::Scalar stat_cached_bytes;
+    stats::Scalar stat_cycles;
 };
 
 } // namespace snpu

@@ -85,7 +85,7 @@ TilingCompiler::plan(const LayerSpec &layer) const
 
         const std::uint32_t w_all_rows = k_tiles * n_tiles * dim;
         p.weights_resident =
-            w_seg_tiles == k_tiles &&
+            !layer.stream_weights && w_seg_tiles == k_tiles &&
             w_all_rows + copies * tm * k_tiles <= budget;
         const std::uint64_t w_loads =
             p.weights_resident ? 1 : p.m_chunks;

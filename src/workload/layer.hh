@@ -38,6 +38,13 @@ struct LayerSpec
     std::uint32_t k = 0;
     /** Apply ReLU on the output path. */
     bool relu = true;
+    /**
+     * Weights change between invocations (e.g. a decode step's
+     * attention GEMMs read the KV cache as the weight operand), so
+     * the compiler must stream them from DRAM every chunk instead of
+     * planning weight residency.
+     */
+    bool stream_weights = false;
 
     std::uint64_t macs() const
     {

@@ -89,10 +89,11 @@ modelFingerprint(const ModelSpec &model)
     h = hashMix(h, model.name);
     for (const LayerSpec &layer : model.layers) {
         h = hashMix(h, layer.name);
-        const std::uint64_t fields[5] = {
+        const std::uint64_t fields[6] = {
             std::uint64_t(layer.kind), std::uint64_t(layer.m),
             std::uint64_t(layer.n), std::uint64_t(layer.k),
-            std::uint64_t(layer.relu)};
+            std::uint64_t(layer.relu),
+            std::uint64_t(layer.stream_weights)};
         h = hashBytesFast(fields, sizeof(fields), h);
     }
     return h;

@@ -215,6 +215,144 @@ makeBert()
 
 } // namespace
 
+std::vector<DecoderId>
+allDecoders()
+{
+    return {DecoderId::tinygpt, DecoderId::gpt2s};
+}
+
+const char *
+decoderName(DecoderId id)
+{
+    switch (id) {
+      case DecoderId::tinygpt:
+        return "tinygpt";
+      case DecoderId::gpt2s:
+        return "gpt2s";
+    }
+    return "?";
+}
+
+DecoderSpec
+makeDecoder(DecoderId id)
+{
+    DecoderSpec d;
+    switch (id) {
+      case DecoderId::tinygpt:
+        // Small enough that serving sweeps stay fast: two blocks,
+        // width 128, short prompt.
+        d.name = "tinygpt";
+        d.blocks = 2;
+        d.hidden = 128;
+        d.ffn = 512;
+        d.heads = 4;
+        d.prompt = 32;
+        break;
+      case DecoderId::gpt2s:
+        // GPT-2-small shapes (hidden 768, FFN 3072); three blocks
+        // stand for the twelve, like the BERT encoder above.
+        d.name = "gpt2s";
+        d.blocks = 3;
+        d.hidden = 768;
+        d.ffn = 3072;
+        d.heads = 12;
+        d.prompt = 128;
+        break;
+    }
+    return d;
+}
+
+DecoderId
+decoderByName(const std::string &name)
+{
+    for (DecoderId id : allDecoders()) {
+        if (name == decoderName(id))
+            return id;
+    }
+    fatal("unknown decoder: ", name);
+}
+
+namespace
+{
+
+LayerSpec
+streamed(LayerSpec spec)
+{
+    spec.stream_weights = true;
+    return spec;
+}
+
+/** The six GEMMs of one decoder block at sequence length @p m and
+ *  attention context @p ctx. */
+void
+addBlock(ModelSpec &model, const DecoderSpec &d, std::uint32_t blk,
+         std::uint32_t m, std::uint32_t ctx, bool decode)
+{
+    const std::string p = "blk" + std::to_string(blk) + "_";
+    auto add = [&](const char *suffix, LayerSpec spec) {
+        spec.name = p + suffix;
+        model.layers.push_back(std::move(spec));
+    };
+    add("qkv", layer("", LayerKind::fc, m, 3 * d.hidden, d.hidden,
+                     false));
+    // Attention score: Q[m x h] * K^T[h x ctx]. In decode the weight
+    // operand IS the K cache, re-read from DRAM every token.
+    LayerSpec score =
+        layer("", LayerKind::attention, m, ctx, d.hidden, false);
+    LayerSpec context =
+        layer("", LayerKind::attention, m, d.hidden, ctx, false);
+    if (decode) {
+        score = streamed(score);
+        context = streamed(context);
+    }
+    add("attn_score", score);
+    add("attn_ctx", context);
+    add("attn_out",
+        layer("", LayerKind::fc, m, d.hidden, d.hidden, false));
+    add("ffn1", layer("", LayerKind::fc, m, d.ffn, d.hidden, true));
+    add("ffn2", layer("", LayerKind::fc, m, d.hidden, d.ffn, false));
+}
+
+} // namespace
+
+ModelSpec
+makePrefill(const DecoderSpec &d)
+{
+    ModelSpec model;
+    model.name = d.name + "_prefill";
+    for (std::uint32_t blk = 0; blk < d.blocks; ++blk)
+        addBlock(model, d, blk, d.prompt, d.prompt, false);
+    return model;
+}
+
+ModelSpec
+makeDecodeStep(const DecoderSpec &d, std::uint32_t position)
+{
+    const std::uint32_t ctx = d.contextAt(position);
+    ModelSpec model;
+    model.name = d.name + "_decode_ctx" + std::to_string(ctx);
+    for (std::uint32_t blk = 0; blk < d.blocks; ++blk)
+        addBlock(model, d, blk, 1, ctx, true);
+    return model;
+}
+
+DecodeSchedule
+makeDecodeSchedule(const DecoderSpec &d, std::uint32_t tokens)
+{
+    DecodeSchedule sched;
+    std::uint32_t last_ctx = 0;
+    for (std::uint32_t t = 0; t < tokens; ++t) {
+        const std::uint32_t ctx = d.contextAt(t);
+        if (ctx != last_ctx) {
+            sched.shapes.push_back(makeDecodeStep(d, t));
+            last_ctx = ctx;
+        }
+        sched.step_shape.push_back(
+            static_cast<std::uint32_t>(sched.shapes.size() - 1));
+    }
+    return sched;
+}
+
 ModelSpec
 makeModel(ModelId id)
 {

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit tests for the CachingTrustedAllocator — the per-token
+ * secure-memory fast path layered on the first-fit trusted
+ * allocator: pool reuse hit/miss accounting, split/coalesce, the
+ * reclaim-then-fail exhaustion contract, flush as the scrub point,
+ * the first-fit baseline with caching disabled, and the
+ * reserved-vs-allocated distinction that keeps arena pressure
+ * visible through the pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tee/monitor/trusted_allocator.hh"
+
+namespace snpu
+{
+namespace
+{
+
+constexpr Addr kib = 1024;
+constexpr Addr slab_bytes = 64 * kib;
+const CachingTrustedAllocator::CostModel cost{};
+
+Tick
+missFloor()
+{
+    return cost.monitor_call + cost.walk_base;
+}
+
+struct Fixture
+{
+    stats::Group root{"test"};
+    TrustedAllocator arena;
+    CachingTrustedAllocator pool;
+
+    explicit Fixture(Addr arena_bytes = 1u << 20)
+        : arena(AddrRange{0x10000, arena_bytes}),
+          pool(arena, root, "pool")
+    {}
+};
+
+TEST(CachingAllocator, FirstAllocMissesThenPoolServesReuse)
+{
+    Fixture f;
+
+    // Cold: one monitor trip carves a 64 KiB slab and parks the
+    // remainder.
+    AllocOutcome a = f.pool.alloc(512);
+    ASSERT_NE(a.addr, 0u);
+    EXPECT_FALSE(a.pool_hit);
+    EXPECT_GE(a.cycles, missFloor());
+    EXPECT_EQ(f.pool.misses(), 1u);
+    EXPECT_EQ(f.pool.hits(), 0u);
+    EXPECT_EQ(f.arena.bytesAllocated(), slab_bytes);
+
+    // Warm: the parked remainder splits to serve the next request —
+    // no monitor trip, pool-hit cost only.
+    AllocOutcome b = f.pool.alloc(512);
+    ASSERT_NE(b.addr, 0u);
+    EXPECT_TRUE(b.pool_hit);
+    EXPECT_EQ(b.cycles, cost.pool_hit);
+    EXPECT_EQ(f.pool.hits(), 1u);
+    EXPECT_GE(f.pool.splitCount(), 1u);
+    // Same slab, adjacent carve.
+    EXPECT_EQ(b.addr, a.addr + 512);
+
+    // Round trip: free then realloc the same class is a hit again.
+    EXPECT_EQ(f.pool.free(a.addr), cost.pool_free);
+    AllocOutcome c = f.pool.alloc(512);
+    EXPECT_TRUE(c.pool_hit);
+    EXPECT_EQ(c.addr, a.addr);
+    EXPECT_EQ(f.pool.misses(), 1u); // still just the cold one
+}
+
+TEST(CachingAllocator, SizeClassRounding)
+{
+    Fixture f;
+    // Small classes round to 512 B: a 100 B and a 512 B request are
+    // the same class, so the freed block of one serves the other.
+    AllocOutcome a = f.pool.alloc(100);
+    f.pool.free(a.addr);
+    AllocOutcome b = f.pool.alloc(512);
+    EXPECT_TRUE(b.pool_hit);
+    EXPECT_EQ(b.addr, a.addr);
+    EXPECT_EQ(f.pool.liveBytes(), 512u);
+}
+
+TEST(CachingAllocator, FreeCoalescesAdjacentCachedBlocks)
+{
+    Fixture f;
+    const Addr a = f.pool.alloc(512).addr;
+    const Addr b = f.pool.alloc(512).addr;
+    const Addr c = f.pool.alloc(512).addr;
+    ASSERT_EQ(b, a + 512);
+    ASSERT_EQ(c, b + 512);
+
+    // Free everything: neighbours merge back until the whole slab is
+    // one cached block again.
+    f.pool.free(a);
+    f.pool.free(b);
+    f.pool.free(c);
+    EXPECT_GE(f.pool.coalesceCount(), 3u);
+    EXPECT_EQ(f.pool.liveBytes(), 0u);
+    EXPECT_EQ(f.pool.cachedBytes(), slab_bytes);
+
+    // The coalesced block serves a request bigger than any of the
+    // three freed ones without another monitor trip.
+    AllocOutcome big = f.pool.alloc(4 * kib);
+    EXPECT_TRUE(big.pool_hit);
+    EXPECT_EQ(big.addr, a);
+}
+
+TEST(CachingAllocator, LargeBlocksGetTheirOwnSlab)
+{
+    Fixture f;
+    // > 64 KiB: large class, rounded to a 64 KiB multiple, one slab
+    // per block (no carving).
+    AllocOutcome l1 = f.pool.alloc(100 * kib);
+    AllocOutcome l2 = f.pool.alloc(100 * kib);
+    ASSERT_NE(l1.addr, 0u);
+    ASSERT_NE(l2.addr, 0u);
+    EXPECT_EQ(f.pool.liveBytes(), 2 * 128 * kib);
+    EXPECT_EQ(f.arena.bytesReserved(), 2 * 128 * kib);
+    EXPECT_EQ(f.pool.cachedBytes(), 0u);
+
+    f.pool.free(l1.addr);
+    AllocOutcome l3 = f.pool.alloc(65 * kib); // same 128 KiB class
+    EXPECT_TRUE(l3.pool_hit);
+    EXPECT_EQ(l3.addr, l1.addr);
+}
+
+TEST(CachingAllocator, ReservedStaysVisibleThroughThePool)
+{
+    Fixture f;
+    const Addr a = f.pool.alloc(512).addr;
+    EXPECT_EQ(f.arena.bytesReserved(), slab_bytes);
+    EXPECT_EQ(f.arena.peakReserved(), slab_bytes);
+
+    // A pool free parks the block: client-live drops, but the arena
+    // still counts the slab as reserved — caching cannot make arena
+    // pressure invisible.
+    f.pool.free(a);
+    EXPECT_EQ(f.pool.liveBytes(), 0u);
+    EXPECT_EQ(f.arena.bytesReserved(), slab_bytes);
+    EXPECT_EQ(f.arena.bytesAllocated(), slab_bytes);
+
+    // Only flush() actually returns the memory.
+    EXPECT_EQ(f.pool.flush(), slab_bytes);
+    EXPECT_EQ(f.arena.bytesReserved(), 0u);
+    EXPECT_EQ(f.arena.peakReserved(), slab_bytes); // high-water sticks
+}
+
+TEST(CachingAllocator, FlushReleasesIdleSlabsOnly)
+{
+    Fixture f;
+    AllocOutcome l1 = f.pool.alloc(100 * kib);
+    AllocOutcome l2 = f.pool.alloc(100 * kib);
+    f.pool.free(l1.addr); // l1's slab idle, l2's pinned
+
+    EXPECT_EQ(f.pool.flush(), 128 * kib);
+    EXPECT_EQ(f.pool.flushCount(), 1u);
+    EXPECT_EQ(f.arena.bytesReserved(), 128 * kib);
+    EXPECT_EQ(f.pool.liveBytes(), 128 * kib);
+
+    // The survivor is untouched and frees normally afterwards.
+    f.pool.free(l2.addr);
+    EXPECT_EQ(f.pool.flush(), 128 * kib);
+    EXPECT_EQ(f.arena.bytesReserved(), 0u);
+}
+
+TEST(CachingAllocator, ExhaustionReclaimsThenReportsZero)
+{
+    // Arena fits exactly two small slabs.
+    Fixture f(2 * slab_bytes);
+    const Addr a = f.pool.alloc(60 * kib).addr;
+    const Addr b = f.pool.alloc(60 * kib).addr;
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+
+    // Both slabs pinned by live blocks: the emergency flush frees
+    // nothing and the retry fails — addr 0 is the exhaustion
+    // verdict, after exactly one reclaim attempt.
+    AllocOutcome c = f.pool.alloc(60 * kib);
+    EXPECT_EQ(c.addr, 0u);
+    EXPECT_EQ(f.pool.reclaimCount(), 1u);
+    EXPECT_GE(c.cycles, 2 * missFloor()); // walked the arena twice
+
+    // Park both blocks (slabs stay reserved), then ask for a large
+    // block: the reclaim flush hands the idle slabs back and the
+    // retry succeeds — the pool never turns reusable memory into an
+    // exhaustion verdict the arena would not have given.
+    f.pool.free(a);
+    f.pool.free(b);
+    EXPECT_EQ(f.arena.bytesReserved(), 2 * slab_bytes);
+    AllocOutcome big = f.pool.alloc(100 * kib);
+    EXPECT_NE(big.addr, 0u);
+    EXPECT_FALSE(big.pool_hit);
+    EXPECT_EQ(f.pool.reclaimCount(), 2u);
+}
+
+TEST(CachingAllocator, DisabledCachingIsTheFirstFitBaseline)
+{
+    Fixture f;
+    // Warm the pool, then disable: the mode switch flushes so no
+    // stale pooled block survives.
+    f.pool.free(f.pool.alloc(512).addr);
+    EXPECT_GT(f.pool.cachedBytes(), 0u);
+    f.pool.setCaching(false);
+    EXPECT_EQ(f.pool.cachedBytes(), 0u);
+    EXPECT_EQ(f.arena.bytesReserved(), 0u);
+
+    // Every call now walks the arena at monitor cost; a free/realloc
+    // round trip never hits.
+    const std::uint64_t hits = f.pool.hits();
+    AllocOutcome a = f.pool.alloc(512);
+    ASSERT_NE(a.addr, 0u);
+    EXPECT_FALSE(a.pool_hit);
+    EXPECT_GE(a.cycles, missFloor());
+    EXPECT_EQ(f.arena.bytesAllocated(), 512u); // no slab carving
+    EXPECT_GE(f.pool.free(a.addr), missFloor());
+    AllocOutcome b = f.pool.alloc(512);
+    EXPECT_FALSE(b.pool_hit);
+    EXPECT_EQ(f.pool.hits(), hits);
+    f.pool.free(b.addr);
+}
+
+TEST(CachingAllocator, PerPoolStatsRegisterUnderTheParentGroup)
+{
+    Fixture f;
+    AllocOutcome small = f.pool.alloc(512);
+    AllocOutcome large = f.pool.alloc(100 * kib);
+    f.pool.free(small.addr);
+    f.pool.free(large.addr);
+
+    std::ostringstream os;
+    f.root.dumpJson(os);
+    const std::string json = os.str();
+    for (const char *stat :
+         {"small_current_bytes", "small_peak_bytes",
+          "small_allocated_bytes", "small_freed_bytes",
+          "large_current_bytes", "large_peak_bytes",
+          "large_allocated_bytes", "large_freed_bytes", "pool_hits",
+          "pool_misses", "pool_splits", "pool_coalesces",
+          "pool_flushes", "pool_reclaims", "cached_bytes",
+          "alloc_cycles"}) {
+        EXPECT_NE(json.find(stat), std::string::npos)
+            << stat << " missing from the stats dump";
+    }
+}
+
+} // namespace
+} // namespace snpu

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * LLM decode serving: transformer decoder workloads (prefill /
+ * decode phases, KV paging), continuous batching on the N-core
+ * scheduler (per-token re-enqueue, decode-before-fresh picking,
+ * TTFT and inter-token tails), the per-token KV allocation path
+ * through the serving pool, quarantine mid-generation, and
+ * determinism across sweep-runner thread counts plus timing-cache
+ * warm replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/systems.hh"
+#include "core/timing_cache.hh"
+#include "serve/server.hh"
+#include "sim/fault_injector.hh"
+#include "sim/sweep_runner.hh"
+#include "workload/layer_timing.hh"
+#include "workload/model_zoo.hh"
+
+namespace snpu
+{
+namespace
+{
+
+// --- decoder workloads ---------------------------------------------
+
+TEST(Decoder, TinygptShapesAndKvAccounting)
+{
+    const DecoderSpec d = makeDecoder(DecoderId::tinygpt);
+    EXPECT_EQ(d.blocks, 2u);
+    EXPECT_EQ(d.kvBytesPerToken(), 2ull * d.blocks * d.hidden);
+
+    // Context pads to the KV page.
+    EXPECT_EQ(d.contextAt(0) % d.kv_page, 0u);
+    EXPECT_GE(d.contextAt(0), d.prompt + 1);
+    EXPECT_LE(d.contextAt(7), d.contextAt(8));
+
+    // Prefill: full-prompt GEMMs, six per block, weights resident
+    // (nothing streams).
+    const ModelSpec prefill = makePrefill(d);
+    ASSERT_EQ(prefill.layers.size(), 6u * d.blocks);
+    for (const LayerSpec &l : prefill.layers) {
+        EXPECT_EQ(l.m, d.prompt);
+        EXPECT_FALSE(l.stream_weights);
+    }
+
+    // Decode: M = 1 everywhere; exactly the attention score/context
+    // GEMMs stream the KV cache as their weight operand, sized by
+    // the padded context.
+    const std::uint32_t ctx = d.contextAt(0);
+    const ModelSpec step = makeDecodeStep(d, 0);
+    ASSERT_EQ(step.layers.size(), 6u * d.blocks);
+    std::uint32_t streamed = 0;
+    for (const LayerSpec &l : step.layers) {
+        EXPECT_EQ(l.m, 1u);
+        if (l.stream_weights) {
+            ++streamed;
+            EXPECT_EQ(l.kind, LayerKind::attention);
+            EXPECT_TRUE(l.n == ctx || l.k == ctx);
+        } else {
+            EXPECT_NE(l.kind, LayerKind::attention);
+        }
+    }
+    EXPECT_EQ(streamed, 2u * d.blocks);
+}
+
+TEST(Decoder, ScheduleDedupesByPaddedContext)
+{
+    const DecoderSpec d = makeDecoder(DecoderId::tinygpt);
+    // tinygpt: prompt 32, page 16 — tokens 1..16 all pad to context
+    // 48, token 17 crosses into the next page.
+    const DecodeSchedule sched = makeDecodeSchedule(d, 20);
+    ASSERT_EQ(sched.step_shape.size(), 20u);
+    ASSERT_EQ(sched.shapes.size(), 2u);
+    for (std::uint32_t t = 0; t < 16; ++t)
+        EXPECT_EQ(sched.step_shape[t], 0u) << "token " << t;
+    for (std::uint32_t t = 16; t < 20; ++t)
+        EXPECT_EQ(sched.step_shape[t], 1u) << "token " << t;
+    // Steady-state decode replays one shape: that is what lets the
+    // timing cache serve warm steps.
+    const DecodeSchedule steady = makeDecodeSchedule(d, 16);
+    EXPECT_EQ(steady.shapes.size(), 1u);
+}
+
+TEST(Decoder, StreamWeightsChangesTheTimingFingerprint)
+{
+    // A decode step and the same shapes with residency-planned
+    // weights must never share a timing-cache entry.
+    const DecoderSpec d = makeDecoder(DecoderId::tinygpt);
+    ModelSpec step = makeDecodeStep(d, 0);
+    ModelSpec resident = step;
+    for (LayerSpec &l : resident.layers)
+        l.stream_weights = false;
+    EXPECT_NE(modelFingerprint(step), modelFingerprint(resident));
+}
+
+// --- continuous batching -------------------------------------------
+
+std::vector<TenantSpec>
+makeGenTenants(std::uint32_t n, std::uint32_t requests,
+               std::uint32_t tokens, std::uint32_t n_secure)
+{
+    std::vector<TenantSpec> tenants(n);
+    for (std::uint32_t t = 0; t < n; ++t) {
+        TenantSpec &spec = tenants[t];
+        spec.name = "gen_" + std::to_string(t);
+        spec.task.name = spec.name;
+        spec.task.world =
+            t < n_secure ? World::secure : World::normal;
+        spec.arrivals.assign(requests, 0);
+        spec.queue_capacity = requests;
+        spec.decode_tokens = tokens;
+        spec.decoder = makeDecoder(DecoderId::tinygpt);
+    }
+    return tenants;
+}
+
+TEST(ContinuousBatching, ServesTokensAndReportsPerTokenTails)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    cfg.latency_hist_max = 4.0e7;
+    SnpuServer server(*soc, cfg);
+    const ServeResult res = server.serve(makeGenTenants(2, 2, 6, 1));
+    ASSERT_TRUE(res.ok()) << res.error();
+
+    for (const TenantReport &rep : res.tenants) {
+        EXPECT_EQ(rep.completed, 2u) << rep.name;
+        EXPECT_EQ(rep.failed, 0u) << rep.name;
+        EXPECT_EQ(rep.tokens, 2u * 6u) << rep.name;
+        EXPECT_GT(rep.ttft_p50, 0u) << rep.name;
+        EXPECT_LE(rep.ttft_p50, rep.ttft_p99) << rep.name;
+        EXPECT_GT(rep.token_p50, 0u) << rep.name;
+        EXPECT_LE(rep.token_p50, rep.token_p99) << rep.name;
+        EXPECT_GT(rep.kv_alloc_cycles, 0u) << rep.name;
+    }
+    EXPECT_GT(res.token_alloc_overhead, 0u);
+
+    // Under the NPU Monitor the serving pool is the monitor's own;
+    // steady-state decode hits it.
+    ASSERT_NE(server.kvPool(), nullptr);
+    EXPECT_GT(server.kvPool()->hits(), 0u);
+}
+
+TEST(ContinuousBatching, DecodeStepsBeatFreshContexts)
+{
+    // One core, two identical tenants arriving together: the picker
+    // keeps an in-flight generation's decode steps ahead of the
+    // waiting tenant's prefill (vLLM-style decode priority), so the
+    // second tenant's first token lands only after the first
+    // tenant's generation retires — but nobody starves.
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 1;
+    cfg.latency_hist_max = 4.0e7;
+    SnpuServer server(*soc, cfg);
+    const ServeResult res = server.serve(makeGenTenants(2, 1, 8, 0));
+    ASSERT_TRUE(res.ok()) << res.error();
+
+    const TenantReport &first = res.tenants[0];
+    const TenantReport &second = res.tenants[1];
+    EXPECT_EQ(first.completed, 1u);
+    EXPECT_EQ(second.completed, 1u);
+    EXPECT_EQ(first.tokens, 8u);
+    EXPECT_EQ(second.tokens, 8u);
+    // Histogram percentiles are bucketized; compare with slack.
+    EXPECT_GT(static_cast<double>(second.ttft_p50),
+              0.9 * static_cast<double>(first.worst_latency));
+}
+
+TEST(ContinuousBatching, QuarantineMidGenerationFlushesTheKvPool)
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 1;
+    cfg.latency_hist_max = 4.0e7;
+    cfg.quarantine_threshold = 1;
+    cfg.fault_injection = true;
+    // The monitor's allocator site is probed once at the secure
+    // tenant's exec start and once per decode token: the third
+    // occurrence is token 2's KV allocation — mid-generation.
+    FaultSpec spec;
+    spec.site = FaultSite::monitor_alloc;
+    spec.trigger = FaultTrigger::nth;
+    spec.nth = 3;
+    spec.max_fires = 1;
+    cfg.fault_plan.faults.push_back(spec);
+    SnpuServer server(*soc, cfg);
+
+    const ServeResult res = server.serve(makeGenTenants(2, 1, 6, 1));
+    ASSERT_TRUE(res.ok()) << res.error();
+
+    // The secure tenant fails terminally mid-generation (the
+    // breaker trips on the first fault) having retired exactly one
+    // token; its KV blocks go back and the pool is scrubbed.
+    const TenantReport &secure = res.tenants[0];
+    EXPECT_TRUE(secure.quarantined);
+    EXPECT_EQ(secure.failed, 1u);
+    EXPECT_EQ(secure.completed, 0u);
+    EXPECT_EQ(secure.tokens, 1u);
+
+    ASSERT_NE(server.kvPool(), nullptr);
+    EXPECT_GE(server.kvPool()->flushCount(), 1u);
+
+    // The normal tenant's generation is unaffected.
+    const TenantReport &normal = res.tenants[1];
+    EXPECT_EQ(normal.completed, 1u);
+    EXPECT_EQ(normal.tokens, 6u);
+    EXPECT_FALSE(normal.quarantined);
+}
+
+// --- determinism ---------------------------------------------------
+
+struct RunDump
+{
+    Tick makespan = 0;
+    std::uint64_t tokens = 0;
+    std::string registry_json;
+};
+
+RunDump
+decodeWindow()
+{
+    auto soc = buildSoc(SystemKind::snpu);
+    ServerConfig cfg;
+    cfg.num_cores = 2;
+    cfg.latency_hist_max = 4.0e7;
+    SnpuServer server(*soc, cfg);
+    const ServeResult res = server.serve(makeGenTenants(2, 2, 6, 1));
+    EXPECT_TRUE(res.ok()) << res.error();
+    RunDump dump;
+    dump.makespan = res.makespan;
+    for (const TenantReport &rep : res.tenants)
+        dump.tokens += rep.tokens;
+    std::ostringstream os;
+    soc->registry().dumpJson(os);
+    dump.registry_json = os.str();
+    return dump;
+}
+
+TEST(ContinuousBatching, ByteIdenticalAtAnyJobsCount)
+{
+    // The same serving window through the sweep runner at 1 and 4
+    // host threads: every point must reproduce the same makespan,
+    // token count and registry JSON byte for byte.
+    std::vector<RunDump> dumps;
+    for (unsigned jobs : {1u, 4u}) {
+        SweepRunner runner(SweepOptions{jobs});
+        std::vector<std::function<RunDump(SweepContext &)>> work(
+            3, [](SweepContext &) { return decodeWindow(); });
+        for (const auto &outcome : runner.map<RunDump>(work)) {
+            ASSERT_TRUE(outcome.ok())
+                << outcome.status.toString();
+            dumps.push_back(outcome.value);
+        }
+    }
+    ASSERT_EQ(dumps.size(), 6u);
+    for (std::size_t i = 1; i < dumps.size(); ++i) {
+        EXPECT_EQ(dumps[i].makespan, dumps[0].makespan);
+        EXPECT_EQ(dumps[i].tokens, dumps[0].tokens);
+        EXPECT_EQ(dumps[i].registry_json, dumps[0].registry_json);
+    }
+}
+
+TEST(ContinuousBatching, WarmReplayMatchesLiveRegistryJson)
+{
+    if (!TimingCache::enabled())
+        GTEST_SKIP() << "SNPU_TIMING_CACHE=0 in the environment";
+
+    TimingCache &cache = TimingCache::global();
+    cache.clear();
+    const RunDump live = decodeWindow();
+    const std::uint64_t hits_before = cache.hits();
+    const RunDump warm = decodeWindow();
+    EXPECT_GT(cache.hits(), hits_before)
+        << "warm decode window never hit the timing cache";
+    EXPECT_EQ(live.makespan, warm.makespan);
+    EXPECT_EQ(live.registry_json, warm.registry_json);
+}
+
+} // namespace
+} // namespace snpu
