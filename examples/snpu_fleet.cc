@@ -1,0 +1,239 @@
+/**
+ * @file
+ * snpu_fleet — command-line driver for fault-tolerant multi-SoC
+ * fleet serving. Spins up N independent SoC fault domains, homes one
+ * bursty tenant on each, arms the SoC-scoped fault sites at a chosen
+ * kill rate, and reports per-SoC fates plus the fleet-wide
+ * availability / migration / tail-latency picture. Fully
+ * deterministic for a fixed seed.
+ *
+ * Usage:
+ *   snpu_fleet [key=value ...]
+ *
+ * Keys (defaults in parentheses):
+ *   socs=<n>                          (8)
+ *   cores=<tiles per SoC>             (2)
+ *   requests=<per tenant>             (8)
+ *   load=<fraction of ideal capacity> (0.4)
+ *   kill=<per-heartbeat crash odds>   (0.002)
+ *     hangs ride at kill/4 and cordons at kill/8.
+ *   mfail=<migration handshake failure odds> (0.08)
+ *   failover=0|1                      (1)
+ *   decode=0|1  every 4th+1 tenant generates tokens (1)
+ *   secure=0|1  every 4th tenant secure (1)
+ *   scale=<divisor for model dims>    (256)
+ *   seed=<rng seed>                   (1)
+ *   stats=0|1  dump the fleet stat group (0)
+ *   stats_json=<file>  JSON dump of the fleet group (off)
+ *   soc_stats=0|1  capture each SoC's stat tree (0)
+ *
+ * Examples:
+ *   snpu_fleet socs=16 kill=0.003
+ *   snpu_fleet socs=8 kill=0.004 failover=0   # the collapse baseline
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/systems.hh"
+#include "fleet/fleet_controller.hh"
+#include "serve/arrivals.hh"
+#include "serve/server.hh"
+#include "sim/config.hh"
+#include "sim/hashing.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "workload/model_zoo.hh"
+
+using namespace snpu;
+
+int
+main(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        try {
+            cfg.parseArg(argv[i]);
+        } catch (const FatalError &e) {
+            std::fprintf(stderr, "%s\nsee the header comment for "
+                                 "usage\n",
+                         e.what());
+            return 2;
+        }
+    }
+
+    const auto socs =
+        static_cast<std::uint32_t>(cfg.getInt("socs", 8));
+    const auto ncores =
+        static_cast<std::uint32_t>(cfg.getInt("cores", 2));
+    const auto requests =
+        static_cast<std::uint32_t>(cfg.getInt("requests", 8));
+    const double load = cfg.getDouble("load", 0.4);
+    const double kill = cfg.getDouble("kill", 0.002);
+    const double mfail = cfg.getDouble("mfail", 0.08);
+    const bool failover = cfg.getBool("failover", true);
+    const bool decode = cfg.getBool("decode", true);
+    const bool secure = cfg.getBool("secure", true);
+    const auto scale =
+        static_cast<std::uint32_t>(cfg.getInt("scale", 256));
+    const auto seed =
+        static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    if (socs == 0) {
+        std::fprintf(stderr, "socs= must be positive\n");
+        return 2;
+    }
+
+    // Unloaded service time of the shared tenant model, the
+    // load-calibration unit.
+    NpuTask probe = NpuTask::fromModel(ModelId::mobilenet);
+    probe.model = probe.model.scaled(scale);
+    const double service = SnpuServer::profiledServiceCycles(
+        makeSystem(SystemKind::snpu), probe);
+
+    // One bursty tenant per SoC; lower index = higher shed
+    // priority.
+    const double gap = meanGapForLoad(load, 1, ncores, service);
+    std::vector<FleetTenantSpec> tenants(socs);
+    Tick last_arrival = 0;
+    for (std::uint32_t t = 0; t < socs; ++t) {
+        FleetTenantSpec &ft = tenants[t];
+        char name[16];
+        std::snprintf(name, sizeof(name), "t%u", t);
+        ft.spec.name = name;
+        ft.spec.task = NpuTask::fromModel(
+            ModelId::mobilenet, secure && t % 4 == 0
+                                    ? World::secure
+                                    : World::normal);
+        ft.spec.task.model = ft.spec.task.model.scaled(scale);
+        if (decode && t % 4 == 1) {
+            ft.spec.decode_tokens = 8;
+            ft.spec.decoder = makeDecoder(DecoderId::tinygpt);
+        }
+        Rng rng(hashMix(seed, std::uint64_t(t)));
+        ft.spec.arrivals =
+            burstyArrivals(rng, gap, 4.0, 3.0, requests);
+        ft.home = t;
+        ft.priority = static_cast<std::int32_t>(socs - t);
+        if (!ft.spec.arrivals.empty())
+            last_arrival =
+                std::max(last_arrival, ft.spec.arrivals.back());
+    }
+
+    FleetConfig fc;
+    fc.num_socs = socs;
+    fc.soc = makeSystem(SystemKind::snpu);
+    fc.server.policy = SchedPolicy::id_based;
+    fc.server.num_cores = ncores;
+    fc.server.latency_hist_max = 64.0 * service;
+    fc.server.latency_hist_buckets = 2048;
+    fc.server.max_retries = 2;
+    fc.server.retry_jitter = true;
+    fc.heartbeat_interval =
+        std::max<Tick>(1, static_cast<Tick>(service / 8.0));
+    fc.horizon = last_arrival + static_cast<Tick>(2.0 * service);
+    fc.fault_injection = kill > 0.0 || mfail > 0.0;
+    fc.fault_plan.seed = hashMix(seed, std::uint64_t{0xf1ee7});
+    const auto arm = [&fc](FaultSite site, double p) {
+        FaultSpec spec;
+        spec.site = site;
+        spec.trigger = FaultTrigger::probability;
+        spec.probability = p;
+        spec.max_fires = 0;
+        fc.fault_plan.faults.push_back(spec);
+    };
+    arm(FaultSite::soc_crash, kill);
+    arm(FaultSite::soc_hang, kill / 4.0);
+    arm(FaultSite::soc_degrade, kill / 8.0);
+    arm(FaultSite::fleet_migration, mfail);
+    fc.failover = failover;
+    fc.migration_backoff =
+        std::max<Tick>(1, static_cast<Tick>(service / 16.0));
+    fc.resettle_cycles =
+        std::max<Tick>(1, static_cast<Tick>(service / 64.0));
+    fc.breaker_cooldown = static_cast<Tick>(2.0 * service);
+    fc.latency_hist_max = 64.0 * service;
+    fc.latency_hist_buckets = 2048;
+    fc.capture_soc_stats = cfg.getBool("soc_stats", false);
+
+    std::printf("fleet: %u SoCs x %u tiles, load=%.2f, "
+                "kill=%.4f/heartbeat, mfail=%.2f, failover=%s, "
+                "%u req/tenant, seed=%llu\n",
+                socs, ncores, load, kill, mfail,
+                failover ? "on" : "off", requests,
+                static_cast<unsigned long long>(seed));
+
+    FleetController fleet(fc);
+    FleetResult res = fleet.run(tenants);
+    if (!res.ok()) {
+        std::fprintf(stderr, "fleet run failed: %s\n",
+                     res.error().c_str());
+        return 1;
+    }
+
+    std::printf("\n%-4s %-8s %10s %10s %6s %5s %5s %5s\n", "soc",
+                "fate", "fault", "detected", "done", "start", "in",
+                "out");
+    for (const SocReport &soc : res.socs) {
+        const char *fate = soc.crashed    ? "crashed"
+                           : soc.hung     ? "hung"
+                           : soc.degraded ? "degraded"
+                                          : "ok";
+        std::printf("%-4u %-8s %10llu %10llu %6llu %5u %5u %5u\n",
+                    soc.soc, fate,
+                    static_cast<unsigned long long>(soc.fault_tick),
+                    static_cast<unsigned long long>(
+                        soc.detected_tick),
+                    static_cast<unsigned long long>(soc.completed),
+                    soc.tenants_start, soc.migrated_in,
+                    soc.migrated_out);
+    }
+
+    std::printf(
+        "\navailability %.4f (%llu/%llu), failed %llu, rejected "
+        "%llu, shed %llu\n"
+        "evictions %u, migrations %u (failures %u), breaker "
+        "trips/probes/readmits %u/%u/%u\n"
+        "re-prefills %llu, lost tokens %llu, migration cycles "
+        "%llu\n"
+        "latency p50/p95/p99 %llu/%llu/%llu, ttft p50/p99 "
+        "%llu/%llu, makespan %llu\n",
+        res.availability,
+        static_cast<unsigned long long>(res.completed),
+        static_cast<unsigned long long>(res.offered),
+        static_cast<unsigned long long>(res.failed),
+        static_cast<unsigned long long>(res.rejected),
+        static_cast<unsigned long long>(res.shed), res.evictions,
+        res.migrations, res.migration_failures, res.breaker_trips,
+        res.breaker_probes, res.breaker_readmissions,
+        static_cast<unsigned long long>(res.re_prefills),
+        static_cast<unsigned long long>(res.lost_tokens),
+        static_cast<unsigned long long>(res.migration_cycles),
+        static_cast<unsigned long long>(res.p50),
+        static_cast<unsigned long long>(res.p95),
+        static_cast<unsigned long long>(res.p99),
+        static_cast<unsigned long long>(res.ttft_p50),
+        static_cast<unsigned long long>(res.ttft_p99),
+        static_cast<unsigned long long>(res.makespan));
+
+    if (cfg.getBool("stats", false)) {
+        std::ostringstream os;
+        fleet.fleetStats().group.dump(os);
+        std::fputs(os.str().c_str(), stdout);
+    }
+    const std::string stats_json = cfg.getString("stats_json", "");
+    if (!stats_json.empty()) {
+        std::ofstream os(stats_json);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         stats_json.c_str());
+            return 1;
+        }
+        fleet.registry().dumpJson(os);
+        std::printf("stats: %s\n", stats_json.c_str());
+    }
+    return 0;
+}

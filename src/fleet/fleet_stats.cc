@@ -1,0 +1,40 @@
+#include "fleet/fleet_stats.hh"
+
+namespace snpu
+{
+
+FleetStats::FleetStats(double latency_hi,
+                       std::size_t latency_buckets)
+    : group("fleet"),
+      offered(group, "offered", "requests offered fleet-wide"),
+      completed(group, "completed", "requests completed on any SoC"),
+      failed(group, "failed", "requests failed terminally"),
+      rejected(group, "rejected", "requests dropped at admission"),
+      shed(group, "shed", "requests shed under capacity loss"),
+      evictions(group, "evictions", "SoCs evicted (crash or hang)"),
+      crashes(group, "crashes", "fail-stop SoC crashes detected"),
+      hangs(group, "hangs", "wedged SoCs caught by the watchdog"),
+      degrades(group, "degrades", "SoCs cordoned (draining)"),
+      migrations(group, "migrations", "tenant migrations completed"),
+      migration_failures(group, "migration_failures",
+                         "migration handshake attempts failed"),
+      migration_cycles(group, "migration_cycles",
+                       "secure-session re-establishment cycles"),
+      re_prefills(group, "re_prefills",
+                  "mid-generation requests re-running prefill"),
+      lost_tokens(group, "lost_tokens",
+                  "decode tokens lost to evictions"),
+      breaker_trips(group, "breaker_trips",
+                    "fleet migration-breaker trips"),
+      breaker_probes(group, "breaker_probes",
+                     "half-open migration trials"),
+      breaker_readmits(group, "breaker_readmits",
+                       "trials that closed the migration breaker"),
+      latency(group, "latency",
+              "fleet-wide request latency (cycles)", 0.0, latency_hi,
+              latency_buckets),
+      ttft(group, "ttft", "fleet-wide time to first token (cycles)",
+           0.0, latency_hi, latency_buckets)
+{}
+
+} // namespace snpu

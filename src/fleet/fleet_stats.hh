@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fleet-level observability: one "fleet" stat group aggregating what
+ * no single SoC can see — evictions, tenant migrations, re-prefill
+ * work, shed load, and fleet-wide request latency across SoC
+ * boundaries (a migrated request's latency spans two SoCs' clocks).
+ * Built on the simulator's stat package so the fleet counters dump
+ * next to the per-SoC trees in the same JSON document.
+ */
+
+#ifndef SNPU_FLEET_FLEET_STATS_HH
+#define SNPU_FLEET_FLEET_STATS_HH
+
+#include <cstddef>
+
+#include "sim/stats.hh"
+
+namespace snpu
+{
+
+/** The fleet-wide stat family ("fleet.*"). */
+struct FleetStats
+{
+    FleetStats(double latency_hi, std::size_t latency_buckets);
+
+    /** Root group named "fleet"; register it to dump "fleet.*". */
+    stats::Group group;
+
+    /** Requests offered across every tenant's arrival stream. */
+    stats::Scalar offered;
+    /** Requests served to completion, on any SoC. */
+    stats::Scalar completed;
+    /** Requests failed terminally (including lost to failover-off). */
+    stats::Scalar failed;
+    /** Requests dropped at admission (queue or monitor pressure). */
+    stats::Scalar rejected;
+    /** Requests shed with StatusCode::degraded under capacity loss. */
+    stats::Scalar shed;
+
+    /** SoCs evicted from the serving set (crash or hang). */
+    stats::Scalar evictions;
+    /** Evictions caused by a fail-stop crash. */
+    stats::Scalar crashes;
+    /** Evictions caused by a wedged SoC (progress watchdog). */
+    stats::Scalar hangs;
+    /** SoCs cordoned (draining, not accepting migrants). */
+    stats::Scalar degrades;
+
+    /** Tenant migrations that re-homed onto a warm SoC. */
+    stats::Scalar migrations;
+    /** Migration handshake attempts that failed. */
+    stats::Scalar migration_failures;
+    /** Secure-session re-establishment cycles paid by migrations. */
+    stats::Scalar migration_cycles;
+    /** Mid-generation requests that re-ran prefill after a kill. */
+    stats::Scalar re_prefills;
+    /** Decode tokens generated on an evicted SoC and lost. */
+    stats::Scalar lost_tokens;
+
+    /** Fleet migration-breaker trips. */
+    stats::Scalar breaker_trips;
+    /** Half-open migration trials after a cool-down. */
+    stats::Scalar breaker_probes;
+    /** Trials that succeeded and closed the migration breaker. */
+    stats::Scalar breaker_readmits;
+
+    /** Fleet-wide request latency against the original arrival. */
+    stats::Histogram latency;
+    /** Fleet-wide time to first token (generating tenants). */
+    stats::Histogram ttft;
+};
+
+} // namespace snpu
+
+#endif // SNPU_FLEET_FLEET_STATS_HH

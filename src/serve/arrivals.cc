@@ -35,6 +35,67 @@ periodicArrivals(Tick period, std::uint32_t count, Tick start)
     return arrivals;
 }
 
+std::vector<Tick>
+burstyArrivals(Rng &rng, double mean_gap, double burst_factor,
+               double burst_len, std::uint32_t count, Tick start)
+{
+    if (mean_gap <= 0.0)
+        fatal("bursty mean gap must be positive");
+    if (burst_factor < 1.0)
+        fatal("burst factor must be >= 1 (1 = plain Poisson)");
+    if (burst_len < 1.0)
+        fatal("mean burst length must be >= 1");
+    // In-burst gaps run burst_factor times faster than the long-run
+    // mean; the off gap between bursts restores the average: over one
+    // burst of L arrivals, in-burst time is L*mean_gap/factor, so the
+    // off period must contribute L*mean_gap*(1 - 1/factor).
+    const double hot_gap = mean_gap / burst_factor;
+    const double off_gap =
+        burst_len * mean_gap * (1.0 - 1.0 / burst_factor);
+    const double end_p = 1.0 / burst_len; // geometric burst length
+    std::vector<Tick> arrivals;
+    arrivals.reserve(count);
+    double t = static_cast<double>(start);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        t += -std::log(1.0 - rng.uniform()) * hot_gap;
+        arrivals.push_back(static_cast<Tick>(t));
+        if (off_gap > 0.0 && rng.chance(end_p))
+            t += -std::log(1.0 - rng.uniform()) * off_gap;
+    }
+    return arrivals;
+}
+
+std::vector<Tick>
+replayArrivals(const std::vector<double> &gap_pattern,
+               double mean_gap, std::uint32_t count, Tick start)
+{
+    if (mean_gap <= 0.0)
+        fatal("replay mean gap must be positive");
+    if (gap_pattern.empty())
+        fatal("replay trace must carry at least one gap");
+    double pattern_sum = 0.0;
+    for (double g : gap_pattern) {
+        if (g < 0.0)
+            fatal("replay trace gaps must be non-negative");
+        pattern_sum += g;
+    }
+    if (pattern_sum <= 0.0)
+        fatal("replay trace must advance time");
+    // Renormalize so the tiled pattern offers exactly mean_gap on
+    // average no matter how the trace was recorded.
+    const double scale = mean_gap *
+                         static_cast<double>(gap_pattern.size()) /
+                         pattern_sum;
+    std::vector<Tick> arrivals;
+    arrivals.reserve(count);
+    double t = static_cast<double>(start);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        t += gap_pattern[i % gap_pattern.size()] * scale;
+        arrivals.push_back(static_cast<Tick>(t));
+    }
+    return arrivals;
+}
+
 double
 meanGapForLoad(double load, std::uint32_t tenants,
                std::uint32_t cores, double service_cycles)

@@ -33,6 +33,33 @@ std::vector<Tick> periodicArrivals(Tick period, std::uint32_t count,
                                    Tick start = 0);
 
 /**
+ * Bursty (Markov-modulated) process: geometric-length bursts (mean
+ * @p burst_len arrivals) whose intra-burst gaps are exponential with
+ * mean @c mean_gap/burst_factor, separated by exponential off
+ * periods sized so the long-run mean gap stays @p mean_gap. With
+ * burst_factor = 1 this degenerates to the Poisson process. The
+ * fleet benches use it to model trace-like traffic whose short-term
+ * rate swings far above the average — the regime where failover
+ * headroom actually gets tested.
+ */
+std::vector<Tick> burstyArrivals(Rng &rng, double mean_gap,
+                                 double burst_factor,
+                                 double burst_len,
+                                 std::uint32_t count,
+                                 Tick start = 0);
+
+/**
+ * Trace replay: tile the relative gap pattern @p gap_pattern (unit
+ * mean assumed; it is renormalized defensively) across @p count
+ * arrivals, scaling each gap by @p mean_gap. Deterministic — the
+ * trace IS the randomness — so replayed load shapes are identical
+ * across sweep points regardless of seed.
+ */
+std::vector<Tick> replayArrivals(const std::vector<double> &gap_pattern,
+                                 double mean_gap, std::uint32_t count,
+                                 Tick start = 0);
+
+/**
  * Mean inter-arrival gap (per tenant) that offers @p load of the
  * cluster's capacity: @p tenants identical streams whose requests
  * each need @p service_cycles of ideal compute, served by @p cores

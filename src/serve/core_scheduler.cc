@@ -44,6 +44,7 @@ struct CompiledStream
     int priority = 0;
     std::int32_t pinned_core = -1;
     Tick deadline = 0;
+    Tick queue_deadline = 0;
     /** Compiled decode-step shapes (generating streams). */
     std::vector<std::shared_ptr<const SegmentSet>> decode_code;
     std::vector<std::uint32_t> step_shape;
@@ -207,6 +208,7 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
         cs.priority = streams[s].task.priority;
         cs.pinned_core = streams[s].pinned_core;
         cs.deadline = streams[s].deadline;
+        cs.queue_deadline = streams[s].queue_deadline;
         cs.live_rows = cs.code->live_rows;
         cs.win_base = cs.code->va_base;
         cs.win_bytes = cs.code->va_bytes;
@@ -537,6 +539,20 @@ NCoreScheduler::run(const std::vector<ExecStream> &streams,
             failRequest(core, pick,
                         Status::timeout("deadline expired before "
                                         "segment dispatch"));
+            continue;
+        }
+
+        // Admission-queue-wait watchdog: a request still undispatched
+        // past its queue deadline (counted from when it last became
+        // dispatchable, so retries restart the clock) fails instead
+        // of waiting unboundedly behind a quarantined or hung tenant.
+        const Tick q_deadline = compiled[req.stream].queue_deadline;
+        if (req.core < 0 && q_deadline > 0 &&
+            clock[core] > req.ready + q_deadline) {
+            failRequest(core, pick,
+                        Status::timeout("admission-queue wait "
+                                        "exceeded the queue "
+                                        "deadline"));
             continue;
         }
 

@@ -20,6 +20,11 @@ TenantStats::TenantStats(stats::Group &group,
                       "failed attempts observed"),
       quarantines(group, "serve_" + tenant + "_quarantines",
                   "circuit-breaker trips"),
+      breaker_probes(group, "serve_" + tenant + "_breaker_probes",
+                     "half-open breaker trials admitted"),
+      breaker_readmits(group,
+                       "serve_" + tenant + "_breaker_readmits",
+                       "half-open trials that closed the breaker"),
       monitor_cycles(group, "serve_" + tenant + "_monitor_cycles",
                      "modeled NPU-Monitor cycles"),
       queue_depth(group, "serve_" + tenant + "_queue_depth",

@@ -37,8 +37,12 @@ struct TenantStats
     stats::Scalar timeouts;
     /** Failed attempts observed (every fail-hook invocation). */
     stats::Scalar faults_observed;
-    /** Circuit-breaker trips (0 or 1 per serving window). */
+    /** Circuit-breaker trips (may exceed 1 with a cool-down). */
     stats::Scalar quarantines;
+    /** Half-open trial requests admitted after a cool-down. */
+    stats::Scalar breaker_probes;
+    /** Half-open trials that succeeded and closed the breaker. */
+    stats::Scalar breaker_readmits;
     /** Modeled NPU-Monitor cycles charged to this tenant. */
     stats::Scalar monitor_cycles;
     /** Admission-queue depth, sampled at each arrival. */

@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -147,6 +148,8 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         stream.arrivals = t.arrivals;
         stream.deadline =
             t.deadline ? t.deadline : cfg.default_deadline;
+        stream.queue_deadline =
+            t.queue_deadline ? t.queue_deadline : cfg.queue_deadline;
         if (t.decode_tokens > 0) {
             stream.task.model = makePrefill(t.decoder);
             DecodeSchedule plan =
@@ -228,7 +231,47 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     std::vector<std::uint32_t> depth(ntenants, 0);
     std::vector<std::uint32_t> peak(ntenants, 0);
     std::vector<std::uint32_t> consecutive(ntenants, 0);
-    std::vector<bool> quarantined(ntenants, false);
+
+    // Per-tenant circuit breaker. closed admits normally; open fails
+    // fast at admission; once the cool-down elapses the next arrival
+    // becomes a half-open trial — its success closes the breaker
+    // again (re-admission), its failure re-trips a full cool-down.
+    // Without a cool-down (quarantine_cooldown == 0) an open breaker
+    // never cools: the legacy quarantine-forever behaviour.
+    enum class Breaker { closed, open, half_open };
+    std::vector<Breaker> breaker(ntenants, Breaker::closed);
+    std::vector<Tick> open_until(ntenants, 0);
+    std::vector<std::int64_t> trial(ntenants, -1);
+
+    // Decorrelated-jitter retry state: the previous delay per
+    // in-flight request, and one server-local Rng so the draw order
+    // is a pure function of the serving window (each sweep job owns
+    // its server, keeping sweeps byte-identical at any job count).
+    Rng retry_rng(cfg.jitter_seed);
+    std::map<std::pair<std::uint32_t, std::uint32_t>, Tick>
+        retry_prev;
+
+    // Per-request terminal outcomes, for the fleet controller's
+    // causality cutoffs. Sized up front; arrival is the only field
+    // with a meaning before the request terminates.
+    std::vector<std::vector<RequestOutcome>> recs;
+    if (cfg.record_requests) {
+        recs.resize(ntenants);
+        for (std::uint32_t s = 0; s < ntenants; ++s) {
+            recs[s].resize(tenants[s].arrivals.size());
+            for (std::size_t i = 0; i < recs[s].size(); ++i)
+                recs[s][i].arrival = tenants[s].arrivals[i];
+        }
+    }
+    auto recordReject = [&](std::uint32_t s, std::uint32_t i,
+                            Tick now) {
+        if (!cfg.record_requests)
+            return;
+        RequestOutcome &r = recs[s][i];
+        r.rejected = true;
+        r.final = StatusCode::resource_exhausted;
+        r.finished = now;
+    };
 
     // Per-request span state, tracked unconditionally: the span
     // summaries in TenantReport must exist with no sink attached.
@@ -285,17 +328,26 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick now) {
         TenantStats &ts = stats_.tenant(s);
         ts.queue_depth.sample(depth[s]);
-        if (quarantined[s]) {
-            // The circuit breaker is open: fail fast at admission,
+        if (breaker[s] != Breaker::closed) {
+            // A cooled open breaker lets this arrival become the
+            // half-open trial (decided below, once it clears the
+            // capacity checks); otherwise fail fast at admission,
             // spending no NPU or monitor resources on this tenant.
-            ++ts.rejected;
-            tracer.emit(now, TraceCategory::serve, trace_name,
-                        "request ", tenants[s].name, "#", i,
-                        " rejected at admission: quarantined");
-            return false;
+            const bool cooled = breaker[s] == Breaker::open &&
+                                cfg.quarantine_cooldown > 0 &&
+                                now >= open_until[s];
+            if (!cooled) {
+                ++ts.rejected;
+                recordReject(s, i, now);
+                tracer.emit(now, TraceCategory::serve, trace_name,
+                            "request ", tenants[s].name, "#", i,
+                            " rejected at admission: quarantined");
+                return false;
+            }
         }
         if (depth[s] >= tenants[s].queue_capacity) {
             ++ts.rejected;
+            recordReject(s, i, now);
             tracer.emit(now, TraceCategory::serve, trace_name,
                         "request ", tenants[s].name, "#", i,
                         " rejected at admission: queue full");
@@ -306,6 +358,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                 soc.monitor().submit(*templates[s]);
             if (id == 0) { // monitor queue overflow
                 ++ts.rejected;
+                recordReject(s, i, now);
                 tracer.emit(now, TraceCategory::serve, trace_name,
                             "request ", tenants[s].name, "#", i,
                             " rejected at admission: monitor queue "
@@ -313,6 +366,15 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                 return false;
             }
             queued[{s, i}] = id;
+        }
+        if (breaker[s] == Breaker::open) {
+            // Cooled down and admitted: this is the trial request.
+            breaker[s] = Breaker::half_open;
+            trial[s] = static_cast<std::int64_t>(i);
+            ++ts.breaker_probes;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " admitted as half-open breaker trial");
         }
         ++depth[s];
         peak[s] = std::max(peak[s], depth[s]);
@@ -374,6 +436,18 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         if (depth[s] > 0)
             --depth[s];
         consecutive[s] = 0; // a success closes the breaker window
+        retry_prev.erase({s, i});
+        if (breaker[s] == Breaker::half_open &&
+            trial[s] == static_cast<std::int64_t>(i)) {
+            // The trial succeeded: close the breaker, re-admitting
+            // the tenant.
+            breaker[s] = Breaker::closed;
+            trial[s] = -1;
+            ++ts.breaker_readmits;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "tenant ", tenants[s].name,
+                        " breaker closed: half-open trial succeeded");
+        }
         const auto it = queued.find({s, i});
         if (it != queued.end()) {
             SecureTask *task =
@@ -386,6 +460,12 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         Span &span = spans[s][i];
         span.completed = now;
         span.done = true;
+        if (cfg.record_requests) {
+            RequestOutcome &r = recs[s][i];
+            r.finished = now;
+            r.final = StatusCode::ok;
+            r.retries = span.retries;
+        }
         tracer.emit(now, TraceCategory::serve, trace_name,
                     "request ", tenants[s].name, "#", i,
                     " completed, latency ",
@@ -433,19 +513,45 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                      std::uint32_t attempts) -> Tick {
         TenantStats &ts = stats_.tenant(s);
         ++ts.faults_observed;
-        const bool breaker_open =
+        const bool is_trial =
+            trial[s] == static_cast<std::int64_t>(i);
+        const bool tripped =
             cfg.quarantine_threshold > 0 &&
             ++consecutive[s] >= cfg.quarantine_threshold;
         // A failed attempt abandons its generation: its KV blocks go
         // back to the pool (a retry re-allocates from prefill).
         if (kv_pool)
             releaseKv(s, i);
-        if (!breaker_open && retryable(why.code()) &&
-            attempts <= cfg.max_retries) {
+        if (!is_trial && breaker[s] == Breaker::closed && !tripped &&
+            retryable(why.code()) && attempts <= cfg.max_retries) {
             ++ts.retries;
             ++spans[s][i].retries;
-            const Tick retry_at =
-                now + (cfg.retry_backoff << (attempts - 1));
+            Tick delay;
+            if (cfg.retry_jitter) {
+                // Decorrelated jitter: base + U[0, min(cap, 3*prev)
+                // - base), so colliding retries spread out instead
+                // of re-colliding on the deterministic schedule.
+                const Tick base =
+                    cfg.retry_backoff ? cfg.retry_backoff : 1;
+                const Tick cap = base << 6;
+                const auto pit = retry_prev.find({s, i});
+                const Tick prev =
+                    pit == retry_prev.end() ? base : pit->second;
+                const Tick hi = std::min<Tick>(
+                    cap, std::max<Tick>(base + 1, 3 * prev));
+                delay = base +
+                        (hi > base ? retry_rng.next() % (hi - base)
+                                   : 0);
+                retry_prev[{s, i}] = delay;
+            } else {
+                delay = cfg.retry_backoff << (attempts - 1);
+            }
+            const Tick retry_at = now + delay;
+            if (cfg.record_requests) {
+                // A retry restarts the generation from prefill.
+                recs[s][i].prefill_done = 0;
+                recs[s][i].token_ticks.clear();
+            }
             tracer.emit(now, TraceCategory::serve, trace_name,
                         "request ", tenants[s].name, "#", i,
                         " attempt ", attempts, " failed (",
@@ -459,8 +565,28 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         if (depth[s] > 0)
             --depth[s];
         dropFromMonitor(s, i);
-        if (breaker_open && !quarantined[s]) {
-            quarantined[s] = true;
+        retry_prev.erase({s, i});
+        if (cfg.record_requests) {
+            RequestOutcome &r = recs[s][i];
+            r.finished = now;
+            r.final = why.code();
+            r.retries = spans[s][i].retries;
+        }
+        if (is_trial) {
+            // The half-open trial failed: re-trip a full cool-down.
+            trial[s] = -1;
+            breaker[s] = Breaker::open;
+            open_until[s] = now + cfg.quarantine_cooldown;
+            consecutive[s] = 0;
+            ++ts.quarantines;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "tenant ", tenants[s].name,
+                        " breaker re-tripped: half-open trial "
+                        "failed");
+        } else if (tripped && breaker[s] == Breaker::closed) {
+            breaker[s] = Breaker::open;
+            open_until[s] = now + cfg.quarantine_cooldown;
+            consecutive[s] = 0;
             ++ts.quarantines;
         }
         if (kv_pool && tenants[s].decode_tokens > 0) {
@@ -506,6 +632,12 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     hooks.token = [&](std::uint32_t s, std::uint32_t i,
                       std::uint32_t token, Tick now) {
         TenantStats &ts = stats_.tenant(s);
+        if (cfg.record_requests) {
+            if (token == 0)
+                recs[s][i].prefill_done = now;
+            else
+                recs[s][i].token_ticks.push_back(now);
+        }
         if (token == 0) {
             ts.ttft.sample(
                 static_cast<double>(now - tenants[s].arrivals[i]));
@@ -568,7 +700,15 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         rep.timeouts = out.timeouts;
         rep.faults_observed =
             static_cast<std::uint32_t>(ts.faults_observed.value());
-        rep.quarantined = quarantined[s];
+        rep.quarantined = breaker[s] != Breaker::closed;
+        rep.breaker_trips =
+            static_cast<std::uint32_t>(ts.quarantines.value());
+        rep.breaker_probes =
+            static_cast<std::uint32_t>(ts.breaker_probes.value());
+        rep.breaker_readmissions =
+            static_cast<std::uint32_t>(ts.breaker_readmits.value());
+        if (cfg.record_requests)
+            rep.requests = std::move(recs[s]);
         rep.tokens = out.tokens;
         rep.kv_alloc_cycles =
             static_cast<Tick>(ts.kv_alloc_cycles.value());

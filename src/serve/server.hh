@@ -60,6 +60,14 @@ struct TenantSpec
      * ServerConfig::default_deadline (and 0 there disables).
      */
     Tick deadline = 0;
+    /**
+     * Admission-queue-wait deadline in cycles after the request
+     * became dispatchable; 0 inherits ServerConfig::queue_deadline
+     * (and 0 there disables). Bounds only the undispatched wait, so
+     * requests stuck behind a quarantined or wedged tenant time out
+     * instead of waiting unboundedly.
+     */
+    Tick queue_deadline = 0;
 
     /**
      * Generated tokens per request. 0 keeps the classic
@@ -71,6 +79,28 @@ struct TenantSpec
      */
     std::uint32_t decode_tokens = 0;
     DecoderSpec decoder{};
+};
+
+/**
+ * Terminal outcome of one request, recorded when
+ * ServerConfig::record_requests is on. The fleet controller replays
+ * these against eviction cutoffs to decide which completions are
+ * causally valid and which requests migrate.
+ */
+struct RequestOutcome
+{
+    Tick arrival = 0;
+    /** Completion / terminal-failure / rejection tick. */
+    Tick finished = 0;
+    /** StatusCode::ok means the request completed. */
+    StatusCode final = StatusCode::internal;
+    /** True when the request never got past admission. */
+    bool rejected = false;
+    /** Prefill-retirement tick (generating tenants; 0 = none). */
+    Tick prefill_done = 0;
+    /** Retirement tick of each decode step (generating tenants). */
+    std::vector<Tick> token_ticks;
+    std::uint32_t retries = 0;
 };
 
 /** Per-tenant serving outcome, extracted from the tenant's stats. */
@@ -97,8 +127,15 @@ struct TenantReport
     std::uint32_t timeouts = 0;
     /** Failed attempts observed (pre-retry). */
     std::uint32_t faults_observed = 0;
-    /** True when the circuit breaker quarantined the tenant. */
+    /** True when the circuit breaker is open (or probing) at window
+     *  end. */
     bool quarantined = false;
+    /** Times the breaker tripped open (>1 means a probe re-tripped). */
+    std::uint32_t breaker_trips = 0;
+    /** Half-open trial requests admitted after a cool-down. */
+    std::uint32_t breaker_probes = 0;
+    /** Trials that succeeded and closed the breaker again. */
+    std::uint32_t breaker_readmissions = 0;
 
     /** Completed request spans (admission through completion). */
     std::uint32_t spans = 0;
@@ -132,6 +169,9 @@ struct TenantReport
     Tick token_p99 = 0;
     /** Per-token KV allocation cycles charged to this tenant. */
     Tick kv_alloc_cycles = 0;
+
+    /** Per-request outcomes (ServerConfig::record_requests only). */
+    std::vector<RequestOutcome> requests;
 };
 
 /** Whole-window serving outcome. */
@@ -171,15 +211,36 @@ struct ServerConfig
 
     /** Deadline for tenants that do not set one; 0 disables. */
     Tick default_deadline = 0;
+    /** Queue-wait deadline for tenants without one; 0 disables. */
+    Tick queue_deadline = 0;
     /** Retry budget per request for retryable failures. */
     std::uint32_t max_retries = 2;
     /** Base retry backoff; attempt k waits backoff << (k-1). */
     Tick retry_backoff = 500;
     /**
+     * Decorrelated-jitter retry backoff: attempt k waits
+     * base + rng % (min(cap, 3 * prev) - base) with cap = base << 6,
+     * drawn from a server-local Rng seeded with @c jitter_seed so
+     * sweeps stay byte-identical at any job count. Off (default) the
+     * legacy deterministic base << (k-1) schedule applies.
+     */
+    bool retry_jitter = false;
+    /** Seed for the retry-jitter Rng (ignored without jitter). */
+    std::uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+    /**
      * Consecutive failed attempts (across a tenant's requests)
      * before the circuit breaker quarantines it. 0 disables.
      */
     std::uint32_t quarantine_threshold = 0;
+    /**
+     * Cycles an open breaker cools down before admitting one
+     * half-open trial request: the trial's success closes the
+     * breaker (re-admission), its failure re-trips a full cool-down.
+     * 0 keeps the legacy quarantine-forever behaviour.
+     */
+    Tick quarantine_cooldown = 0;
+    /** Record per-request outcomes into TenantReport::requests. */
+    bool record_requests = false;
 
     /**
      * Serve per-token KV blocks from the caching pool (the fast

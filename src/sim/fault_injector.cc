@@ -27,6 +27,14 @@ faultSiteName(FaultSite site)
         return "task_hang";
       case FaultSite::protection_check:
         return "protection_check";
+      case FaultSite::soc_crash:
+        return "soc_crash";
+      case FaultSite::soc_hang:
+        return "soc_hang";
+      case FaultSite::soc_degrade:
+        return "soc_degrade";
+      case FaultSite::fleet_migration:
+        return "fleet_migration";
     }
     return "?";
 }

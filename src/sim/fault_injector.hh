@@ -64,9 +64,25 @@ enum class FaultSite : std::uint8_t
      *  request (the generic ProtectionBackend probe; the guarder
      *  keeps its historical guarder_check site). */
     protection_check,
+    /** Fleet: the whole SoC fail-stops (heartbeats cease). Probed by
+     *  the fleet controller once per heartbeat interval, so a
+     *  probability trigger here is a per-heartbeat kill rate. */
+    soc_crash,
+    /** Fleet: the SoC wedges — heartbeats keep answering but no
+     *  request progresses, so detection waits on the progress
+     *  watchdog instead of the heartbeat deadline. */
+    soc_hang,
+    /** Fleet: the SoC is cordoned (thermal/ECC pressure): it drains
+     *  its in-flight work but accepts no migrated tenants and counts
+     *  against fleet capacity. */
+    soc_degrade,
+    /** Fleet: one tenant-migration handshake (re-attestation +
+     *  context re-provisioning on the target) fails. Probed once per
+     *  migration attempt by the fleet controller. */
+    fleet_migration,
 };
 
-constexpr std::size_t fault_site_count = 10;
+constexpr std::size_t fault_site_count = 14;
 
 const char *faultSiteName(FaultSite site);
 
