@@ -21,6 +21,8 @@
  *   failover=0|1                      (1)
  *   decode=0|1  every 4th+1 tenant generates tokens (1)
  *   secure=0|1  every 4th tenant secure (1)
+ *   attest=0|1  measured-boot attestation at admission, plus a
+ *         re-attestation of the target SoC before each migration (0)
  *   scale=<divisor for model dims>    (256)
  *   seed=<rng seed>                   (1)
  *   stats=0|1  dump the fleet stat group (0)
@@ -78,6 +80,7 @@ main(int argc, char **argv)
     const bool failover = cfg.getBool("failover", true);
     const bool decode = cfg.getBool("decode", true);
     const bool secure = cfg.getBool("secure", true);
+    const bool attest = cfg.getBool("attest", false);
     const auto scale =
         static_cast<std::uint32_t>(cfg.getInt("scale", 256));
     const auto seed =
@@ -132,6 +135,7 @@ main(int argc, char **argv)
     fc.server.latency_hist_buckets = 2048;
     fc.server.max_retries = 2;
     fc.server.retry_jitter = true;
+    fc.server.attestation = attest;
     fc.heartbeat_interval =
         std::max<Tick>(1, static_cast<Tick>(service / 8.0));
     fc.horizon = last_arrival + static_cast<Tick>(2.0 * service);
@@ -198,7 +202,7 @@ main(int argc, char **argv)
         "evictions %u, migrations %u (failures %u), breaker "
         "trips/probes/readmits %u/%u/%u\n"
         "re-prefills %llu, lost tokens %llu, migration cycles "
-        "%llu\n"
+        "%llu, re-attests %u\n"
         "latency p50/p95/p99 %llu/%llu/%llu, ttft p50/p99 "
         "%llu/%llu, makespan %llu\n",
         res.availability,
@@ -212,6 +216,7 @@ main(int argc, char **argv)
         static_cast<unsigned long long>(res.re_prefills),
         static_cast<unsigned long long>(res.lost_tokens),
         static_cast<unsigned long long>(res.migration_cycles),
+        res.re_attests,
         static_cast<unsigned long long>(res.p50),
         static_cast<unsigned long long>(res.p95),
         static_cast<unsigned long long>(res.p99),

@@ -24,6 +24,11 @@
  *   capacity=<admission queue depth>  (8)
  *   scale=<divisor for M dims>        (16)
  *   seed=<rng seed>                   (1)
+ *   attest=0|1  secure tenants must pass a measured-boot
+ *         attestation handshake at admission (guarder only) (0)
+ *   corrupt_boot=<stage>  tamper a boot stage before bring-up:
+ *         rom-loader | trusted-firmware | teeos+npu-monitor (off)
+ *   corrupt_byte=<n>  image byte the tamper flips (0)
  *   coarse_interval=<segments>        (5)
  *   stats=0|1  dump the full stat group (0)
  *   stats_json=<file>  JSON stat dump   (off)
@@ -129,12 +134,19 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cfg.getInt("scale", 16));
     const auto seed =
         static_cast<std::uint64_t>(cfg.getInt("seed", 1));
+    const bool attest = cfg.getBool("attest", false);
+    if (attest && !guarded) {
+        std::fprintf(stderr, "attestation quotes come from the NPU "
+                             "Monitor (protection=guarder)\n");
+        return 2;
+    }
 
     ServerConfig server_cfg;
     server_cfg.policy = policyByName(isolation);
     server_cfg.num_cores = ncores;
     server_cfg.coarse_interval = static_cast<std::uint32_t>(
         cfg.getInt("coarse_interval", 5));
+    server_cfg.attestation = attest;
 
     // The guarder serves on the full sNPU system (with the monitor);
     // other backends serve on the system they belong to.
@@ -144,7 +156,15 @@ main(int argc, char **argv)
                                  ? SystemKind::trustzone_npu
                                  : SystemKind::normal_npu);
     soc_params.protection = protection;
+    soc_params.boot_corrupt_stage = cfg.getString("corrupt_boot", "");
+    soc_params.boot_corrupt_byte = static_cast<std::uint32_t>(
+        cfg.getInt("corrupt_byte", 0));
     Soc soc(soc_params);
+    if (soc.hasMonitor() && !soc.bootReport().ok) {
+        std::printf("measured boot HALTED at stage '%s' — the "
+                    "measurement register diverged\n",
+                    soc.bootReport().failed_stage.c_str());
+    }
 
     // Tenants cycle through the model zoo; the first `secure` of
     // them run confidential models through the NPU Monitor. The
@@ -246,6 +266,22 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(res.flush_overhead),
                 static_cast<unsigned long long>(
                     res.monitor_overhead));
+
+    if (attest) {
+        std::printf("\n%-14s %8s %7s %7s %10s\n", "tenant",
+                    "attested", "hshake", "denied", "cycles");
+        for (const TenantReport &rep : res.tenants) {
+            std::printf("%-14s %8s %7u %7u %10llu\n",
+                        rep.name.c_str(),
+                        rep.attested ? "yes" : "no",
+                        rep.attest_handshakes, rep.attest_denied,
+                        static_cast<unsigned long long>(
+                            rep.attest_cycles));
+        }
+        std::printf("attestation overhead %llu cycles total\n",
+                    static_cast<unsigned long long>(
+                        res.attest_overhead));
+    }
 
     if (cfg.getBool("spans", false)) {
         std::printf("\n%-14s %6s %12s %12s %9s %8s\n", "tenant",

@@ -1,9 +1,56 @@
 #include "core/soc.hh"
 
+#include "core/timing_cache.hh"
 #include "sim/logging.hh"
 
 namespace snpu
 {
+
+BootChain
+makeBootChain(const SocParams &params)
+{
+    // Image bytes come from an LCG seeded by the config fingerprint
+    // (corrupt knobs excluded from the fingerprint, so the tampered
+    // chain starts from the same golden images).
+    std::uint64_t state = socConfigFingerprint(params);
+    struct StageSpec
+    {
+        const char *name;
+        std::size_t bytes;
+    };
+    static constexpr StageSpec stages[] = {
+        {"rom-loader", 1u << 10},
+        {"trusted-firmware", 4u << 10},
+        {"teeos+npu-monitor", 8u << 10},
+    };
+    BootChain chain;
+    for (const StageSpec &s : stages) {
+        std::vector<std::uint8_t> image(s.bytes);
+        for (auto &b : image) {
+            state = state * 6364136223846793005ULL +
+                    1442695040888963407ULL;
+            b = static_cast<std::uint8_t>(state >> 56);
+        }
+        chain.addStage(s.name, std::move(image));
+    }
+    if (!params.boot_corrupt_stage.empty() &&
+        !chain.corruptStage(params.boot_corrupt_stage,
+                            params.boot_corrupt_byte)) {
+        fatal("unknown boot stage '", params.boot_corrupt_stage,
+              "' (stages: rom-loader, trusted-firmware, "
+              "teeos+npu-monitor)");
+    }
+    return chain;
+}
+
+AesKey
+monitorSealedKey()
+{
+    AesKey sealed_key{};
+    for (std::size_t i = 0; i < sealed_key.size(); ++i)
+        sealed_key[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+    return sealed_key;
+}
 
 Soc::Soc(SocParams params)
     : cfg(params), stat_group("soc")
@@ -92,15 +139,21 @@ Soc::Soc(SocParams params)
         }
     }
 
-    // The Monitor only exists on the sNPU system.
+    // The Monitor only exists on the sNPU system. Measured boot runs
+    // first: the chain hash-extends each firmware stage into the
+    // measurement register the monitor will later quote. A tampered
+    // stage halts secure boot but not construction — the compromised
+    // platform must be simulatable so attestation has something to
+    // catch at admission.
     if (cfg.system == SystemKind::snpu) {
         if (guarders.empty())
             fatal("sNPU system requires guarder access control");
-        AesKey sealed_key{};
-        for (std::size_t i = 0; i < sealed_key.size(); ++i)
-            sealed_key[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+        const BootChain chain = makeBootChain(cfg);
+        golden_mr = chain.goldenMeasurement();
+        boot_report = chain.boot();
         npu_monitor = std::make_unique<NpuMonitor>(
-            stat_group, *mem_system, *device, guarders, sealed_key);
+            stat_group, *mem_system, *device, guarders,
+            monitorSealedKey(), boot_report.measurement);
     }
 }
 

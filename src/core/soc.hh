@@ -23,9 +23,29 @@
 #include "sim/stats.hh"
 #include "sim/trace.hh"
 #include "tee/monitor/npu_monitor.hh"
+#include "tee/secure_boot.hh"
 
 namespace snpu
 {
+
+/**
+ * The measured-boot chain of a SoC built from @p params: synthetic
+ * but deterministic firmware images (rom-loader, trusted-firmware,
+ * teeos+npu-monitor), a pure function of the SoC configuration so
+ * every SoC with the same params boots to the same golden
+ * measurement — which is what lets a fleet controller hold one
+ * reference value for a homogeneous fleet. Applies the
+ * SocParams::boot_corrupt_stage tamper knob before returning.
+ */
+BootChain makeBootChain(const SocParams &params);
+
+/**
+ * The sealed key every simulated NPU Monitor holds (a per-platform
+ * fuse constant on real silicon). Shared between Soc bring-up and
+ * the fleet controller's re-attestation service, which must derive
+ * the same attest key as the monitors it challenges.
+ */
+AesKey monitorSealedKey();
 
 /** The system-on-chip. */
 class Soc
@@ -61,6 +81,22 @@ class Soc
     NpuMonitor &monitor();
 
     bool hasMonitor() const { return npu_monitor != nullptr; }
+
+    /**
+     * The measured-boot outcome of bring-up (sNPU system only;
+     * default-constructed otherwise). Boot runs the chain from
+     * makeBootChain(params()): a tampered stage halts secure boot
+     * and leaves a diverged measurement register — the SoC still
+     * constructs (the simulation must be able to model a compromised
+     * platform), but attestation at serving admission denies it.
+     */
+    const BootReport &bootReport() const { return boot_report; }
+
+    /**
+     * The measurement register a clean boot of this configuration
+     * produces (golden reference for attestation verifiers).
+     */
+    const Digest &goldenBootMeasurement() const { return golden_mr; }
 
     /**
      * Driver-visible world control. On the Normal NPU there is no
@@ -112,6 +148,8 @@ class Soc
     std::vector<NpuGuarder *> guarders; // narrowed aliases (monitor)
     std::unique_ptr<NpuDevice> device;
     std::unique_ptr<NpuMonitor> npu_monitor;
+    BootReport boot_report;
+    Digest golden_mr{};
     TraceSink *trace_sink = nullptr;
     FaultInjector *fault_injector = nullptr;
 };

@@ -74,6 +74,20 @@ struct SocParams
     /** Skip functional byte movement for long sweeps. */
     bool timing_only = true;
 
+    /**
+     * Tamper knob for measured-boot experiments: when non-empty,
+     * the named boot stage's image takes a one-byte corruption
+     * (XOR 0xff at boot_corrupt_byte) before the chain runs during
+     * Soc bring-up. Stage names: "rom-loader", "trusted-firmware",
+     * "teeos+npu-monitor". The SoC still comes up (the monitor runs
+     * the tampered firmware), but its measurement register diverges
+     * from golden, so attestation denies every tenant at admission.
+     * Excluded from socConfigFingerprint: a denied tenant executes
+     * nothing, and an attestation-off run is timing-identical.
+     */
+    std::string boot_corrupt_stage;
+    std::uint32_t boot_corrupt_byte = 0;
+
     /** Derived values. */
     std::uint32_t spadRows() const
     {

@@ -10,6 +10,7 @@
 #include "core/soc.hh"
 #include "sim/hashing.hh"
 #include "sim/logging.hh"
+#include "tee/attestation.hh"
 
 namespace snpu
 {
@@ -310,17 +311,66 @@ FleetController::run(const std::vector<FleetTenantSpec> &tenants)
     Tick breaker_until = 0;
     std::uint32_t consecutive_mig = 0;
 
-    // One migration handshake (re-attestation), with bounded
-    // exponential-backoff retries against the fleet_migration site.
-    // Returns the handshake completion tick, or 0 on failure.
+    // Target re-attestation (FleetConfig::server.attestation): the
+    // controller challenges the migration target's monitor before
+    // re-provisioning a tenant there, exactly like a tenant at
+    // admission but quoting the bare boot MR (the platform, not a
+    // model, is being re-checked). A homogeneous fleet boots every
+    // SoC from the same chain, so the measured MR and the golden
+    // reference are computed once; verification is still a real
+    // MAC-checked quote per migration, with a fresh nonce each time
+    // so the verifier's replay cache never trips on legitimate
+    // re-attestations.
+    const bool attest_on = cfg.server.attestation;
+    Tick re_attest_cycles = 0;
+    Digest fleet_boot_mr{};
+    std::vector<std::uint8_t> attest_key;
+    std::unique_ptr<AttestVerifier> attest_verifier;
+    std::uint64_t attest_serial = 0;
+    if (attest_on) {
+        const BootChain chain = makeBootChain(cfg.soc);
+        fleet_boot_mr = chain.boot().measurement;
+        attest_key = deriveAttestKey(monitorSealedKey());
+        attest_verifier = std::make_unique<AttestVerifier>(
+            attest_key, chain.goldenMeasurement());
+        AttestTiming timing;
+        timing.mac_bytes_per_cycle =
+            cfg.soc.crypto_mac_bytes_per_cycle;
+        re_attest_cycles = timing.handshakeCycles(0);
+    }
+    auto reAttest = [&](Tick now) -> bool {
+        if (!attest_on)
+            return true;
+        // An injected attest fault models the quote exchange timing
+        // out on the controller's network path to the target.
+        if (mig_inj &&
+            mig_inj->shouldInject(FaultSite::attest, now)) {
+            return false;
+        }
+        const AttestNonce nonce = attestNonceFromSeed(
+            hashMix(cfg.server.attest_seed, ++attest_serial));
+        const AttestQuote quote =
+            makeQuote(attest_key, fleet_boot_mr, nonce);
+        if (!attest_verifier->verify(quote, nonce).isOk())
+            return false;
+        fs.migration_cycles += static_cast<double>(re_attest_cycles);
+        ++fs.re_attests;
+        return true;
+    };
+
+    // One migration handshake (target re-attestation + session
+    // re-establishment), with bounded exponential-backoff retries
+    // against the fleet_migration and attest sites. Returns the
+    // handshake completion tick, or 0 on failure.
     auto handshake = [&](Tick start) -> Tick {
         if (breaker == Breaker::open) {
             if (start < breaker_until)
                 return 0; // fail fast while cooling down
             // Half-open: one trial re-attestation.
             ++fs.breaker_probes;
-            if (mig_inj && mig_inj->shouldInject(
-                               FaultSite::fleet_migration, start)) {
+            if ((mig_inj && mig_inj->shouldInject(
+                                FaultSite::fleet_migration, start)) ||
+                !reAttest(start)) {
                 ++fs.migration_failures;
                 ++fs.breaker_trips;
                 breaker_until = start + cfg.breaker_cooldown;
@@ -329,15 +379,16 @@ FleetController::run(const std::vector<FleetTenantSpec> &tenants)
             breaker = Breaker::closed;
             consecutive_mig = 0;
             ++fs.breaker_readmits;
-            return start;
+            return start + re_attest_cycles;
         }
         Tick t = start;
         for (std::uint32_t a = 1; a <= cfg.migration_retries + 1;
              ++a) {
-            if (!mig_inj || !mig_inj->shouldInject(
-                                FaultSite::fleet_migration, t)) {
+            if ((!mig_inj || !mig_inj->shouldInject(
+                                 FaultSite::fleet_migration, t)) &&
+                reAttest(t)) {
                 consecutive_mig = 0;
-                return t;
+                return t + re_attest_cycles;
             }
             ++fs.migration_failures;
             if (cfg.breaker_threshold > 0 &&
@@ -618,6 +669,8 @@ FleetController::run(const std::vector<FleetTenantSpec> &tenants)
         static_cast<std::uint32_t>(fs.breaker_probes.value());
     result.breaker_readmissions =
         static_cast<std::uint32_t>(fs.breaker_readmits.value());
+    result.re_attests =
+        static_cast<std::uint32_t>(fs.re_attests.value());
     result.re_prefills =
         static_cast<std::uint64_t>(fs.re_prefills.value());
     result.lost_tokens =

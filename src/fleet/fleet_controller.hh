@@ -188,6 +188,9 @@ struct FleetResult : ExecOutcome
     std::uint64_t re_prefills = 0;
     std::uint64_t lost_tokens = 0;
     Tick migration_cycles = 0;
+    /** Target-SoC re-attestations performed before migrating
+     *  (FleetConfig::server.attestation only). */
+    std::uint32_t re_attests = 0;
 
     /** Last causally-valid completion tick fleet-wide. */
     Tick makespan = 0;

@@ -20,6 +20,8 @@ FleetStats::FleetStats(double latency_hi,
                          "migration handshake attempts failed"),
       migration_cycles(group, "migration_cycles",
                        "secure-session re-establishment cycles"),
+      re_attests(group, "re_attests",
+                 "target-SoC re-attestations before migration"),
       re_prefills(group, "re_prefills",
                   "mid-generation requests re-running prefill"),
       lost_tokens(group, "lost_tokens",

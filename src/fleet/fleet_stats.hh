@@ -52,6 +52,8 @@ struct FleetStats
     stats::Scalar migration_failures;
     /** Secure-session re-establishment cycles paid by migrations. */
     stats::Scalar migration_cycles;
+    /** Target-SoC re-attestations performed before migrating. */
+    stats::Scalar re_attests;
     /** Mid-generation requests that re-ran prefill after a kill. */
     stats::Scalar re_prefills;
     /** Decode tokens generated on an evicted SoC and lost. */

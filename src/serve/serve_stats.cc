@@ -5,7 +5,8 @@ namespace snpu
 
 TenantStats::TenantStats(stats::Group &group,
                          const std::string &tenant, double latency_hi,
-                         std::size_t latency_buckets, double token_hi)
+                         std::size_t latency_buckets, double token_hi,
+                         bool attest)
     : completed(group, "serve_" + tenant + "_completed",
                 "requests served to completion"),
       rejected(group, "serve_" + tenant + "_rejected",
@@ -42,14 +43,27 @@ TenantStats::TenantStats(stats::Group &group,
       token_latency(group, "serve_" + tenant + "_token_latency",
                     "inter-token latency (cycles)", 0.0, token_hi,
                     latency_buckets)
-{}
+{
+    if (attest) {
+        attest_cycles = std::make_unique<stats::Scalar>(
+            group, "serve_" + tenant + "_attest_cycles",
+            "attestation handshake cycles charged");
+        attest_handshakes = std::make_unique<stats::Scalar>(
+            group, "serve_" + tenant + "_attest_handshakes",
+            "attestation handshake attempts paid");
+        attest_denied = std::make_unique<stats::Scalar>(
+            group, "serve_" + tenant + "_attest_denied",
+            "requests denied by failed attestation");
+    }
+}
 
 TenantStats &
 ServeStats::add(const std::string &tenant, double latency_hi,
-                std::size_t latency_buckets, double token_hi)
+                std::size_t latency_buckets, double token_hi,
+                bool attest)
 {
     tenants_.emplace_back(group, tenant, latency_hi, latency_buckets,
-                          token_hi);
+                          token_hi, attest);
     return tenants_.back();
 }
 

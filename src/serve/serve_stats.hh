@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "sim/stats.hh"
@@ -23,9 +24,10 @@ namespace snpu
 /** The stat family of one tenant. */
 struct TenantStats
 {
+    /** @p attest registers the attestation family (see below). */
     TenantStats(stats::Group &group, const std::string &tenant,
                 double latency_hi, std::size_t latency_buckets,
-                double token_hi);
+                double token_hi, bool attest = false);
 
     stats::Scalar completed;
     stats::Scalar rejected;
@@ -57,6 +59,20 @@ struct TenantStats
     stats::Histogram ttft;
     /** Inter-token latency: gap between decode-step completions. */
     stats::Histogram token_latency;
+
+    /**
+     * Attestation family, registered only when the serving engine
+     * enables the admission handshake: a stats::Scalar registers
+     * itself with the group at construction, so gating must happen
+     * at the member level to keep an attestation-off registry dump
+     * byte-identical to builds that predate attestation.
+     */
+    std::unique_ptr<stats::Scalar> attest_cycles;
+    /** Handshake attempts paid (retries after an injected timeout
+     *  re-run the exchange). */
+    std::unique_ptr<stats::Scalar> attest_handshakes;
+    /** Requests denied at admission by a failed attestation. */
+    std::unique_ptr<stats::Scalar> attest_denied;
 };
 
 /**
@@ -72,7 +88,8 @@ class ServeStats
 
     /** Create the stat family for a new tenant. */
     TenantStats &add(const std::string &tenant, double latency_hi,
-                     std::size_t latency_buckets, double token_hi);
+                     std::size_t latency_buckets, double token_hi,
+                     bool attest = false);
 
     TenantStats &tenant(std::size_t i) { return tenants_.at(i); }
     const TenantStats &tenant(std::size_t i) const

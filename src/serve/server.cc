@@ -11,7 +11,9 @@
 #include "core/timing_cache.hh"
 #include "sim/hashing.hh"
 #include "sim/logging.hh"
+#include "tee/attestation.hh"
 #include "tee/monitor/npu_monitor.hh"
+#include "tee/secure_boot.hh"
 #include "workload/layer_timing.hh"
 
 namespace snpu
@@ -115,7 +117,8 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     const auto ntenants = static_cast<std::uint32_t>(tenants.size());
     for (const TenantSpec &t : tenants)
         stats_.add(t.name, cfg.latency_hist_max,
-                   cfg.latency_hist_buckets, cfg.token_hist_max);
+                   cfg.latency_hist_buckets, cfg.token_hist_max,
+                   cfg.attestation);
 
     // The per-token secure-memory path. Under the NPU Monitor the KV
     // pool is the monitor's own (secure arena); otherwise a
@@ -221,6 +224,61 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         }
     }
 
+    // Measured-boot attestation at admission. The quote exchange is
+    // functional — real HMAC over the monitor's real measurement
+    // register, verified against the golden measurement recomputed
+    // tenant-side — and its outcome is fixed before serving starts:
+    // a platform's integrity does not change mid-window. What stays
+    // on the serving timeline is the cost (the handshake's SHA
+    // cycles, charged at the tenant's first secure dispatch) and the
+    // failure modes (denial at admission; injected timeouts through
+    // FaultSite::attest at dispatch_check).
+    enum class Attest : std::uint8_t
+    {
+        off,          //!< normal world or attestation disabled
+        pending,      //!< quote verified; handshake not yet charged
+        established,  //!< session key held, handshake paid
+        denied,       //!< quote rejected; admission refuses
+    };
+    std::vector<Attest> attest(ntenants, Attest::off);
+    std::vector<Tick> attest_cost(ntenants, 0);
+    std::vector<Digest> session_keys(ntenants);
+    if (cfg.attestation && any_secure) {
+        AttestTiming timing;
+        timing.mac_bytes_per_cycle =
+            soc.params().crypto_mac_bytes_per_cycle;
+        for (std::uint32_t s = 0; s < ntenants; ++s) {
+            if (tenants[s].task.world != World::secure)
+                continue;
+            // The model image the monitor attests is the encrypted
+            // bundle it will verify at launch; the tenant knows the
+            // same bytes (it provisioned them), so both sides can
+            // name the digest independently.
+            const Digest model_digest =
+                Sha256::hash(templates[s]->encrypted_model);
+            const Digest golden = BootChain::extend(
+                soc.goldenBootMeasurement(), model_digest);
+            AttestVerifier verifier(soc.monitor().attestKey(),
+                                    golden);
+            const AttestNonce nonce = attestNonceFromSeed(
+                hashMix(cfg.attest_seed, std::uint64_t(s)));
+            const AttestQuote quote =
+                soc.monitor().attestQuote(model_digest, nonce);
+            const Status st = verifier.verify(quote, nonce);
+            attest_cost[s] = timing.handshakeCycles(
+                templates[s]->encrypted_model.size());
+            if (st.isOk()) {
+                attest[s] = Attest::pending;
+                session_keys[s] = verifier.sessionKey();
+            } else {
+                attest[s] = Attest::denied;
+                tracer.emit(0, TraceCategory::serve, trace_name,
+                            "tenant ", tenants[s].name,
+                            " attestation denied: ", st.message());
+            }
+        }
+    }
+
     // Fault injection is opt-in: without it no injector exists and
     // every hook site in the stack stays a null-pointer check.
     if (cfg.fault_injection) {
@@ -264,12 +322,12 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         }
     }
     auto recordReject = [&](std::uint32_t s, std::uint32_t i,
-                            Tick now) {
+                            Tick now, StatusCode code) {
         if (!cfg.record_requests)
             return;
         RequestOutcome &r = recs[s][i];
         r.rejected = true;
-        r.final = StatusCode::resource_exhausted;
+        r.final = code;
         r.finished = now;
     };
 
@@ -328,6 +386,20 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
     hooks.admit = [&](std::uint32_t s, std::uint32_t i, Tick now) {
         TenantStats &ts = stats_.tenant(s);
         ts.queue_depth.sample(depth[s]);
+        if (attest[s] == Attest::denied) {
+            // The platform failed attestation: every request of the
+            // tenant is refused before it can spend NPU, monitor or
+            // queue resources. Terminal, not retryable — the
+            // measurement cannot improve by asking again.
+            ++ts.rejected;
+            if (ts.attest_denied)
+                ++*ts.attest_denied;
+            recordReject(s, i, now, StatusCode::verification_failed);
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " rejected at admission: attestation denied");
+            return false;
+        }
         if (breaker[s] != Breaker::closed) {
             // A cooled open breaker lets this arrival become the
             // half-open trial (decided below, once it clears the
@@ -338,7 +410,8 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                                 now >= open_until[s];
             if (!cooled) {
                 ++ts.rejected;
-                recordReject(s, i, now);
+                recordReject(s, i, now,
+                             StatusCode::resource_exhausted);
                 tracer.emit(now, TraceCategory::serve, trace_name,
                             "request ", tenants[s].name, "#", i,
                             " rejected at admission: quarantined");
@@ -347,7 +420,7 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         }
         if (depth[s] >= tenants[s].queue_capacity) {
             ++ts.rejected;
-            recordReject(s, i, now);
+            recordReject(s, i, now, StatusCode::resource_exhausted);
             tracer.emit(now, TraceCategory::serve, trace_name,
                         "request ", tenants[s].name, "#", i,
                         " rejected at admission: queue full");
@@ -358,7 +431,8 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
                 soc.monitor().submit(*templates[s]);
             if (id == 0) { // monitor queue overflow
                 ++ts.rejected;
-                recordReject(s, i, now);
+                recordReject(s, i, now,
+                             StatusCode::resource_exhausted);
                 tracer.emit(now, TraceCategory::serve, trace_name,
                             "request ", tenants[s].name, "#", i,
                             " rejected at admission: monitor queue "
@@ -417,6 +491,25 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         SecureTask *task = soc.monitor().queue().find(it->second);
         if (task != nullptr)
             task->state = SecureTaskState::loaded;
+        if (attest[s] == Attest::pending) {
+            // The tenant's first secure dispatch carries the
+            // attestation handshake on the dispatching tile's
+            // clock. The state stays pending until dispatch_check
+            // passes: an injected quote timeout there fails the
+            // attempt, and the retry re-runs (re-pays) the
+            // exchange.
+            TenantStats &ts = stats_.tenant(s);
+            if (ts.attest_cycles)
+                *ts.attest_cycles +=
+                    static_cast<double>(attest_cost[s]);
+            if (ts.attest_handshakes)
+                ++*ts.attest_handshakes;
+            cost += attest_cost[s];
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "request ", tenants[s].name, "#", i,
+                        " carries attestation handshake, ",
+                        attest_cost[s], " cycles");
+        }
         const Tick monitor_cost = monitorLaunchCost(*templates[s]);
         stats_.tenant(s).monitor_cycles +=
             static_cast<double>(monitor_cost);
@@ -483,6 +576,21 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
             Status why = dit->second;
             kv_defer.erase(dit);
             return why;
+        }
+        if (attest[s] == Attest::pending) {
+            if (injector &&
+                injector->shouldInject(FaultSite::attest, now)) {
+                // A lost challenge or quote: retryable (says nothing
+                // about platform integrity), and the retry pays the
+                // handshake again because the exchange restarts.
+                return Status::faultInjected(
+                    "attestation: quote exchange timed out "
+                    "(injected)");
+            }
+            attest[s] = Attest::established;
+            tracer.emit(now, TraceCategory::serve, trace_name,
+                        "tenant ", tenants[s].name,
+                        " attested: session key established");
         }
         // The serving path models the monitor launch as a cost, so
         // the monitor's own fault sites are probed here, where a
@@ -695,6 +803,23 @@ SnpuServer::serve(const std::vector<TenantSpec> &tenants)
         rep.monitor_cycles =
             static_cast<Tick>(ts.monitor_cycles.value());
         rep.peak_queue_depth = peak[s];
+        if (cfg.attestation) {
+            rep.attest_cycles =
+                ts.attest_cycles
+                    ? static_cast<Tick>(ts.attest_cycles->value())
+                    : 0;
+            rep.attest_handshakes =
+                ts.attest_handshakes
+                    ? static_cast<std::uint32_t>(
+                          ts.attest_handshakes->value())
+                    : 0;
+            rep.attest_denied =
+                ts.attest_denied ? static_cast<std::uint32_t>(
+                                       ts.attest_denied->value())
+                                 : 0;
+            rep.attested = attest[s] == Attest::established;
+            result.attest_overhead += rep.attest_cycles;
+        }
         rep.failed = out.failed;
         rep.retries = out.retries;
         rep.timeouts = out.timeouts;

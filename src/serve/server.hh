@@ -119,6 +119,14 @@ struct TenantReport
     /** Modeled NPU-Monitor cycles charged to this tenant. */
     Tick monitor_cycles = 0;
     std::uint32_t peak_queue_depth = 0;
+    /** Attestation handshake cycles charged (attestation on). */
+    Tick attest_cycles = 0;
+    /** Handshake attempts paid (injected timeouts re-run it). */
+    std::uint32_t attest_handshakes = 0;
+    /** Requests denied at admission by a failed attestation. */
+    std::uint32_t attest_denied = 0;
+    /** True once this tenant holds a verified session key. */
+    bool attested = false;
     /** Requests failed terminally (after any retries). */
     std::uint32_t failed = 0;
     /** Retry attempts granted by the recovery policy. */
@@ -187,6 +195,8 @@ struct ServeResult : ExecOutcome
     Tick recovery_overhead = 0;
     /** Per-token KV allocation cycles across all decode steps. */
     Tick token_alloc_overhead = 0;
+    /** Attestation handshake cycles across all secure tenants. */
+    Tick attest_overhead = 0;
     std::vector<TenantReport> tenants;
 };
 
@@ -241,6 +251,26 @@ struct ServerConfig
     Tick quarantine_cooldown = 0;
     /** Record per-request outcomes into TenantReport::requests. */
     bool record_requests = false;
+
+    /**
+     * Measured-boot attestation at admission. Each secure tenant
+     * challenges the NPU Monitor with a fresh nonce before its
+     * first request runs: the monitor quotes the boot-chain
+     * measurement register extended with the tenant's model image,
+     * the tenant verifies the quote against the golden measurement,
+     * and on success both sides hold a session key. The handshake
+     * is charged in simulated cycles (SHA-256 timing model) on the
+     * tenant's first secure dispatch; a diverged measurement (a
+     * tampered boot stage or model) denies every request of the
+     * tenant at admission with StatusCode::verification_failed; an
+     * injected FaultSite::attest timeout is retryable through the
+     * normal recovery machinery and re-pays the handshake.
+     */
+    bool attestation = false;
+    /** Seed deriving each tenant's deterministic challenge nonce
+     *  (mixed with the tenant slot), so sweeps stay byte-identical
+     *  at any job count. */
+    std::uint64_t attest_seed = 0xa77e57a7ULL;
 
     /**
      * Serve per-token KV blocks from the caching pool (the fast

@@ -35,6 +35,8 @@ faultSiteName(FaultSite site)
         return "soc_degrade";
       case FaultSite::fleet_migration:
         return "fleet_migration";
+      case FaultSite::attest:
+        return "attest";
     }
     return "?";
 }

@@ -80,9 +80,16 @@ enum class FaultSite : std::uint8_t
      *  context re-provisioning on the target) fails. Probed once per
      *  migration attempt by the fleet controller. */
     fleet_migration,
+    /** Attestation: one quote exchange times out (the challenge or
+     *  the quote is lost). Probed per handshake attempt — at a
+     *  tenant's first secure dispatch by the serving engine, and per
+     *  target re-attestation by the fleet controller. Retryable:
+     *  unlike a measurement mismatch, a lost message says nothing
+     *  about the platform's integrity. */
+    attest,
 };
 
-constexpr std::size_t fault_site_count = 14;
+constexpr std::size_t fault_site_count = 15;
 
 const char *faultSiteName(FaultSite site);
 

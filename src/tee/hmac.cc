@@ -15,7 +15,10 @@ hmacSha256(const std::vector<std::uint8_t> &key,
     if (key.size() > block) {
         const Digest kd = Sha256::hash(key);
         std::memcpy(k0, kd.data(), kd.size());
-    } else {
+    } else if (!key.empty()) {
+        // memcpy with a null source is UB even for zero bytes, and
+        // an empty vector's data() may be null: RFC 2104 defines the
+        // empty key as K0 = all zeros, which k0 already is.
         std::memcpy(k0, key.data(), key.size());
     }
 
@@ -28,7 +31,8 @@ hmacSha256(const std::vector<std::uint8_t> &key,
 
     Sha256 inner;
     inner.update(ipad, block);
-    inner.update(data.data(), data.size());
+    if (!data.empty()) // empty message: data() may be null
+        inner.update(data.data(), data.size());
     const Digest inner_digest = inner.finish();
 
     Sha256 outer;
@@ -40,6 +44,15 @@ hmacSha256(const std::vector<std::uint8_t> &key,
 bool
 digestEqual(const Digest &a, const Digest &b)
 {
+    // Constant-time contract: every byte is XOR-folded into the
+    // accumulator with no data-dependent branch or early exit, so
+    // the comparison time is independent of where (or whether) the
+    // digests differ — a mismatch in the last byte costs exactly as
+    // much as one in the first. Digest is a fixed-size array; the
+    // static_assert pins both operands to the same size so the loop
+    // bound can never silently under-compare.
+    static_assert(std::tuple_size<Digest>::value == 32,
+                  "digestEqual compares full SHA-256 digests");
     std::uint8_t diff = 0;
     for (std::size_t i = 0; i < a.size(); ++i)
         diff |= static_cast<std::uint8_t>(a[i] ^ b[i]);

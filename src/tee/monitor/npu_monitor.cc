@@ -1,6 +1,7 @@
 #include "tee/monitor/npu_monitor.hh"
 
 #include "sim/logging.hh"
+#include "tee/secure_boot.hh"
 
 namespace snpu
 {
@@ -8,7 +9,7 @@ namespace snpu
 NpuMonitor::NpuMonitor(stats::Group &stats, MemSystem &mem,
                        NpuDevice &device,
                        std::vector<NpuGuarder *> guarders,
-                       AesKey sealed_key)
+                       AesKey sealed_key, Digest boot_measurement)
     : mem(mem), device(device),
       monitor_ctx(SecureContext::monitor()),
       _trampoline(mem),
@@ -18,6 +19,8 @@ NpuMonitor::NpuMonitor(stats::Group &stats, MemSystem &mem,
       secure_loader(device.mesh()),
       context_setter(device, std::move(guarders)),
       pmp_unit(16),
+      boot_mr(boot_measurement),
+      attest_key(deriveAttestKey(sealed_key)),
       launches(stats, "monitor_launches", "secure task launches"),
       rejected(stats, "monitor_rejected", "secure launches rejected"),
       arena_reserved(stats, "monitor_arena_reserved",
@@ -253,6 +256,14 @@ NpuMonitor::finish(std::uint64_t task_id)
                 task_id, " finished: contexts cleared, secure "
                 "resources released");
     return true;
+}
+
+AttestQuote
+NpuMonitor::attestQuote(const Digest &model_digest,
+                        const AttestNonce &nonce) const
+{
+    const Digest mr = BootChain::extend(boot_mr, model_digest);
+    return makeQuote(attest_key, mr, nonce);
 }
 
 } // namespace snpu

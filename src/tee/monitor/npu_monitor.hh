@@ -32,6 +32,7 @@
 #include "sim/stats.hh"
 #include "sim/status.hh"
 #include "sim/trace.hh"
+#include "tee/attestation.hh"
 #include "tee/monitor/code_verifier.hh"
 #include "tee/monitor/context_setter.hh"
 #include "tee/monitor/secure_loader.hh"
@@ -64,8 +65,15 @@ struct LaunchResult
 class NpuMonitor
 {
   public:
+    /**
+     * @p boot_measurement is the measurement register the SoC's
+     * boot chain produced while bringing this monitor up (all-zero
+     * when the platform models no measured boot); attestation
+     * quotes extend it with the loaded model's digest.
+     */
     NpuMonitor(stats::Group &stats, MemSystem &mem, NpuDevice &device,
-               std::vector<NpuGuarder *> guarders, AesKey sealed_key);
+               std::vector<NpuGuarder *> guarders, AesKey sealed_key,
+               Digest boot_measurement = Digest{});
 
     /** Untrusted entry point (driver side). */
     Trampoline &trampoline() { return _trampoline; }
@@ -95,6 +103,31 @@ class NpuMonitor
      * call kvPool().flush() so scrub hygiene revokes pooled blocks.
      */
     CachingTrustedAllocator &kvPool() { return kv_pool; }
+
+    /** The boot-chain measurement register this monitor booted to. */
+    const Digest &bootMeasurement() const { return boot_mr; }
+
+    /**
+     * The symmetric attest key (derived from the sealed key). In
+     * the simulation the tenant-side verifier reads it from here;
+     * the real-world analogue is out-of-band provisioning by the
+     * silicon vendor.
+     */
+    const std::vector<std::uint8_t> &attestKey() const
+    {
+        return attest_key;
+    }
+
+    /**
+     * Answer an attestation challenge: extend the boot MR with
+     * @p model_digest (the loaded model image) and sign
+     * measurement ∥ nonce with the attest key. Pure — charging the
+     * handshake's simulated cycles is the caller's job (the serving
+     * engine prices it on the dispatching tile's clock).
+     */
+    AttestQuote attestQuote(const Digest &model_digest,
+                            const AttestNonce &nonce) const;
+
     CodeVerifier &verifier() { return code_verifier; }
     SecureLoader &loader() { return secure_loader; }
     ContextSetter &contexts() { return context_setter; }
@@ -137,6 +170,8 @@ class NpuMonitor
     SecureLoader secure_loader;
     ContextSetter context_setter;
     PmpUnit pmp_unit;
+    Digest boot_mr{};
+    std::vector<std::uint8_t> attest_key;
     FaultInjector *faults = nullptr;
     Tracer tracer;
     std::string trace_name;

@@ -34,6 +34,11 @@ BootChain::boot() const
     BootReport report;
     for (const auto &stage : chain) {
         const Digest measured = Sha256::hash(stage.image);
+        // Measure-then-verify: the MR records what the image *is*
+        // before the chain decides whether to run it, so the final
+        // register diverges from golden on tampering even though the
+        // chain halts.
+        report.measurement = extend(report.measurement, measured);
         if (!(measured == stage.expected)) {
             report.failed_stage = stage.name;
             return report;
@@ -42,6 +47,24 @@ BootChain::boot() const
     }
     report.ok = true;
     return report;
+}
+
+Digest
+BootChain::extend(const Digest &mr, const Digest &digest)
+{
+    Sha256 h;
+    h.update(mr.data(), mr.size());
+    h.update(digest.data(), digest.size());
+    return h.finish();
+}
+
+Digest
+BootChain::goldenMeasurement() const
+{
+    Digest mr{};
+    for (const auto &stage : chain)
+        mr = extend(mr, stage.expected);
+    return mr;
 }
 
 } // namespace snpu

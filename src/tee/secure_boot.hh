@@ -6,6 +6,15 @@
  * the next stage's image and halts the chain on mismatch. The root
  * of trust (the first expected measurement) stays in the "SoC" —
  * i.e., in the BootChain object itself.
+ *
+ * On top of the halt-on-mismatch secure boot, the chain keeps a
+ * TPM-style measurement register (MR): every stage's *measured*
+ * digest is hash-extended into it (mr' = SHA256(mr ∥ digest)) before
+ * verification, so the final MR is a commitment to what actually ran
+ * — a tampered image diverges the MR even if verification were
+ * bypassed. goldenMeasurement() folds the *expected* digests the
+ * same way; remote attestation compares a quote over the live MR
+ * against it.
  */
 
 #ifndef SNPU_TEE_SECURE_BOOT_HH
@@ -36,6 +45,13 @@ struct BootReport
     std::vector<std::string> verified;
     /** Name of the stage whose measurement failed (empty when ok). */
     std::string failed_stage;
+    /**
+     * Final measurement register: every stage processed (including
+     * a failing one) hash-extended in chain order. Equal to
+     * BootChain::goldenMeasurement() exactly when no image was
+     * tampered with.
+     */
+    Digest measurement{};
 };
 
 /** The measured boot chain. */
@@ -51,6 +67,21 @@ class BootChain
 
     /** Run the chain: verify each stage in order. */
     BootReport boot() const;
+
+    /**
+     * TPM-style extend: the new register value after folding
+     * @p digest into @p mr (SHA256(mr ∥ digest)). Order-sensitive
+     * and one-way, like a PCR extend.
+     */
+    static Digest extend(const Digest &mr, const Digest &digest);
+
+    /**
+     * The measurement register a clean boot produces: the expected
+     * (add-time) digests extended in chain order. This is the
+     * reference value an attestation verifier compares quotes
+     * against; it never looks at the (possibly tampered) images.
+     */
+    Digest goldenMeasurement() const;
 
     std::size_t stages() const { return chain.size(); }
 

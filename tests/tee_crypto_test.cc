@@ -194,6 +194,50 @@ TEST(Hmac, LongKeyIsHashedFirst)
               "8e0bc6213728c5140546040f0ee37f54");
 }
 
+TEST(Hmac, EmptyKeyAndEmptyMessage)
+{
+    // RFC 2104 defines the empty key as K0 = all zeros; the empty
+    // message contributes nothing to the inner hash. Regression for
+    // the empty-vector data() UB: both operands empty must still
+    // produce the published digest, not touch a null pointer.
+    const std::vector<std::uint8_t> empty;
+    EXPECT_EQ(Sha256::toHex(hmacSha256(empty, empty)),
+              "b613679a0814d9ec772f95d778c35fc5"
+              "ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(Hmac, EmptyKeyNonEmptyMessage)
+{
+    const std::vector<std::uint8_t> key;
+    const auto data = bytes("Hi There");
+    EXPECT_EQ(Sha256::toHex(hmacSha256(key, data)),
+              "e48411262715c8370cd5e7bf8e82bef5"
+              "3bd53712d007f3429351843b77c7bb9b");
+}
+
+TEST(Hmac, NonEmptyKeyEmptyMessage)
+{
+    const auto key = bytes("Jefe");
+    const std::vector<std::uint8_t> data;
+    EXPECT_EQ(Sha256::toHex(hmacSha256(key, data)),
+              "923598ca6d64af2a5dba79dcd021a8a0"
+              "fe5c5f557519adaaf0ad532d4506dd30");
+}
+
+TEST(Hmac, DigestEqualLastByteSingleBit)
+{
+    // The XOR fold must reach the final byte: a digest differing
+    // from another in exactly one bit of byte 31 is unequal, for
+    // every bit position.
+    Digest a{};
+    for (int bit = 0; bit < 8; ++bit) {
+        Digest b{};
+        b[31] = static_cast<std::uint8_t>(1u << bit);
+        EXPECT_FALSE(digestEqual(a, b)) << "bit " << bit;
+        EXPECT_FALSE(digestEqual(b, a)) << "bit " << bit;
+    }
+}
+
 TEST(Hmac, DigestEqualConstantTimeSemantics)
 {
     Digest a{};

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/logging.hh"
+#include "tee/hmac.hh"
 #include "tee/pmp.hh"
 #include "tee/secure_boot.hh"
 #include "tee/secure_world.hh"
@@ -145,6 +146,54 @@ TEST(SecureBoot, CorruptUnknownStageFails)
     BootChain chain;
     chain.addStage("rom-loader", {1});
     EXPECT_FALSE(chain.corruptStage("missing", 0));
+}
+
+TEST(SecureBoot, CleanBootMatchesGoldenMeasurement)
+{
+    BootChain chain;
+    chain.addStage("rom-loader", {1, 2, 3});
+    chain.addStage("trusted-firmware", {4, 5, 6});
+    chain.addStage("teeos+npu-monitor", {7, 8, 9});
+
+    const BootReport report = chain.boot();
+    EXPECT_TRUE(report.ok);
+    EXPECT_TRUE(digestEqual(report.measurement,
+                            chain.goldenMeasurement()));
+    // The MR is not the zero register: something was extended.
+    EXPECT_FALSE(digestEqual(report.measurement, Digest{}));
+}
+
+TEST(SecureBoot, TamperDivergesMeasurementRegister)
+{
+    BootChain chain;
+    chain.addStage("rom-loader", {1, 2, 3});
+    chain.addStage("trusted-firmware", {4, 5, 6});
+    const Digest golden = chain.goldenMeasurement();
+    ASSERT_TRUE(chain.corruptStage("trusted-firmware", 2));
+
+    // Measure-then-verify: the halting chain still records the
+    // tampered digest, so the MR diverges from golden — the
+    // commitment attestation catches even where secure boot is
+    // assumed bypassed.
+    const BootReport report = chain.boot();
+    EXPECT_FALSE(report.ok);
+    EXPECT_FALSE(digestEqual(report.measurement, golden));
+    // The golden reference never looks at images, so it is
+    // unchanged by the tamper.
+    EXPECT_TRUE(digestEqual(chain.goldenMeasurement(), golden));
+}
+
+TEST(SecureBoot, ExtendIsDeterministicAndOrderSensitive)
+{
+    Digest a{};
+    a[0] = 1;
+    Digest b{};
+    b[0] = 2;
+    const Digest ab = BootChain::extend(BootChain::extend(Digest{}, a), b);
+    const Digest ab2 = BootChain::extend(BootChain::extend(Digest{}, a), b);
+    const Digest ba = BootChain::extend(BootChain::extend(Digest{}, b), a);
+    EXPECT_TRUE(digestEqual(ab, ab2));
+    EXPECT_FALSE(digestEqual(ab, ba));
 }
 
 TEST(SecureBoot, DoubleCorruptionRestores)
